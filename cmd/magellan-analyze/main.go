@@ -1,0 +1,108 @@
+// Command magellan-analyze runs the Magellan pipeline over a recorded
+// trace and renders every figure of the paper, optionally exporting the
+// underlying data as CSV.
+//
+// Example:
+//
+//	magellan-analyze -trace uusee.trace -ispdb uusee.ispdb -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/report"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magellan-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magellan-analyze", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "uusee.trace", "input trace file (binary format)")
+		ispdbPath = fs.String("ispdb", "uusee.ispdb", "input ISP database file")
+		csvDir    = fs.String("csv", "", "directory for per-figure CSV export (empty: skip)")
+		svgDir    = fs.String("svg", "", "directory for per-figure SVG export (empty: skip)")
+		interval  = fs.Duration("interval", 10*time.Minute, "trace epoch width")
+		seed      = fs.Int64("seed", 1, "seed for random baselines and BFS sampling")
+		threshold = fs.Uint("threshold", core.DefaultActiveThreshold, "active-partner segment threshold")
+		streaming = fs.Bool("stream", false, "single-pass analysis (bounded memory; for traces too large to hold)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	traceFile, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer traceFile.Close()
+
+	dbFile, err := os.Open(*ispdbPath)
+	if err != nil {
+		return err
+	}
+	defer dbFile.Close()
+	db, err := isp.ReadDatabase(dbFile)
+	if err != nil {
+		return fmt.Errorf("load ISP database: %w", err)
+	}
+
+	cfg := core.Config{
+		Seed:            *seed,
+		ActiveThreshold: uint32(*threshold),
+	}
+	start := time.Now()
+	var res *core.Results
+	if *streaming {
+		rd, err := trace.NewReader(traceFile)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		var dropped int
+		res, dropped, err = core.AnalyzeStream(rd, db, cfg, *interval)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stream-analyzed %d epochs in %v (%d stragglers dropped)\n",
+			res.EpochCount, time.Since(start).Round(time.Millisecond), dropped)
+	} else {
+		store, err := trace.LoadStore(traceFile, *interval)
+		if err != nil {
+			return fmt.Errorf("load trace: %w", err)
+		}
+		res, err = core.Analyze(store, db, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("analyzed %d reports across %d epochs in %v\n",
+			store.Len(), res.EpochCount, time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := report.RenderAll(os.Stdout, res); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := report.WriteCSVs(*csvDir, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nCSV series written to %s\n", *csvDir)
+	}
+	if *svgDir != "" {
+		if err := report.WriteSVGs(*svgDir, res); err != nil {
+			return err
+		}
+		fmt.Printf("SVG figures written to %s\n", *svgDir)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// writeArtifacts produces a small trace + ISP database pair on disk.
+func writeArtifacts(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	tracePath := filepath.Join(dir, "t.trace")
+	dbPath := filepath.Join(dir, "t.ispdb")
+
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Seed:            9,
+		Duration:        2 * time.Hour,
+		MeanConcurrency: 120,
+		ExtraChannels:   4,
+		Sink:            w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dbf, err := os.Create(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbf.Close()
+	if _, err := s.Database().WriteTo(dbf); err != nil {
+		t.Fatal(err)
+	}
+	return tracePath, dbPath
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracePath, dbPath := writeArtifacts(t, dir)
+	csvDir := filepath.Join(dir, "csv")
+
+	err := run([]string{
+		"-trace", tracePath,
+		"-ispdb", dbPath,
+		"-csv", csvDir,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatalf("csv dir: %v", err)
+	}
+	if len(entries) != 11 {
+		t.Errorf("csv export produced %d files, want 11 figure panels", len(entries))
+	}
+}
+
+func TestAnalyzeStreamingMode(t *testing.T) {
+	dir := t.TempDir()
+	tracePath, dbPath := writeArtifacts(t, dir)
+	err := run([]string{
+		"-trace", tracePath,
+		"-ispdb", dbPath,
+		"-stream",
+	})
+	if err != nil {
+		t.Fatalf("streaming run: %v", err)
+	}
+}
+
+func TestAnalyzeMissingInputs(t *testing.T) {
+	if err := run([]string{"-trace", "/nonexistent.trace"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	dir := t.TempDir()
+	tracePath, _ := writeArtifacts(t, dir)
+	if err := run([]string{"-trace", tracePath, "-ispdb", "/nonexistent.ispdb"}); err == nil {
+		t.Error("missing ispdb accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command magellan-inspect summarizes a binary trace file: time span,
+// epochs, distinct peers, channel audiences, partner-list statistics —
+// the quick look an operator takes before committing to a full analysis.
+// With -peer it dumps one peer's report history instead.
+//
+//	magellan-inspect -trace uusee.trace
+//	magellan-inspect -trace uusee.trace -peer 58.12.33.7
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/report"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "magellan-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("magellan-inspect", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "uusee.trace", "input trace file")
+		peerAddr  = fs.String("peer", "", "dump this peer's report history instead of the summary")
+		topN      = fs.Int("top", 10, "number of channels to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	if *peerAddr != "" {
+		addr, err := isp.ParseAddr(*peerAddr)
+		if err != nil {
+			return err
+		}
+		return dumpPeer(out, rd, addr)
+	}
+	return summarize(out, rd, *topN)
+}
+
+func summarize(out io.Writer, rd *trace.Reader, topN int) error {
+	var (
+		count        int
+		first, last  time.Time
+		peers        = make(map[isp.Addr]struct{})
+		channels     = make(map[string]int)
+		partnerTotal int
+		epochs       = make(map[int64]struct{})
+	)
+	for {
+		rep, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		if first.IsZero() || rep.Time.Before(first) {
+			first = rep.Time
+		}
+		if rep.Time.After(last) {
+			last = rep.Time
+		}
+		peers[rep.Addr] = struct{}{}
+		channels[rep.Channel]++
+		partnerTotal += len(rep.Partners)
+		epochs[rep.Time.UnixNano()/int64(trace.DefaultReportInterval)] = struct{}{}
+	}
+	if count == 0 {
+		return fmt.Errorf("trace holds no reports")
+	}
+
+	fmt.Fprintf(out, "reports:        %d\n", count)
+	fmt.Fprintf(out, "span:           %s → %s (%v)\n",
+		first.Format(time.RFC3339), last.Format(time.RFC3339), last.Sub(first).Round(time.Minute))
+	fmt.Fprintf(out, "epochs (10m):   %d\n", len(epochs))
+	fmt.Fprintf(out, "distinct peers: %d\n", len(peers))
+	fmt.Fprintf(out, "mean partners:  %.1f per report\n\n", float64(partnerTotal)/float64(count))
+
+	type chCount struct {
+		name string
+		n    int
+	}
+	ranked := make([]chCount, 0, len(channels))
+	for ch, n := range channels {
+		ranked = append(ranked, chCount{name: ch, n: n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	if len(ranked) > topN {
+		ranked = ranked[:topN]
+	}
+	rows := make([][]string, 0, len(ranked))
+	for _, c := range ranked {
+		rows = append(rows, []string{c.name, fmt.Sprintf("%d", c.n),
+			fmt.Sprintf("%.1f%%", 100*float64(c.n)/float64(count))})
+	}
+	return report.Table(out, []string{"channel", "reports", "share"}, rows)
+}
+
+func dumpPeer(out io.Writer, rd *trace.Reader, addr isp.Addr) error {
+	found := 0
+	for {
+		rep, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rep.Addr != addr {
+			continue
+		}
+		found++
+		active := 0
+		for _, p := range rep.Partners {
+			if p.RecvSeg > 10 || p.SentSeg > 10 {
+				active++
+			}
+		}
+		fmt.Fprintf(out, "%s  ch=%s recv=%.0fkbps sent=%.0fkbps partners=%d active=%d buffer=%016x\n",
+			rep.Time.Format("2006-01-02 15:04"), rep.Channel,
+			rep.RecvKbps, rep.SentKbps, len(rep.Partners), active, rep.BufferMap)
+	}
+	if found == 0 {
+		return fmt.Errorf("peer %s never reported", addr)
+	}
+	fmt.Fprintf(out, "%d reports from %s\n", found, addr)
+	return nil
+}

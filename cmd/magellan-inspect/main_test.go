@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		ch := "CCTV1"
+		if i%3 == 0 {
+			ch = "CCTV4"
+		}
+		rep := trace.Report{
+			Time:     t0.Add(time.Duration(i) * 5 * time.Minute),
+			Addr:     isp.Addr(100 + i%7),
+			Port:     1,
+			Channel:  ch,
+			UpKbps:   448,
+			RecvKbps: 400,
+			Partners: []trace.PartnerRecord{{Addr: 5, Port: 2, SentSeg: 50, RecvSeg: 50}},
+		}
+		if err := w.Submit(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarize(t *testing.T) {
+	path := writeTrace(t)
+	var sb strings.Builder
+	if err := run([]string{"-trace", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"reports:        30", "distinct peers: 7", "CCTV1", "CCTV4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpPeer(t *testing.T) {
+	path := writeTrace(t)
+	var sb strings.Builder
+	if err := run([]string{"-trace", path, "-peer", isp.Addr(100).String()}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "reports from") {
+		t.Errorf("peer dump missing footer:\n%s", sb.String())
+	}
+	if err := run([]string{"-trace", path, "-peer", "9.9.9.9"}, &sb); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if err := run([]string{"-trace", path, "-peer", "not-an-ip"}, &sb); err == nil {
+		t.Error("malformed peer address accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace", "/nonexistent"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

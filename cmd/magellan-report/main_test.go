@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportEndToEnd(t *testing.T) {
+	csvDir := filepath.Join(t.TempDir(), "csv")
+	err := run([]string{
+		"-seed", "6",
+		"-duration", "2h",
+		"-concurrency", "120",
+		"-channels", "4",
+		"-csv", csvDir,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(csvDir)
+	if err != nil {
+		t.Fatalf("csv dir: %v", err)
+	}
+	if len(entries) != 11 {
+		t.Errorf("csv export produced %d files, want 11", len(entries))
+	}
+}
+
+func TestReportRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-concurrency", "0"}); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+}

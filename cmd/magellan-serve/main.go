@@ -1,0 +1,223 @@
+// Command magellan-serve runs a standalone trace server, the deployment
+// piece of the paper's measurement infrastructure: it ingests UDP report
+// datagrams from instrumented peers, persists them into rotating binary
+// trace files, and exposes an HTTP status endpoint for monitoring.
+//
+//	magellan-serve -listen :9600 -out traces/ -http 127.0.0.1:9601
+//
+// Stop with SIGINT/SIGTERM; the current trace file is flushed and
+// closed cleanly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "magellan-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until stop closes (or a signal
+// arrives when stop is nil).
+func run(args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("magellan-serve", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:9600", "UDP address for report ingestion")
+		outDir   = fs.String("out", "traces", "directory for rotated binary trace files")
+		httpAddr = fs.String("http", "", "HTTP status address (empty: disabled)")
+		rotate   = fs.Duration("rotate", time.Hour, "trace-file rotation period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := newDaemon(*listen, *outDir, *httpAddr, *rotate)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace server on udp://%s, writing %s, rotating every %v\n",
+		d.udp.Addr(), *outDir, *rotate)
+	if d.httpLn != nil {
+		fmt.Printf("status on http://%s/status\n", d.httpLn.Addr())
+	}
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	} else {
+		<-stop
+	}
+	return d.Close()
+}
+
+// rotatingSink writes reports into per-period binary trace files.
+type rotatingSink struct {
+	mu      sync.Mutex
+	dir     string
+	period  time.Duration
+	file    *os.File
+	writer  *trace.Writer
+	opened  time.Time
+	written uint64
+	seq     int
+}
+
+var _ trace.Sink = (*rotatingSink)(nil)
+
+func newRotatingSink(dir string, period time.Duration) (*rotatingSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &rotatingSink{dir: dir, period: period}
+	if err := s.rotateLocked(time.Now()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *rotatingSink) Submit(r trace.Report) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writer == nil {
+		return fmt.Errorf("sink closed")
+	}
+	if now := time.Now(); now.Sub(s.opened) >= s.period {
+		if err := s.rotateLocked(now); err != nil {
+			return err
+		}
+	}
+	if err := s.writer.Submit(r); err != nil {
+		return err
+	}
+	s.written++
+	return nil
+}
+
+func (s *rotatingSink) rotateLocked(now time.Time) error {
+	if err := s.closeCurrentLocked(); err != nil {
+		return err
+	}
+	s.seq++
+	name := filepath.Join(s.dir,
+		fmt.Sprintf("uusee-%s-%04d.trace", now.UTC().Format("20060102T150405"), s.seq))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.file, s.writer, s.opened = f, w, now
+	return nil
+}
+
+func (s *rotatingSink) closeCurrentLocked() error {
+	if s.writer == nil {
+		return nil
+	}
+	if err := s.writer.Flush(); err != nil {
+		return err
+	}
+	err := s.file.Close()
+	s.file, s.writer = nil, nil
+	return err
+}
+
+func (s *rotatingSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeCurrentLocked()
+}
+
+func (s *rotatingSink) CurrentFile() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return ""
+	}
+	return s.file.Name()
+}
+
+// daemon ties the UDP server, rotating sink, and status endpoint
+// together.
+type daemon struct {
+	udp     *trace.Server
+	sink    *rotatingSink
+	httpLn  net.Listener
+	httpSrv *http.Server
+	started time.Time
+}
+
+func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, error) {
+	sink, err := newRotatingSink(outDir, rotate)
+	if err != nil {
+		return nil, err
+	}
+	udp, err := trace.NewServer(listen, sink)
+	if err != nil {
+		sink.Close()
+		return nil, err
+	}
+	d := &daemon{udp: udp, sink: sink, started: time.Now()}
+
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			udp.Close()
+			sink.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", d.handleStatus)
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			// Serve exits with ErrServerClosed on shutdown; any other
+			// error means the status endpoint died, which is
+			// non-fatal for ingestion.
+			_ = d.httpSrv.Serve(ln)
+		}()
+	}
+	return d, nil
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"received":      d.udp.Received(),
+		"dropped":       d.udp.Dropped(),
+		"currentFile":   d.sink.CurrentFile(),
+		"uptimeSeconds": int(time.Since(d.started).Seconds()),
+	})
+}
+
+func (d *daemon) Close() error {
+	err := d.udp.Close()
+	if d.httpSrv != nil {
+		if cerr := d.httpSrv.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := d.sink.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func sampleReport(addr uint32) trace.Report {
+	return trace.Report{
+		Time:    time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC),
+		Addr:    isp.Addr(addr),
+		Port:    1234,
+		Channel: "CCTV1",
+		UpKbps:  448,
+		Partners: []trace.PartnerRecord{
+			{Addr: 99, Port: 1, SentSeg: 10, RecvSeg: 20},
+		},
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour)
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+
+	client, err := trace.Dial(d.udp.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := client.Submit(sampleReport(uint32(100 + i))); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && d.udp.Received() < n {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.udp.Received() != n {
+		t.Fatalf("received %d, want %d", d.udp.Received(), n)
+	}
+
+	// Status endpoint.
+	resp, err := http.Get("http://" + d.httpLn.Addr().String() + "/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if got, _ := status["received"].(float64); int(got) != n {
+		t.Errorf("status received = %v, want %d", status["received"], n)
+	}
+	if status["currentFile"] == "" {
+		t.Error("status missing current file")
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The persisted trace file must be loadable and hold every report.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("trace files = %d, want 1", len(entries))
+	}
+	f, err := os.Open(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store, err := trace.LoadStore(f, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	if store.Len() != n {
+		t.Errorf("persisted %d reports, want %d", store.Len(), n)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := newRotatingSink(dir, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Submit(sampleReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := sink.Submit(sampleReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Errorf("rotation produced %d files, want ≥ 2", len(entries))
+	}
+	if err := sink.Submit(sampleReport(3)); err == nil {
+		t.Error("closed sink accepted a report")
+	}
+}
+
+func TestRunStopChannel(t *testing.T) {
+	dir := t.TempDir()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-out", dir}, stop)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+}

@@ -1,0 +1,120 @@
+// Command magellan-sim runs a UUSee overlay simulation and writes the
+// collected trace (and the run's IP-to-ISP database) to disk, ready for
+// magellan-analyze.
+//
+// Example:
+//
+//	magellan-sim -concurrency 800 -duration 336h -flashcrowd \
+//	    -trace uusee.trace -ispdb uusee.ispdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/stream"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magellan-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magellan-sim", flag.ContinueOnError)
+	var (
+		seed        = fs.Int64("seed", 1, "random seed (same seed ⇒ identical trace)")
+		duration    = fs.Duration("duration", 14*24*time.Hour, "simulated span")
+		tick        = fs.Duration("tick", time.Minute, "bandwidth integration step")
+		concurrency = fs.Float64("concurrency", 600, "target mean simultaneous peers")
+		channels    = fs.Int("channels", 48, "extra channels besides CCTV1/CCTV4")
+		flashcrowd  = fs.Bool("flashcrowd", true, "inject the Oct 6 9pm mid-autumn flash crowd")
+		mode        = fs.String("mode", "mesh", "exchange mode: mesh or tree")
+		ispBlind    = fs.Bool("ispblind", false, "ablation: erase intra/inter-ISP link asymmetry")
+		noRecommend = fs.Bool("norecommend", false, "ablation: disable partner recommendation")
+		tracePath   = fs.String("trace", "uusee.trace", "output trace file (binary format)")
+		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
+		verbose     = fs.Bool("v", false, "print hourly progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		Seed:             *seed,
+		Duration:         *duration,
+		Tick:             *tick,
+		MeanConcurrency:  *concurrency,
+		ExtraChannels:    *channels,
+		ISPBlind:         *ispBlind,
+		NoRecommendation: *noRecommend,
+	}
+	switch *mode {
+	case "mesh":
+		cfg.Mode = stream.ModeMesh
+	case "tree":
+		cfg.Mode = stream.ModeTreePush
+	default:
+		return fmt.Errorf("unknown -mode %q (mesh|tree)", *mode)
+	}
+	if *flashcrowd {
+		cfg.Crowds = []workload.FlashCrowd{workload.MidAutumnFlashCrowd()}
+	}
+
+	traceFile, err := os.Create(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer traceFile.Close()
+	writer, err := trace.NewWriter(traceFile)
+	if err != nil {
+		return err
+	}
+	cfg.Sink = writer
+
+	if *verbose {
+		cfg.Progress = func(st sim.Stats) {
+			fmt.Fprintf(os.Stderr, "%s online=%d stable=%d joins=%d reports=%d\n",
+				st.Now.Format("2006-01-02 15:04"), st.Online, st.Stable, st.Joins, st.Reports)
+		}
+	}
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := s.Run(); err != nil {
+		return err
+	}
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	if err := traceFile.Close(); err != nil {
+		return err
+	}
+
+	dbFile, err := os.Create(*ispdbPath)
+	if err != nil {
+		return err
+	}
+	defer dbFile.Close()
+	if _, err := s.Database().WriteTo(dbFile); err != nil {
+		return err
+	}
+	if err := dbFile.Close(); err != nil {
+		return err
+	}
+
+	st := s.Stats()
+	fmt.Printf("simulated %v in %v: %d joins, %d reports → %s (+ %s)\n",
+		*duration, time.Since(start).Round(time.Millisecond), st.Joins, st.Reports, *tracePath, *ispdbPath)
+	return nil
+}

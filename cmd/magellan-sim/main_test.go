@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func TestRunProducesLoadableArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.trace")
+	dbPath := filepath.Join(dir, "t.ispdb")
+
+	err := run([]string{
+		"-seed", "5",
+		"-duration", "90m",
+		"-concurrency", "120",
+		"-channels", "4",
+		"-trace", tracePath,
+		"-ispdb", dbPath,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	store, err := trace.LoadStore(f, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	if store.Len() == 0 {
+		t.Error("trace file holds no reports")
+	}
+
+	dbf, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatalf("open ispdb: %v", err)
+	}
+	defer dbf.Close()
+	db, err := isp.ReadDatabase(dbf)
+	if err != nil {
+		t.Fatalf("ReadDatabase: %v", err)
+	}
+	if db.Len() == 0 {
+		t.Error("ISP database is empty")
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "carrier-pigeon"}); err == nil {
+		t.Error("bad -mode accepted")
+	}
+}
+
+func TestRunTreeMode(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-duration", "45m",
+		"-concurrency", "80",
+		"-channels", "2",
+		"-mode", "tree",
+		"-flashcrowd=false",
+		"-trace", filepath.Join(dir, "t.trace"),
+		"-ispdb", filepath.Join(dir, "t.ispdb"),
+	})
+	if err != nil {
+		t.Fatalf("tree-mode run: %v", err)
+	}
+}

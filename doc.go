@@ -1,0 +1,15 @@
+// Package magellan reproduces "Magellan: Charting Large-Scale
+// Peer-to-Peer Live Streaming Topologies" (Wu, Li, Zhao — ICDCS 2007):
+// a protocol-faithful simulator of the UUSee mesh-streaming overlay, the
+// trace-collection pipeline the paper's measurement study ran on, and
+// the graph-analysis library that regenerates every figure of the
+// evaluation (overlay scale, ISP mix, streaming quality, degree
+// distributions, small-world metrics, and edge reciprocity).
+//
+// The implementation lives under internal/; see README.md for the
+// architecture tour, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-versus-measured results. The
+// benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig -benchmem .
+package magellan

@@ -1,0 +1,80 @@
+// Baselines: reproduce the degree-distribution contrast the paper draws
+// against file-sharing overlays. Legacy Gnutella's pong-cache discovery
+// yields a power law; modern two-tier Gnutella yields a spike at the
+// ultrapeer connection target; UUSee streaming yields a spike at the
+// supply-driven ~10 — same fitter, three different verdicts.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/gnutella"
+	"github.com/magellan-p2p/magellan/internal/graph"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baselines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	log.Println("building Gnutella baselines (8000 peers each)...")
+	legacy, err := gnutella.Build(gnutella.Config{Seed: 1, Peers: 8000, Gen: gnutella.Legacy})
+	if err != nil {
+		return err
+	}
+	modern, err := gnutella.Build(gnutella.Config{Seed: 1, Peers: 8000, Gen: gnutella.Modern})
+	if err != nil {
+		return err
+	}
+
+	log.Println("simulating a UUSee trace for the streaming column...")
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            1,
+		Duration:        3 * time.Hour,
+		MeanConcurrency: 300,
+		ExtraChannels:   4,
+		Sink:            store,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Run(); err != nil {
+		return err
+	}
+	res, err := core.Analyze(store, s.Database(), core.Config{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	legacyDeg := metrics.NewHistogram(legacy.UndirectedDegrees())
+	legacyFit := graph.FitPowerLaw(legacyDeg.Values(), 4)
+	ultraDeg := metrics.NewHistogram(gnutella.UltrapeerDegrees(modern, 3))
+	ultraFit := graph.FitPowerLaw(ultraDeg.Values(), 1)
+
+	fmt.Println("\noverlay                      mode   max    alpha   KS      verdict")
+	fmt.Printf("Gnutella legacy (flat)       %-6d %-6d %-7.2f %-7.3f power law fits\n",
+		legacyDeg.Mode(), legacyDeg.Max(), legacyFit.Alpha, legacyFit.KS)
+	fmt.Printf("Gnutella modern (ultrapeers) %-6d %-6d %-7.2f %-7.3f spike at target, rejects\n",
+		ultraDeg.Mode(), ultraDeg.Max(), ultraFit.Alpha, ultraFit.KS)
+	if len(res.DegreeDist.Snapshots) > 0 {
+		snap := res.DegreeDist.Snapshots[len(res.DegreeDist.Snapshots)-1]
+		fmt.Printf("UUSee streaming (indegree)   %-6d %-6d %-7.2f %-7.3f spike at ~10, rejects\n",
+			snap.In.Mode(), snap.In.Max(), snap.InFit.Alpha, snap.InFit.KS)
+	}
+	fmt.Println("\nKS ≪ 0.1 means the power law fits; the paper's point is that neither")
+	fmt.Println("streaming nor modern file sharing looks like the early Gnutella maps.")
+	return nil
+}

@@ -1,0 +1,70 @@
+// Blockmode: run the protocol-fidelity exchange — real sliding-window
+// buffer maps and per-segment requests, the actual CoolStreaming/UUSee
+// mechanism — and show that the trace reports then carry genuine buffer
+// maps whose occupancy tracks playback continuity.
+//
+//	go run ./examples/blockmode
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/bits"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/stream"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blockmode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            5,
+		Duration:        2 * time.Hour,
+		MeanConcurrency: 120,
+		ExtraChannels:   2,
+		Mode:            stream.ModeBlock, // 5-second ticks, segment-level requests
+		Sink:            store,
+	})
+	if err != nil {
+		return err
+	}
+	log.Println("simulating 2 hours at segment granularity (slower than flow mode)...")
+	if err := s.Run(); err != nil {
+		return err
+	}
+
+	// Every report now carries the peer's real 64-segment window bitmap.
+	var occupied, reports int
+	err = store.Range(func(_ int64, _ time.Time, reps []trace.Report) error {
+		for _, r := range reps {
+			reports++
+			occupied += bits.OnesCount64(r.BufferMap)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d reports; mean buffer-map occupancy %.1f of 64 segments\n",
+		reports, float64(occupied)/float64(reports))
+
+	res, err := core.Analyze(store, s.Database(), core.Config{Seed: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indegree %.1f, rho %.2f — the topology findings survive the\n",
+		res.DegreeEvolution.In.Mean(), res.Reciprocity.All.Mean())
+	fmt.Println("switch from flow-level to segment-level exchange")
+	return nil
+}

@@ -1,0 +1,86 @@
+// Flashcrowd: reproduce the paper's mid-autumn-festival scenario at a
+// small scale — a surge of viewers arriving for a CCTV broadcast — and
+// chart how the overlay absorbs it: population, streaming quality, and
+// partner-list growth (Figs. 1, 3, 4 of the paper).
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/report"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flashcrowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 3x arrival surge on the CCTV channels, 9 pm on day one.
+	crowd := workload.FlashCrowd{
+		Start:    workload.TraceStart().Add(20 * time.Hour),
+		Ramp:     time.Hour,
+		Hold:     90 * time.Minute,
+		Decay:    45 * time.Minute,
+		Peak:     3,
+		Channels: []string{"CCTV1", "CCTV4"},
+	}
+
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            2,
+		Duration:        30 * time.Hour,
+		MeanConcurrency: 400,
+		ExtraChannels:   10,
+		Crowds:          []workload.FlashCrowd{crowd},
+		Sink:            store,
+	})
+	if err != nil {
+		return err
+	}
+	log.Println("simulating 30 hours with a 9pm flash crowd...")
+	if err := s.Run(); err != nil {
+		return err
+	}
+
+	res, err := core.Analyze(store, s.Database(), core.Config{
+		Seed: 2,
+		Snapshots: []core.SnapshotSpec{
+			{Label: "quiet morning", Time: workload.TraceStart().Add(9 * time.Hour)},
+			{Label: "flash-crowd peak", Time: workload.TraceStart().Add(22 * time.Hour)},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\npopulation (arrow ≈ flash crowd):")
+	fmt.Printf("  total  %s\n", report.Sparkline(res.PeerCounts.Total, 60))
+	fmt.Printf("  stable %s\n", report.Sparkline(res.PeerCounts.Stable, 60))
+	fmt.Printf("  peak total %d vs mean %.0f\n",
+		int(res.PeerCounts.Total.Max()), res.PeerCounts.MeanTotal)
+
+	fmt.Println("\nstreaming quality during the surge (paper: quality *rises*):")
+	for _, ch := range []string{"CCTV1", "CCTV4"} {
+		q := res.Quality.ByChannel[ch]
+		fmt.Printf("  %-6s mean %.2f  %s\n", ch, q.Mean(), report.Sparkline(q, 60))
+	}
+
+	fmt.Println("\npartner lists before vs during the crowd (paper Fig 4: spike moves up):")
+	for _, snap := range res.DegreeDist.Snapshots {
+		fmt.Printf("  %-16s n=%-4d partner-count mode=%-3d mean=%.1f  indegree mode=%d\n",
+			snap.Label, snap.Partners.N(), snap.Partners.Mode(), snap.Partners.Mean(), snap.In.Mode())
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// ISP clustering: demonstrate the paper's "natural clustering" result —
+// the streaming mesh organizes itself into per-ISP clusters purely
+// because intra-ISP links measure better, without any ISP awareness in
+// tracker or protocol. The demo runs the same workload twice, once over
+// the real asymmetric network and once over an ISP-blind network
+// (ablation), and compares Figs. 6–8.
+//
+//	go run ./examples/ispclustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ispclustering:", err)
+		os.Exit(1)
+	}
+}
+
+func analyzeRun(ispBlind bool) (*core.Results, error) {
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            3,
+		Duration:        8 * time.Hour,
+		MeanConcurrency: 350,
+		ExtraChannels:   6,
+		ISPBlind:        ispBlind,
+		Sink:            store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return core.Analyze(store, s.Database(), core.Config{Seed: 3})
+}
+
+func run() error {
+	log.Println("run 1/2: real network (intra-ISP links faster)...")
+	real, err := analyzeRun(false)
+	if err != nil {
+		return err
+	}
+	log.Println("run 2/2: ISP-blind network (ablation)...")
+	blind, err := analyzeRun(true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n                         real network   ISP-blind   random mixing")
+	fmt.Printf("intra-ISP indegree        %8.3f      %8.3f      %8.3f\n",
+		real.IntraISP.InFrac.Mean(), blind.IntraISP.InFrac.Mean(), real.IntraISP.RandomMixing)
+	fmt.Printf("intra-ISP outdegree       %8.3f      %8.3f\n",
+		real.IntraISP.OutFrac.Mean(), blind.IntraISP.OutFrac.Mean())
+	fmt.Printf("rho intra-ISP links       %8.3f      %8.3f\n",
+		real.Reciprocity.Intra.Mean(), blind.Reciprocity.Intra.Mean())
+	fmt.Printf("rho inter-ISP links       %8.3f      %8.3f\n",
+		real.Reciprocity.Inter.Mean(), blind.Reciprocity.Inter.Mean())
+	fmt.Printf("clustering C (global)     %8.3f      %8.3f\n",
+		real.SmallWorld.C.Mean(), blind.SmallWorld.C.Mean())
+	fmt.Printf("clustering C (%s) %8.3f      %8.3f\n",
+		real.SmallWorld.ISP, real.SmallWorld.CISP.Mean(), blind.SmallWorld.CISP.Mean())
+
+	fmt.Println("\nreading: with the real asymmetry, the intra-ISP degree fraction sits")
+	fmt.Println("well above random mixing (the paper's Fig 6); removing the asymmetry")
+	fmt.Println("pulls it back toward random — the clustering is an emergent effect of")
+	fmt.Println("quality-biased peer selection, not of the protocol or tracker.")
+	return nil
+}

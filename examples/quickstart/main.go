@@ -1,0 +1,67 @@
+// Quickstart: simulate a small UUSee overlay for a few hours, run the
+// Magellan analysis pipeline over the collected trace reports, and print
+// the headline topology findings of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Collect a trace: every stable peer (online ≥ 20 min) reports to
+	//    the trace sink every 10 minutes, exactly as in the paper.
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            1,
+		Duration:        4 * time.Hour,
+		MeanConcurrency: 250,
+		ExtraChannels:   6,
+		Sink:            store,
+	})
+	if err != nil {
+		return err
+	}
+	log.Println("simulating 4 hours of the UUSee overlay...")
+	if err := s.Run(); err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Printf("collected %d reports from %d joins (final online: %d, stable: %d)\n\n",
+		st.Reports, st.Joins, st.Online, st.Stable)
+
+	// 2. Analyze: one call produces every figure's data.
+	res, err := core.Analyze(store, s.Database(), core.Config{Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	// 3. The paper's four headline findings, from your own trace:
+	fmt.Printf("scale        stable/total peers = %.2f (paper: ≈ 1/3)\n",
+		res.PeerCounts.StableShare)
+	fmt.Printf("degrees      mean active indegree = %.1f (paper: ≈ 10, not power-law)\n",
+		res.DegreeEvolution.In.Mean())
+	fmt.Printf("clustering   intra-ISP degree fraction = %.2f vs ISP-blind mixing %.2f\n",
+		res.IntraISP.InFrac.Mean(), res.IntraISP.RandomMixing)
+	fmt.Printf("small world  C = %.3f vs C_random = %.3f (%.0fx)\n",
+		res.SmallWorld.C.Mean(), res.SmallWorld.CRand.Mean(),
+		res.SmallWorld.C.Mean()/res.SmallWorld.CRand.Mean())
+	fmt.Printf("reciprocity  rho = %.2f > 0 (mesh exchange, not a tree)\n",
+		res.Reciprocity.All.Mean())
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/magellan-p2p/magellan
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package core is the Magellan analysis pipeline — the paper's primary
+// contribution. It consumes trace-server reports (epoch-bucketed
+// 10-minute snapshots, Sec. 3.2) and produces every figure of the
+// evaluation: overlay scale and daily distinct users (Fig. 1), ISP
+// population shares (Fig. 2), streaming quality (Fig. 3), degree
+// distributions and their evolution (Figs. 4–5), intra-ISP degree
+// fractions (Fig. 6), small-world metrics against random-graph baselines
+// (Fig. 7), and edge reciprocity (Fig. 8).
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/graph"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// DefaultActiveThreshold is the paper's active-partner cutoff: a partner
+// is an active supplier (receiver) when more than 10 segments were
+// received from (sent to) it during the report window (Sec. 4.2).
+const DefaultActiveThreshold = 10
+
+// EpochView is one topology snapshot assembled from an epoch's reports:
+// the paper's unit of analysis.
+type EpochView struct {
+	Epoch int64
+	Start time.Time
+	// Reports holds each stable peer's latest report of the epoch.
+	Reports map[isp.Addr]trace.Report
+}
+
+// NewEpochView assembles the view for one epoch of a store.
+func NewEpochView(store *trace.Store, epoch int64) *EpochView {
+	return &EpochView{
+		Epoch:   epoch,
+		Start:   store.EpochStart(epoch),
+		Reports: store.LatestByPeer(epoch),
+	}
+}
+
+// StableCount returns the number of stable (reporting) peers.
+func (v *EpochView) StableCount() int { return len(v.Reports) }
+
+// Reporters returns the reporting addresses in ascending order. All
+// pipeline iteration goes through this so that floating-point
+// accumulation and graph node numbering are deterministic regardless of
+// map layout.
+func (v *EpochView) Reporters() []isp.Addr {
+	out := make([]isp.Addr, 0, len(v.Reports))
+	for a := range v.Reports {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllPeers returns every address visible in the snapshot: reporters plus
+// everyone on their partner lists. This is the paper's "total peers"
+// population — transient peers appear in the partner lists of reporters
+// with high probability.
+func (v *EpochView) AllPeers() map[isp.Addr]struct{} {
+	out := make(map[isp.Addr]struct{}, len(v.Reports)*4)
+	for addr, rep := range v.Reports {
+		out[addr] = struct{}{}
+		for _, p := range rep.Partners {
+			out[p.Addr] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ActiveEdges invokes add for every directed active edge the snapshot
+// witnesses: supplier → consumer for every partner transfer above the
+// threshold. Both endpoints of an edge may be transient; at least one is
+// a reporter.
+func (v *EpochView) ActiveEdges(threshold uint32, add func(from, to isp.Addr)) {
+	for _, addr := range v.Reporters() {
+		rep := v.Reports[addr]
+		for _, p := range rep.Partners {
+			if p.RecvSeg > threshold {
+				add(p.Addr, addr) // partner supplied this peer
+			}
+			if p.SentSeg > threshold {
+				add(addr, p.Addr) // this peer supplied the partner
+			}
+		}
+	}
+}
+
+// ActiveGraph builds the directed graph of all active links the snapshot
+// witnesses, over all peers (reporters and transients). Every reporter is
+// present even when isolated. This is the graph of the reciprocity
+// analysis (Sec. 4.4).
+func (v *EpochView) ActiveGraph(threshold uint32) *graph.Digraph {
+	b := graph.NewBuilder()
+	for _, addr := range v.Reporters() {
+		b.AddNode(addr)
+	}
+	v.ActiveEdges(threshold, func(from, to isp.Addr) { b.AddEdge(from, to) })
+	return b.Build()
+}
+
+// StableGraph builds the directed graph induced on stable peers: "only
+// including the stable peers and the active links among them"
+// (Sec. 4.3). This is the graph of the small-world analysis.
+func (v *EpochView) StableGraph(threshold uint32) *graph.Digraph {
+	b := graph.NewBuilder()
+	for _, addr := range v.Reporters() {
+		b.AddNode(addr)
+	}
+	v.ActiveEdges(threshold, func(from, to isp.Addr) {
+		if _, ok := v.Reports[from]; !ok {
+			return
+		}
+		if _, ok := v.Reports[to]; !ok {
+			return
+		}
+		b.AddEdge(from, to)
+	})
+	return b.Build()
+}
+
+// PeerDegrees summarizes one stable peer's partner list: total partners,
+// active indegree (supplying partners) and active outdegree (receiving
+// partners), the Sec. 4.2 definitions. A partner that both supplies and
+// receives counts in both degrees.
+type PeerDegrees struct {
+	Partners int
+	In       int
+	Out      int
+}
+
+// Degrees computes PeerDegrees for a report.
+func Degrees(rep *trace.Report, threshold uint32) PeerDegrees {
+	d := PeerDegrees{Partners: len(rep.Partners)}
+	for _, p := range rep.Partners {
+		if p.RecvSeg > threshold {
+			d.In++
+		}
+		if p.SentSeg > threshold {
+			d.Out++
+		}
+	}
+	return d
+}

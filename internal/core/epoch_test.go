@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+var _t0 = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+
+// report builds a minimal report for peer addr with the given partner
+// traffic triples (partnerAddr, sentSeg, recvSeg).
+func report(addr uint32, partners ...[3]uint32) trace.Report {
+	r := trace.Report{
+		Time:    _t0.Add(time.Minute),
+		Addr:    isp.Addr(addr),
+		Port:    9999,
+		Channel: "CCTV1",
+		UpKbps:  448,
+	}
+	for _, p := range partners {
+		r.Partners = append(r.Partners, trace.PartnerRecord{
+			Addr:    isp.Addr(p[0]),
+			Port:    1,
+			SentSeg: p[1],
+			RecvSeg: p[2],
+		})
+	}
+	return r
+}
+
+func storeWith(t *testing.T, reports ...trace.Report) *trace.Store {
+	t.Helper()
+	s := trace.NewStore(10 * time.Minute)
+	for _, r := range reports {
+		if err := s.Submit(r); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	return s
+}
+
+func TestDegreesClassification(t *testing.T) {
+	r := report(1,
+		[3]uint32{2, 50, 50}, // active both ways
+		[3]uint32{3, 50, 0},  // active receiving partner only (we send)
+		[3]uint32{4, 0, 50},  // active supplying partner only
+		[3]uint32{5, 10, 10}, // exactly at threshold: non-active (strict >)
+		[3]uint32{6, 0, 0},   // idle partner
+	)
+	d := Degrees(&r, DefaultActiveThreshold)
+	if d.Partners != 5 {
+		t.Errorf("Partners = %d, want 5", d.Partners)
+	}
+	if d.In != 2 {
+		t.Errorf("In = %d, want 2 (partners 2 and 4)", d.In)
+	}
+	if d.Out != 2 {
+		t.Errorf("Out = %d, want 2 (partners 2 and 3)", d.Out)
+	}
+}
+
+func TestEpochViewPopulations(t *testing.T) {
+	s := storeWith(t,
+		report(1, [3]uint32{2, 50, 50}, [3]uint32{100, 0, 0}),
+		report(2, [3]uint32{1, 50, 50}, [3]uint32{101, 0, 30}),
+	)
+	v := NewEpochView(s, s.Epochs()[0])
+	if v.StableCount() != 2 {
+		t.Errorf("StableCount = %d, want 2", v.StableCount())
+	}
+	all := v.AllPeers()
+	if len(all) != 4 {
+		t.Errorf("AllPeers = %d, want 4 (reporters 1,2 + transients 100,101)", len(all))
+	}
+}
+
+func TestActiveGraphEdges(t *testing.T) {
+	s := storeWith(t,
+		// Peer 1 received 50 from 2 (edge 2→1) and sent 40 to 3 (1→3).
+		report(1, [3]uint32{2, 0, 50}, [3]uint32{3, 40, 0}),
+		// Peer 2 sent 50 to 1 — the same edge 2→1, deduplicated.
+		report(2, [3]uint32{1, 50, 0}),
+	)
+	g := NewEpochView(s, s.Epochs()[0]).ActiveGraph(DefaultActiveThreshold)
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (2→1 dedup + 1→3)", g.M())
+	}
+	i1, _ := g.Index(isp.Addr(1))
+	i2, _ := g.Index(isp.Addr(2))
+	i3, _ := g.Index(isp.Addr(3))
+	if !g.HasEdge(i2, i1) || !g.HasEdge(i1, i3) {
+		t.Error("expected edges missing")
+	}
+	if g.HasEdge(i1, i2) {
+		t.Error("phantom reverse edge")
+	}
+}
+
+func TestStableGraphExcludesTransients(t *testing.T) {
+	s := storeWith(t,
+		report(1, [3]uint32{2, 50, 50}, [3]uint32{100, 50, 50}),
+		report(2, [3]uint32{1, 50, 50}),
+	)
+	g := NewEpochView(s, s.Epochs()[0]).StableGraph(DefaultActiveThreshold)
+	if g.N() != 2 {
+		t.Errorf("stable graph N = %d, want 2 (transient 100 excluded)", g.N())
+	}
+	if g.M() != 2 {
+		t.Errorf("stable graph M = %d, want the bilateral 1↔2 pair only", g.M())
+	}
+}
+
+func TestStableGraphKeepsIsolatedReporters(t *testing.T) {
+	s := storeWith(t,
+		report(1, [3]uint32{100, 50, 50}), // only transient partners
+		report(2, [3]uint32{101, 50, 50}),
+	)
+	g := NewEpochView(s, s.Epochs()[0]).StableGraph(DefaultActiveThreshold)
+	if g.N() != 2 || g.M() != 0 {
+		t.Errorf("N=%d M=%d, want 2 isolated reporters", g.N(), g.M())
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func TestAnalyzeExtensions(t *testing.T) {
+	store, _ := scaledTrace(t)
+	ext, err := AnalyzeExtensions(store, ExtensionsConfig{Seed: 1, BaselinePeers: 2000})
+	if err != nil {
+		t.Fatalf("AnalyzeExtensions: %v", err)
+	}
+	if ext.Dynamics == nil || ext.Structure == nil || len(ext.Bias) != 3 {
+		t.Fatal("extension sections missing")
+	}
+	// The headline baseline contrast: legacy fits a power law well,
+	// modern ultrapeers do not.
+	if ext.LegacyFit.KS > 0.1 {
+		t.Errorf("legacy baseline KS = %.3f, want small (power law fits)", ext.LegacyFit.KS)
+	}
+	if ext.ModernUltraFit.KS < 0.15 {
+		t.Errorf("modern baseline KS = %.3f, want large (spiked)", ext.ModernUltraFit.KS)
+	}
+}
+
+func TestAnalyzeExtensionsEmptyStore(t *testing.T) {
+	if _, err := AnalyzeExtensions(trace.NewStore(0), ExtensionsConfig{}); err == nil {
+		t.Error("empty store accepted")
+	}
+}

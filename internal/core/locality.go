@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// LocalityResult measures where the stream's bytes actually flow: the
+// fraction of transferred segments carried by intra-ISP links. This is
+// the operator-facing quantity behind the paper's future-work direction
+// (ISP-aware protocol improvements): inter-ISP transit was the dominant
+// cost of running a P2P streaming service in 2006 China.
+type LocalityResult struct {
+	// IntraTrafficFrac is, per epoch, intra-ISP segments over all
+	// segments (each directed transfer counted once via the receiver's
+	// report).
+	IntraTrafficFrac *metrics.Series
+	// MeanIntra is the traffic-weighted mean over the trace.
+	MeanIntra float64
+}
+
+// AnalyzeTrafficLocality computes LocalityResult over a store.
+func AnalyzeTrafficLocality(store *trace.Store, db *isp.Database) (*LocalityResult, error) {
+	epochs := store.Epochs()
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("core: empty store")
+	}
+	res := &LocalityResult{IntraTrafficFrac: metrics.NewSeries()}
+	var totalIntra, totalAll float64
+	for _, e := range epochs {
+		v := NewEpochView(store, e)
+		var intra, all float64
+		for _, addr := range v.Reporters() {
+			self := db.Lookup(addr)
+			for _, p := range v.Reports[addr].Partners {
+				// Count received segments only: every transfer has one
+				// receiver, so summing receive counts over reporters
+				// counts each witnessed transfer once.
+				seg := float64(p.RecvSeg)
+				if seg == 0 {
+					continue
+				}
+				all += seg
+				if self != isp.Unknown && db.Lookup(p.Addr) == self {
+					intra += seg
+				}
+			}
+		}
+		if all > 0 {
+			res.IntraTrafficFrac.Add(v.Start, intra/all)
+			totalIntra += intra
+			totalAll += all
+		}
+	}
+	if totalAll > 0 {
+		res.MeanIntra = totalIntra / totalAll
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/protocol"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+func TestAnalyzeTrafficLocalityBaseline(t *testing.T) {
+	store, db := scaledTrace(t)
+	res, err := AnalyzeTrafficLocality(store, db)
+	if err != nil {
+		t.Fatalf("AnalyzeTrafficLocality: %v", err)
+	}
+	if res.IntraTrafficFrac.Len() == 0 {
+		t.Fatal("no locality points")
+	}
+	// Quality-biased selection already localizes a good share of
+	// traffic (≈ the Fig. 6 fractions), but far from all of it.
+	if res.MeanIntra < 0.25 || res.MeanIntra > 0.8 {
+		t.Errorf("baseline intra-ISP traffic fraction %.3f outside (0.25, 0.8)", res.MeanIntra)
+	}
+}
+
+func TestAnalyzeTrafficLocalityEmpty(t *testing.T) {
+	if _, err := AnalyzeTrafficLocality(trace.NewStore(0), nil); err == nil {
+		t.Error("empty store accepted")
+	}
+}
+
+// TestLocalityBiasSavesInterISPTraffic runs the paper's future-work
+// experiment: an ISP-aware tracker that fills most of each bootstrap
+// sample from the requester's own ISP must raise the intra-ISP traffic
+// share without hurting streaming quality.
+func TestLocalityBiasSavesInterISPTraffic(t *testing.T) {
+	runWith := func(bias float64) (float64, float64) {
+		store := trace.NewStore(0)
+		cfg := protocol.DefaultConfig()
+		cfg.LocalityBias = bias
+		s, err := sim.New(sim.Config{
+			Seed:            21,
+			Duration:        5 * time.Hour,
+			MeanConcurrency: 250,
+			ExtraChannels:   4,
+			Protocol:        cfg,
+			Sink:            store,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		loc, err := AnalyzeTrafficLocality(store, s.Database())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(store, s.Database(), Config{Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loc.MeanIntra, res.Quality.ByChannel["CCTV1"].Mean()
+	}
+
+	baseIntra, baseQuality := runWith(0)
+	biasIntra, biasQuality := runWith(0.8)
+
+	if biasIntra <= baseIntra+0.05 {
+		t.Errorf("locality bias did not localize traffic: %.3f → %.3f", baseIntra, biasIntra)
+	}
+	if biasQuality < baseQuality-0.10 {
+		t.Errorf("locality bias hurt quality: %.3f → %.3f", baseQuality, biasQuality)
+	}
+	t.Logf("intra-ISP traffic %.3f → %.3f; CCTV1 quality %.3f → %.3f",
+		baseIntra, biasIntra, baseQuality, biasQuality)
+}

@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/graph"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// SnapshotSpec names an instant whose degree distributions Fig. 4 plots.
+type SnapshotSpec struct {
+	Label string
+	Time  time.Time
+}
+
+// DefaultSnapshots returns the four Fig. 4 snapshots adapted to the
+// trace window: 9 am / 9 pm on an ordinary day (Tuesday Oct 3) and on
+// the flash-crowd day (Friday Oct 6). The paper uses Sep 24 as its
+// ordinary day, which falls before the published two-week window.
+func DefaultSnapshots() []SnapshotSpec {
+	mk := func(day, hour int) time.Time {
+		return time.Date(2006, 10, day, hour, 0, 0, 0, workload.Beijing)
+	}
+	return []SnapshotSpec{
+		{Label: "9am 10/03", Time: mk(3, 9)},
+		{Label: "9pm 10/03", Time: mk(3, 21)},
+		{Label: "9am 10/06", Time: mk(6, 9)},
+		{Label: "9pm 10/06", Time: mk(6, 21)},
+	}
+}
+
+// Config tunes the analysis pipeline.
+type Config struct {
+	// ActiveThreshold is the active-partner segment cutoff (default 10).
+	ActiveThreshold uint32
+	// Seed drives the random baselines and BFS sampling.
+	Seed int64
+	// PathSamples caps BFS sources for path-length estimation (default
+	// 64; ≤ 0 is replaced by the default — exactness comes automatically
+	// for graphs smaller than the cap).
+	PathSamples int
+	// HeavyEveryN computes the small-world metrics on every Nth epoch
+	// (they are quadratic-ish); 0 picks a cadence that yields ≈ 240
+	// computed points.
+	HeavyEveryN int
+	// Snapshots are the Fig. 4 instants; nil means DefaultSnapshots
+	// (instants outside the trace are skipped).
+	Snapshots []SnapshotSpec
+	// ISPFocus is the ISP of the Fig. 7B subgraph (default China Netcom).
+	ISPFocus isp.ISP
+	// QualityChannels are the Fig. 3 channels (default CCTV1 and CCTV4).
+	QualityChannels []string
+	// QualityBar is the served-rate fraction (default 0.9) over
+	// StreamRateKbps (default 400).
+	QualityBar     float64
+	StreamRateKbps float64
+	// Workers bounds pipeline parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) sanitize(epochCount int) Config {
+	if c.ActiveThreshold == 0 {
+		c.ActiveThreshold = DefaultActiveThreshold
+	}
+	if c.PathSamples <= 0 {
+		c.PathSamples = 64
+	}
+	if c.HeavyEveryN <= 0 {
+		c.HeavyEveryN = epochCount / 240
+		if c.HeavyEveryN < 1 {
+			c.HeavyEveryN = 1
+		}
+	}
+	if c.Snapshots == nil {
+		c.Snapshots = DefaultSnapshots()
+	}
+	if c.ISPFocus == isp.Unknown {
+		c.ISPFocus = isp.ChinaNetcom
+	}
+	if len(c.QualityChannels) == 0 {
+		c.QualityChannels = []string{"CCTV1", "CCTV4"}
+	}
+	if c.QualityBar <= 0 {
+		c.QualityBar = 0.9
+	}
+	if c.StreamRateKbps <= 0 {
+		c.StreamRateKbps = 400
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// fallbackSnapshots picks four spread-out epochs (≈ 20/40/60/95 % through
+// the trace) and labels them by their local time, so short traces still
+// produce Fig. 4 panels.
+func fallbackSnapshots(store *trace.Store, epochs []int64) []SnapshotSpec {
+	if len(epochs) == 0 {
+		return nil
+	}
+	fracs := []float64{0.2, 0.4, 0.6, 0.95}
+	seen := make(map[int64]struct{}, len(fracs))
+	var out []SnapshotSpec
+	for _, f := range fracs {
+		i := int(f * float64(len(epochs)-1))
+		e := epochs[i]
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		start := store.EpochStart(e)
+		out = append(out, SnapshotSpec{
+			Label: start.In(workload.Beijing).Format("15:04 01/02"),
+			Time:  start,
+		})
+	}
+	return out
+}
+
+// epochOut is one epoch's computed metrics.
+type epochOut struct {
+	epoch int64
+	start time.Time
+
+	total  int
+	stable int
+
+	ispCounts map[isp.ISP]int
+	unknown   int
+
+	quality map[string][2]int // channel → (served, reporters)
+
+	degPartners, degIn, degOut float64
+
+	intraIn, intraOut float64 // NaN when undefined
+
+	heavy              bool
+	c, l, cRand, lRand float64
+	cISP, lISP         float64
+	cRandISP, lRandISP float64
+	ispGraphOK         bool
+
+	rawR, rhoAll, rhoIntra, rhoInter float64
+
+	snapshot *DegreeSnapshot
+}
+
+// Analyze runs the full pipeline over a trace store. The returned Results
+// are deterministic for a given (store, db, cfg).
+func Analyze(store *trace.Store, db *isp.Database, cfg Config) (*Results, error) {
+	epochs := store.Epochs()
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("core: trace store is empty")
+	}
+	cfg = cfg.sanitize(len(epochs))
+
+	// Map snapshot instants to epochs present in the trace. If none of
+	// the configured instants fall inside the trace (short runs), fall
+	// back to 9 am / 9 pm of the first and last trace days so Fig. 4 is
+	// never empty.
+	present := make(map[int64]struct{}, len(epochs))
+	for _, e := range epochs {
+		present[e] = struct{}{}
+	}
+	specs := cfg.Snapshots
+	matched := false
+	for _, spec := range specs {
+		if _, ok := present[store.EpochOf(spec.Time)]; ok {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		specs = fallbackSnapshots(store, epochs)
+	}
+	snapLabels := make(map[int64]string, len(specs))
+	for _, spec := range specs {
+		snapLabels[store.EpochOf(spec.Time)] = spec.Label
+	}
+
+	days := make(map[int64]*daySets)
+	var dayMu sync.Mutex
+
+	outs := make([]*epochOut, len(epochs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := epochs[i]
+				heavy := i%cfg.HeavyEveryN == 0
+				out := analyzeEpoch(store, db, cfg, e, heavy, snapLabels[e])
+				outs[i] = out
+
+				// Fold this epoch's addresses into its day's distinct
+				// sets (Fig. 1B).
+				v := NewEpochView(store, e)
+				local := v.Start.In(workload.Beijing)
+				day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, workload.Beijing)
+				key := day.Unix()
+				all := v.AllPeers()
+				dayMu.Lock()
+				ds, ok := days[key]
+				if !ok {
+					ds = &daySets{
+						total:  make(map[isp.Addr]struct{}),
+						stable: make(map[isp.Addr]struct{}),
+					}
+					days[key] = ds
+				}
+				for a := range all {
+					ds.total[a] = struct{}{}
+				}
+				for a := range v.Reports {
+					ds.stable[a] = struct{}{}
+				}
+				dayMu.Unlock()
+			}
+		}()
+	}
+	for i := range epochs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return assemble(store.Interval(), cfg, specs, outs, days)
+}
+
+// analyzeEpoch computes everything the figures need from one snapshot.
+func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64, heavy bool, snapLabel string) *epochOut {
+	v := NewEpochView(store, epoch)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ epoch*2654435761))
+	out := &epochOut{
+		epoch:     epoch,
+		start:     v.Start,
+		stable:    v.StableCount(),
+		ispCounts: make(map[isp.ISP]int, isp.NumISPs),
+		quality:   make(map[string][2]int, len(cfg.QualityChannels)),
+	}
+
+	// Population and ISP mix over all visible peers.
+	all := v.AllPeers()
+	out.total = len(all)
+	for a := range all {
+		p := db.Lookup(a)
+		if p == isp.Unknown {
+			out.unknown++
+			continue
+		}
+		out.ispCounts[p]++
+	}
+
+	// Streaming quality per channel (Fig. 3).
+	wanted := make(map[string]bool, len(cfg.QualityChannels))
+	for _, ch := range cfg.QualityChannels {
+		wanted[ch] = true
+	}
+	reporters := v.Reporters()
+	for _, addr := range reporters {
+		rep := v.Reports[addr]
+		if !wanted[rep.Channel] {
+			continue
+		}
+		sv := out.quality[rep.Channel]
+		sv[1]++
+		if rep.RecvKbps >= cfg.QualityBar*cfg.StreamRateKbps {
+			sv[0]++
+		}
+		out.quality[rep.Channel] = sv
+	}
+
+	// Degree means and intra-ISP fractions over stable peers.
+	var sumP, sumIn, sumOut float64
+	var fracIn, fracOut float64
+	nIn, nOut := 0, 0
+	for _, addr := range reporters {
+		rep := v.Reports[addr]
+		d := Degrees(&rep, cfg.ActiveThreshold)
+		sumP += float64(d.Partners)
+		sumIn += float64(d.In)
+		sumOut += float64(d.Out)
+
+		self := db.Lookup(addr)
+		if self == isp.Unknown {
+			continue
+		}
+		intraIn, intraOut := 0, 0
+		for _, p := range rep.Partners {
+			same := db.Lookup(p.Addr) == self
+			if p.RecvSeg > cfg.ActiveThreshold && same {
+				intraIn++
+			}
+			if p.SentSeg > cfg.ActiveThreshold && same {
+				intraOut++
+			}
+		}
+		if d.In > 0 {
+			fracIn += float64(intraIn) / float64(d.In)
+			nIn++
+		}
+		if d.Out > 0 {
+			fracOut += float64(intraOut) / float64(d.Out)
+			nOut++
+		}
+	}
+	n := float64(out.stable)
+	if n > 0 {
+		out.degPartners, out.degIn, out.degOut = sumP/n, sumIn/n, sumOut/n
+	}
+	out.intraIn, out.intraOut = math.NaN(), math.NaN()
+	if nIn > 0 {
+		out.intraIn = fracIn / float64(nIn)
+	}
+	if nOut > 0 {
+		out.intraOut = fracOut / float64(nOut)
+	}
+
+	// Reciprocity over all active links (Fig. 8).
+	ag := v.ActiveGraph(cfg.ActiveThreshold)
+	out.rawR = ag.Reciprocity()
+	out.rhoAll = ag.GarlaschelliLoffredo()
+	sameISP := func(a, b isp.Addr) bool {
+		pa, pb := db.Lookup(a), db.Lookup(b)
+		return pa != isp.Unknown && pa == pb
+	}
+	intra := ag.EdgeSubgraph(sameISP)
+	inter := ag.EdgeSubgraph(func(a, b isp.Addr) bool { return !sameISP(a, b) })
+	out.rhoIntra, out.rhoInter = math.NaN(), math.NaN()
+	if intra.M() > 0 {
+		out.rhoIntra = intra.GarlaschelliLoffredo()
+	}
+	if inter.M() > 0 {
+		out.rhoInter = inter.GarlaschelliLoffredo()
+	}
+
+	// Small-world metrics on the stable-peer graph (Fig. 7), on the
+	// heavy cadence only.
+	if heavy {
+		out.heavy = true
+		sg := v.StableGraph(cfg.ActiveThreshold)
+		out.c = sg.ClusteringCoefficient()
+		out.l = sg.AveragePathLength(rng, cfg.PathSamples)
+		out.cRand, out.lRand = graph.RandomBaseline(sg, rng, cfg.PathSamples)
+
+		sub := sg.InducedSubgraph(func(a isp.Addr) bool { return db.Lookup(a) == cfg.ISPFocus })
+		if sub.N() >= 10 && sub.M() > 0 {
+			out.ispGraphOK = true
+			out.cISP = sub.ClusteringCoefficient()
+			out.lISP = sub.AveragePathLength(rng, cfg.PathSamples)
+			out.cRandISP, out.lRandISP = graph.RandomBaseline(sub, rng, cfg.PathSamples)
+		}
+	}
+
+	// Fig. 4 degree snapshot.
+	if snapLabel != "" && out.stable > 0 {
+		snap := &DegreeSnapshot{
+			Label:    snapLabel,
+			Time:     v.Start,
+			Partners: metrics.NewHistogram(nil),
+			In:       metrics.NewHistogram(nil),
+			Out:      metrics.NewHistogram(nil),
+		}
+		for _, addr := range reporters {
+			rep := v.Reports[addr]
+			d := Degrees(&rep, cfg.ActiveThreshold)
+			snap.Partners.Add(d.Partners)
+			snap.In.Add(d.In)
+			snap.Out.Add(d.Out)
+		}
+		snap.PartnersFit = graph.FitPowerLaw(snap.Partners.Values(), 1)
+		snap.InFit = graph.FitPowerLaw(snap.In.Values(), 1)
+		snap.OutFit = graph.FitPowerLaw(snap.Out.Values(), 1)
+		out.snapshot = snap
+	}
+
+	return out
+}
+
+// daySets accumulates one trace day's distinct addresses.
+type daySets struct {
+	total  map[isp.Addr]struct{}
+	stable map[isp.Addr]struct{}
+}
+
+// assemble folds per-epoch outputs into the figure-level results.
+func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*epochOut, days map[int64]*daySets) (*Results, error) {
+	res := &Results{
+		Interval:   interval,
+		EpochCount: len(outs),
+	}
+
+	// Fig. 1A: simultaneous peers.
+	pc := PeerCountsResult{Total: metrics.NewSeries(), Stable: metrics.NewSeries()}
+	for _, o := range outs {
+		pc.Total.Add(o.start, float64(o.total))
+		pc.Stable.Add(o.start, float64(o.stable))
+	}
+	pc.MeanTotal = pc.Total.Mean()
+	pc.MeanStable = pc.Stable.Mean()
+	if pc.MeanTotal > 0 {
+		pc.StableShare = pc.MeanStable / pc.MeanTotal
+	}
+
+	// Fig. 1B: daily distinct addresses.
+	dayKeys := make([]int64, 0, len(days))
+	for k := range days {
+		dayKeys = append(dayKeys, k)
+	}
+	sort.Slice(dayKeys, func(i, j int) bool { return dayKeys[i] < dayKeys[j] })
+	for _, k := range dayKeys {
+		pc.Days = append(pc.Days, DayCount{
+			Day:    time.Unix(k, 0).In(workload.Beijing),
+			Total:  len(days[k].total),
+			Stable: len(days[k].stable),
+		})
+	}
+	res.PeerCounts = pc
+
+	// Fig. 2: ISP shares, averaged over epochs.
+	ispTotals := make(map[isp.ISP]float64, isp.NumISPs)
+	var known, unknown float64
+	for _, o := range outs {
+		for p, c := range o.ispCounts {
+			ispTotals[p] += float64(c)
+			known += float64(c)
+		}
+		unknown += float64(o.unknown)
+	}
+	shares := make(map[isp.ISP]float64, len(ispTotals))
+	if known > 0 {
+		for p, c := range ispTotals {
+			shares[p] = c / known
+		}
+	}
+	var unknownFrac float64
+	if known+unknown > 0 {
+		unknownFrac = unknown / (known + unknown)
+	}
+	res.ISPShares = ISPSharesResult{Shares: shares, UnknownFrac: unknownFrac}
+
+	// Fig. 3: streaming quality.
+	q := QualityResult{
+		Bar:       cfg.QualityBar,
+		RateKbps:  cfg.StreamRateKbps,
+		ByChannel: make(map[string]*metrics.Series, len(cfg.QualityChannels)),
+		Viewers:   make(map[string]*metrics.Series, len(cfg.QualityChannels)),
+	}
+	for _, ch := range cfg.QualityChannels {
+		q.ByChannel[ch] = metrics.NewSeries()
+		q.Viewers[ch] = metrics.NewSeries()
+	}
+	for _, o := range outs {
+		for ch, sv := range o.quality {
+			if sv[1] == 0 {
+				continue
+			}
+			q.ByChannel[ch].Add(o.start, float64(sv[0])/float64(sv[1]))
+			q.Viewers[ch].Add(o.start, float64(sv[1]))
+		}
+	}
+	res.Quality = q
+
+	// Fig. 4: degree snapshots, in configuration order.
+	byLabel := make(map[string]*DegreeSnapshot)
+	for _, o := range outs {
+		if o.snapshot != nil {
+			byLabel[o.snapshot.Label] = o.snapshot
+		}
+	}
+	for _, spec := range specs {
+		if snap, ok := byLabel[spec.Label]; ok {
+			res.DegreeDist.Snapshots = append(res.DegreeDist.Snapshots, *snap)
+		}
+	}
+
+	// Fig. 5: degree evolution.
+	de := DegreeEvolutionResult{
+		Partners: metrics.NewSeries(),
+		In:       metrics.NewSeries(),
+		Out:      metrics.NewSeries(),
+	}
+	for _, o := range outs {
+		if o.stable == 0 {
+			continue
+		}
+		de.Partners.Add(o.start, o.degPartners)
+		de.In.Add(o.start, o.degIn)
+		de.Out.Add(o.start, o.degOut)
+	}
+	res.DegreeEvolution = de
+
+	// Fig. 6: intra-ISP degree fractions, with the random-mixing floor.
+	ii := IntraISPResult{InFrac: metrics.NewSeries(), OutFrac: metrics.NewSeries()}
+	for _, o := range outs {
+		if !math.IsNaN(o.intraIn) {
+			ii.InFrac.Add(o.start, o.intraIn)
+		}
+		if !math.IsNaN(o.intraOut) {
+			ii.OutFrac.Add(o.start, o.intraOut)
+		}
+	}
+	for _, s := range shares {
+		ii.RandomMixing += s * s
+	}
+	res.IntraISP = ii
+
+	// Fig. 7: small-world metrics.
+	sw := SmallWorldResult{
+		C: metrics.NewSeries(), L: metrics.NewSeries(),
+		CRand: metrics.NewSeries(), LRand: metrics.NewSeries(),
+		ISP:  cfg.ISPFocus,
+		CISP: metrics.NewSeries(), LISP: metrics.NewSeries(),
+		CRandISP: metrics.NewSeries(), LRandISP: metrics.NewSeries(),
+	}
+	for _, o := range outs {
+		if !o.heavy {
+			continue
+		}
+		sw.C.Add(o.start, o.c)
+		sw.L.Add(o.start, o.l)
+		sw.CRand.Add(o.start, o.cRand)
+		sw.LRand.Add(o.start, o.lRand)
+		if o.ispGraphOK {
+			sw.CISP.Add(o.start, o.cISP)
+			sw.LISP.Add(o.start, o.lISP)
+			sw.CRandISP.Add(o.start, o.cRandISP)
+			sw.LRandISP.Add(o.start, o.lRandISP)
+		}
+	}
+	res.SmallWorld = sw
+
+	// Fig. 8: reciprocity.
+	rc := ReciprocityResult{
+		Raw: metrics.NewSeries(), All: metrics.NewSeries(),
+		Intra: metrics.NewSeries(), Inter: metrics.NewSeries(),
+	}
+	for _, o := range outs {
+		rc.Raw.Add(o.start, o.rawR)
+		rc.All.Add(o.start, o.rhoAll)
+		if !math.IsNaN(o.rhoIntra) {
+			rc.Intra.Add(o.start, o.rhoIntra)
+		}
+		if !math.IsNaN(o.rhoInter) {
+			rc.Inter.Add(o.start, o.rhoInter)
+		}
+	}
+	res.Reciprocity = rc
+
+	return res, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// runScaledTrace simulates a small overlay and returns the trace and the
+// run's ISP database. Shared across the pipeline tests via sync caching.
+var _cached struct {
+	store *trace.Store
+	db    *isp.Database
+}
+
+func scaledTrace(t *testing.T) (*trace.Store, *isp.Database) {
+	t.Helper()
+	if _cached.store != nil {
+		return _cached.store, _cached.db
+	}
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            7,
+		Duration:        6 * time.Hour,
+		MeanConcurrency: 300,
+		ExtraChannels:   6,
+		Sink:            store,
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	_cached.store, _cached.db = store, s.Database()
+	return store, s.Database()
+}
+
+func analyzeScaled(t *testing.T) *Results {
+	t.Helper()
+	store, db := scaledTrace(t)
+	res, err := Analyze(store, db, Config{
+		Seed: 1,
+		Snapshots: []SnapshotSpec{
+			{Label: "early", Time: workload.TraceStart().Add(2 * time.Hour)},
+			{Label: "late", Time: workload.TraceStart().Add(5 * time.Hour)},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func TestAnalyzeEmptyStore(t *testing.T) {
+	if _, err := Analyze(trace.NewStore(0), nil, Config{}); err == nil {
+		t.Error("empty store accepted")
+	}
+}
+
+func TestPeerCountsShape(t *testing.T) {
+	res := analyzeScaled(t)
+	pc := res.PeerCounts
+	if pc.Total.Len() != res.EpochCount {
+		t.Errorf("total series has %d points over %d epochs", pc.Total.Len(), res.EpochCount)
+	}
+	if pc.MeanStable <= 0 || pc.MeanTotal <= pc.MeanStable {
+		t.Errorf("means implausible: stable %.0f, total %.0f", pc.MeanStable, pc.MeanTotal)
+	}
+	// Paper: stable ≈ 1/3 of total. Transient visibility differs at small
+	// scale; accept a generous band around it.
+	if pc.StableShare < 0.1 || pc.StableShare > 0.6 {
+		t.Errorf("stable share %.2f outside [0.1, 0.6]", pc.StableShare)
+	}
+	if len(pc.Days) == 0 {
+		t.Fatal("no daily distinct counts")
+	}
+	for _, d := range pc.Days {
+		if d.Stable > d.Total {
+			t.Errorf("day %v: stable %d > total %d", d.Day, d.Stable, d.Total)
+		}
+		if d.Total <= 0 {
+			t.Errorf("day %v: zero total", d.Day)
+		}
+	}
+}
+
+func TestISPSharesMatchPlacement(t *testing.T) {
+	res := analyzeScaled(t)
+	shares := res.ISPShares.Shares
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+	// Placement used the Fig. 2 mix; measured shares should be close.
+	for p, want := range isp.DefaultShares() {
+		got := shares[p]
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("%v share %.3f, want %.3f ± 0.08", p, got, want)
+		}
+	}
+	if res.ISPShares.UnknownFrac > 0.01 {
+		t.Errorf("unknown fraction %.3f, want ≈ 0 on synthetic traces", res.ISPShares.UnknownFrac)
+	}
+}
+
+func TestQualityMostlyServed(t *testing.T) {
+	res := analyzeScaled(t)
+	for _, ch := range []string{"CCTV1", "CCTV4"} {
+		s := res.Quality.ByChannel[ch]
+		if s == nil || s.Len() == 0 {
+			t.Fatalf("no quality series for %s", ch)
+		}
+		if m := s.Mean(); m < 0.4 || m > 1 {
+			t.Errorf("%s served fraction mean %.2f outside [0.4, 1]", ch, m)
+		}
+	}
+}
+
+func TestDegreeSnapshotsPresent(t *testing.T) {
+	res := analyzeScaled(t)
+	if len(res.DegreeDist.Snapshots) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(res.DegreeDist.Snapshots))
+	}
+	for _, snap := range res.DegreeDist.Snapshots {
+		if snap.Partners.N() == 0 || snap.In.N() == 0 {
+			t.Fatalf("snapshot %q empty", snap.Label)
+		}
+		if snap.Partners.Mode() < 1 {
+			t.Errorf("snapshot %q partner mode %d; lists look empty", snap.Label, snap.Partners.Mode())
+		}
+		// The paper's core degree claim: these are NOT power laws — the
+		// distributions are spiked, so the power-law fit must be bad.
+		if snap.InFit.KS < 0.1 && snap.InFit.TailN > 50 {
+			t.Errorf("snapshot %q indegree fits a power law suspiciously well (KS=%.3f)",
+				snap.Label, snap.InFit.KS)
+		}
+	}
+}
+
+func TestDegreeEvolutionPlausible(t *testing.T) {
+	res := analyzeScaled(t)
+	de := res.DegreeEvolution
+	if de.In.Len() == 0 {
+		t.Fatal("empty indegree evolution")
+	}
+	inMean := de.In.Mean()
+	if inMean < 2 || inMean > 30 {
+		t.Errorf("mean indegree %.1f outside [2, 30] (paper: ≈ 10)", inMean)
+	}
+	if de.Partners.Mean() < inMean {
+		t.Errorf("partners %.1f below indegree %.1f", de.Partners.Mean(), inMean)
+	}
+}
+
+func TestIntraISPClusteringEmerges(t *testing.T) {
+	res := analyzeScaled(t)
+	ii := res.IntraISP
+	if ii.InFrac.Len() == 0 || ii.OutFrac.Len() == 0 {
+		t.Fatal("empty intra-ISP series")
+	}
+	if ii.RandomMixing <= 0 || ii.RandomMixing >= 1 {
+		t.Fatalf("random mixing %.3f implausible", ii.RandomMixing)
+	}
+	// The paper's Fig. 6 finding: the intra-ISP fraction sits well above
+	// what ISP-blind mixing would produce.
+	if m := ii.InFrac.Mean(); m <= ii.RandomMixing {
+		t.Errorf("intra-ISP indegree fraction %.3f not above random mixing %.3f", m, ii.RandomMixing)
+	}
+	if m := ii.OutFrac.Mean(); m <= ii.RandomMixing {
+		t.Errorf("intra-ISP outdegree fraction %.3f not above random mixing %.3f", m, ii.RandomMixing)
+	}
+}
+
+func TestSmallWorldEmerges(t *testing.T) {
+	res := analyzeScaled(t)
+	sw := res.SmallWorld
+	if sw.C.Len() == 0 {
+		t.Fatal("no small-world points")
+	}
+	c, cr := sw.C.Mean(), sw.CRand.Mean()
+	// Fig. 7A: clustering far above the random baseline.
+	if c <= 2*cr {
+		t.Errorf("clustering %.4f not well above random %.4f", c, cr)
+	}
+	l, lr := sw.L.Mean(), sw.LRand.Mean()
+	if l <= 0 || lr <= 0 {
+		t.Fatalf("path lengths missing: L=%.2f Lr=%.2f", l, lr)
+	}
+	// Path length of the same order as random (small world), loosely.
+	if l > 4*lr {
+		t.Errorf("path length %.2f not comparable to random %.2f", l, lr)
+	}
+}
+
+func TestReciprocityPositive(t *testing.T) {
+	res := analyzeScaled(t)
+	rc := res.Reciprocity
+	if rc.All.Len() == 0 {
+		t.Fatal("no reciprocity points")
+	}
+	// Fig. 8A: consistently positive ρ.
+	if m := rc.All.Mean(); m <= 0 {
+		t.Errorf("mean ρ = %.3f, want > 0 (mesh exchange is reciprocal)", m)
+	}
+	if rc.Raw.Mean() <= 0 {
+		t.Error("raw bilateral fraction is zero")
+	}
+	// Fig. 8B: intra-ISP more reciprocal than inter-ISP.
+	if rc.Intra.Len() > 0 && rc.Inter.Len() > 0 {
+		if rc.Intra.Mean() <= rc.Inter.Mean() {
+			t.Errorf("intra ρ %.3f not above inter ρ %.3f", rc.Intra.Mean(), rc.Inter.Mean())
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	store, db := scaledTrace(t)
+	run := func() *Results {
+		res, err := Analyze(store, db, Config{Seed: 3})
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.PeerCounts.MeanTotal != b.PeerCounts.MeanTotal {
+		t.Error("peer counts diverged across identical runs")
+	}
+	if a.SmallWorld.C.Mean() != b.SmallWorld.C.Mean() {
+		t.Error("clustering diverged across identical runs (parallelism leak)")
+	}
+	if a.Reciprocity.All.Mean() != b.Reciprocity.All.Mean() {
+		t.Error("reciprocity diverged across identical runs")
+	}
+}

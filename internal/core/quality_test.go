@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestViewerRatioMatchesFootnote(t *testing.T) {
+	res := analyzeScaled(t)
+	ratio := res.Quality.ViewerRatio("CCTV1", "CCTV4")
+	// Footnote 2: CCTV1 ≈ 5× CCTV4 concurrent viewers. Sampling noise at
+	// small scale is real, so accept a band.
+	if ratio < 3 || ratio > 8 {
+		t.Errorf("CCTV1/CCTV4 stable audience ratio = %.1f, want ≈ 5 (within [3, 8])", ratio)
+	}
+}
+
+func TestViewerRatioDegenerate(t *testing.T) {
+	var q QualityResult
+	if r := q.ViewerRatio("CCTV1", "CCTV4"); r != 0 {
+		t.Errorf("ratio on empty result = %v, want 0", r)
+	}
+}
+
+func TestViewersSeriesPopulated(t *testing.T) {
+	res := analyzeScaled(t)
+	for _, ch := range []string{"CCTV1", "CCTV4"} {
+		v := res.Quality.Viewers[ch]
+		if v == nil || v.Len() == 0 {
+			t.Fatalf("no viewer series for %s", ch)
+		}
+		if v.Mean() <= 0 {
+			t.Errorf("%s mean viewers = %v, want positive", ch, v.Mean())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/graph"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+// Results aggregates every figure's data for one trace.
+type Results struct {
+	// Interval is the epoch width of the analyzed store; EpochCount the
+	// number of non-empty epochs.
+	Interval   time.Duration
+	EpochCount int
+
+	PeerCounts      PeerCountsResult
+	ISPShares       ISPSharesResult
+	Quality         QualityResult
+	DegreeDist      DegreeDistResult
+	DegreeEvolution DegreeEvolutionResult
+	IntraISP        IntraISPResult
+	SmallWorld      SmallWorldResult
+	Reciprocity     ReciprocityResult
+}
+
+// PeerCountsResult backs Fig. 1: simultaneous peers over time (total vs
+// stable) and daily distinct addresses.
+type PeerCountsResult struct {
+	Total  *metrics.Series // simultaneous peers visible per epoch
+	Stable *metrics.Series // simultaneous reporters per epoch
+	// Daily distinct addresses, one entry per trace day in order.
+	Days        []DayCount
+	MeanStable  float64
+	MeanTotal   float64
+	StableShare float64 // MeanStable / MeanTotal; the paper finds ≈ 1/3
+}
+
+// DayCount is one day of distinct-address statistics (Fig. 1B).
+type DayCount struct {
+	Day    time.Time // midnight, trace timezone
+	Total  int
+	Stable int
+}
+
+// ISPSharesResult backs Fig. 2: the average share of simultaneous peers
+// per ISP.
+type ISPSharesResult struct {
+	// Shares holds each ISP's mean fraction of the population; values sum
+	// to 1 over known ISPs.
+	Shares map[isp.ISP]float64
+	// Unknown counts addresses the mapping database could not resolve
+	// (diagnostic; ≈ 0 on synthetic traces).
+	UnknownFrac float64
+}
+
+// QualityResult backs Fig. 3: per channel, the fraction of peers whose
+// receive throughput is at least Bar × the stream rate. Viewers carries
+// the per-channel stable audience itself, which checks the paper's
+// footnote that CCTV1 draws about five times CCTV4's concurrency.
+type QualityResult struct {
+	Bar       float64 // 0.9 in the paper
+	RateKbps  float64
+	ByChannel map[string]*metrics.Series
+	Viewers   map[string]*metrics.Series
+}
+
+// ViewerRatio returns the mean stable-audience ratio between two
+// channels (0 when either is missing or empty).
+func (q QualityResult) ViewerRatio(a, b string) float64 {
+	sa, sb := q.Viewers[a], q.Viewers[b]
+	if sa == nil || sb == nil || sb.Mean() == 0 {
+		return 0
+	}
+	return sa.Mean() / sb.Mean()
+}
+
+// DegreeSnapshot is one curve set of Fig. 4: the partner-count, active
+// indegree, and active outdegree distributions of stable peers at one
+// instant.
+type DegreeSnapshot struct {
+	Label string
+	Time  time.Time
+
+	Partners *metrics.Histogram
+	In       *metrics.Histogram
+	Out      *metrics.Histogram
+
+	// Power-law fits over the same samples back the paper's claim that
+	// these distributions are *not* power laws (large KS distances).
+	PartnersFit graph.PowerLawFit
+	InFit       graph.PowerLawFit
+	OutFit      graph.PowerLawFit
+}
+
+// DegreeDistResult backs Fig. 4.
+type DegreeDistResult struct {
+	Snapshots []DegreeSnapshot
+}
+
+// DegreeEvolutionResult backs Fig. 5: the evolution of stable peers' mean
+// total partners, indegree, and outdegree.
+type DegreeEvolutionResult struct {
+	Partners *metrics.Series
+	In       *metrics.Series
+	Out      *metrics.Series
+}
+
+// IntraISPResult backs Fig. 6: the average fraction of active degree that
+// stays inside the peer's own ISP.
+type IntraISPResult struct {
+	InFrac  *metrics.Series
+	OutFrac *metrics.Series
+	// RandomMixing is Σ share², the intra-ISP fraction a selection
+	// process blind to ISP would produce; the measured curves sitting
+	// well above it is the paper's "natural clustering" finding.
+	RandomMixing float64
+}
+
+// SmallWorldResult backs Fig. 7: clustering coefficient and average path
+// length of the stable-peer graph (A) and of one ISP's induced subgraph
+// (B), against size-matched random graphs.
+type SmallWorldResult struct {
+	C     *metrics.Series
+	L     *metrics.Series
+	CRand *metrics.Series
+	LRand *metrics.Series
+
+	ISP      isp.ISP
+	CISP     *metrics.Series
+	LISP     *metrics.Series
+	CRandISP *metrics.Series
+	LRandISP *metrics.Series
+}
+
+// ReciprocityResult backs Fig. 8: Garlaschelli–Loffredo edge reciprocity
+// of the whole active topology and of the intra-/inter-ISP edge
+// sub-topologies.
+type ReciprocityResult struct {
+	Raw   *metrics.Series // plain bilateral fraction r (Eq. 1)
+	All   *metrics.Series // ρ, whole topology
+	Intra *metrics.Series // ρ, same-ISP links and incident peers
+	Inter *metrics.Series // ρ, cross-ISP links and incident peers
+}

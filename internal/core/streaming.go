@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// ReportSource yields reports one at a time; *trace.Reader and
+// *trace.JSONLReader both satisfy it.
+type ReportSource interface {
+	Next() (trace.Report, error)
+}
+
+var (
+	_ ReportSource = (*trace.Reader)(nil)
+	_ ReportSource = (*trace.JSONLReader)(nil)
+)
+
+// AnalyzeStream runs the full pipeline over a report stream in a single
+// pass, holding at most two epochs of reports in memory — the mode a
+// 120 GB production trace (the paper's) demands. Reports must be
+// roughly time-ordered: anything arriving more than one epoch behind
+// the newest epoch seen is dropped and counted in the returned drop
+// count.
+//
+// Differences from Analyze: epochs are processed sequentially as they
+// complete (no worker pool), HeavyEveryN defaults to 6 because the total
+// epoch count is unknown up front, and the Fig. 4 fallback snapshots are
+// unavailable for the same reason.
+func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time.Duration) (*Results, int, error) {
+	if interval <= 0 {
+		interval = trace.DefaultReportInterval
+	}
+	if cfg.HeavyEveryN <= 0 {
+		cfg.HeavyEveryN = 6
+	}
+	cfg = cfg.sanitize(0)
+
+	snapLabels := make(map[int64]string, len(cfg.Snapshots))
+	for _, spec := range cfg.Snapshots {
+		snapLabels[spec.Time.UnixNano()/int64(interval)] = spec.Label
+	}
+
+	var (
+		pending   = make(map[int64][]trace.Report, 2)
+		watermark = int64(-1 << 62)
+		outs      []*epochOut
+		days      = make(map[int64]*daySets)
+		dropped   int
+		index     int
+	)
+
+	flush := func(epoch int64) error {
+		reports := pending[epoch]
+		delete(pending, epoch)
+		if len(reports) == 0 {
+			return nil
+		}
+		// A single-epoch store reuses the batch pipeline's per-epoch
+		// machinery verbatim, so streaming and batch results agree.
+		one := trace.NewStore(interval)
+		for _, r := range reports {
+			if err := one.Submit(r); err != nil {
+				return err
+			}
+		}
+		heavy := index%cfg.HeavyEveryN == 0
+		out := analyzeEpoch(one, db, cfg, epoch, heavy, snapLabels[epoch])
+		outs = append(outs, out)
+		index++
+
+		v := NewEpochView(one, epoch)
+		local := v.Start.In(workload.Beijing)
+		day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, workload.Beijing)
+		ds, ok := days[day.Unix()]
+		if !ok {
+			ds = &daySets{
+				total:  make(map[isp.Addr]struct{}),
+				stable: make(map[isp.Addr]struct{}),
+			}
+			days[day.Unix()] = ds
+		}
+		for a := range v.AllPeers() {
+			ds.total[a] = struct{}{}
+		}
+		for a := range v.Reports {
+			ds.stable[a] = struct{}{}
+		}
+		return nil
+	}
+
+	for {
+		rep, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, dropped, fmt.Errorf("core: stream: %w", err)
+		}
+		epoch := rep.Time.UnixNano() / int64(interval)
+		if epoch <= watermark-2 {
+			dropped++ // straggler behind the tolerance window
+			continue
+		}
+		pending[epoch] = append(pending[epoch], rep)
+		// When a newer epoch appears, everything two or more epochs
+		// behind it is complete; flush those in ascending order.
+		if epoch > watermark {
+			watermark = epoch
+			var ready []int64
+			for e := range pending {
+				if e <= watermark-2 {
+					ready = append(ready, e)
+				}
+			}
+			sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+			for _, e := range ready {
+				if err := flush(e); err != nil {
+					return nil, dropped, err
+				}
+			}
+		}
+	}
+	// Drain remaining epochs in ascending order.
+	var rest []int64
+	for e := range pending {
+		rest = append(rest, e)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, e := range rest {
+		if err := flush(e); err != nil {
+			return nil, dropped, err
+		}
+	}
+	if len(outs) == 0 {
+		return nil, dropped, fmt.Errorf("core: stream held no reports")
+	}
+	res, err := assemble(interval, cfg, cfg.Snapshots, outs, days)
+	return res, dropped, err
+}

@@ -1,0 +1,209 @@
+// Package des implements a minimal discrete-event scheduler over virtual
+// time. The simulator uses it for everything that happens at an exact
+// instant — peer joins, departures, report emissions — while bandwidth is
+// integrated over fixed ticks by the stream layer.
+//
+// The scheduler is deliberately single-threaded: determinism matters more
+// than parallelism here, because a reproduction must regenerate identical
+// traces from identical seeds. Events at the same instant fire in
+// scheduling order.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Handler is an event callback. It receives the virtual time the event
+// fires at.
+type Handler func(now time.Time)
+
+// Event is a scheduled callback. It can be canceled until it fires.
+type Event struct {
+	at       time.Time
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() time.Time { return e.at }
+
+// Scheduler orders events over virtual time.
+type Scheduler struct {
+	now  time.Time
+	pq   eventQueue
+	seq  uint64
+	runs uint64
+}
+
+// NewScheduler starts virtual time at the given instant.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len returns the number of pending (non-canceled) events. Canceled
+// events still in the heap are not counted.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, e := range s.pq {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns how many events have executed so far.
+func (s *Scheduler) Fired() uint64 { return s.runs }
+
+// At schedules fn at instant t. Scheduling in the past clamps to now, so
+// the event fires on the next Step.
+func (s *Scheduler) At(t time.Time, fn Handler) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn Handler) *Event {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling a fired or
+// already-canceled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.pq, e.index)
+}
+
+// Peek returns the instant of the next pending event.
+func (s *Scheduler) Peek() (time.Time, bool) {
+	for len(s.pq) > 0 {
+		if s.pq[0].canceled {
+			heap.Pop(&s.pq)
+			continue
+		}
+		return s.pq[0].at, true
+	}
+	return time.Time{}, false
+}
+
+// Step fires the next event, advancing virtual time to it. It reports
+// whether an event was fired.
+func (s *Scheduler) Step() bool {
+	for len(s.pq) > 0 {
+		e, _ := heap.Pop(&s.pq).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.runs++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event scheduled at or before t (including events
+// those events schedule, if they also fall at or before t), then advances
+// virtual time to exactly t. It returns the number of events fired.
+func (s *Scheduler) RunUntil(t time.Time) int {
+	fired := 0
+	for {
+		next, ok := s.Peek()
+		if !ok || next.After(t) {
+			break
+		}
+		s.Step()
+		fired++
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+	return fired
+}
+
+// Ticker fires a handler periodically until stopped.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       Handler
+	ev       *Event
+	stopped  bool
+}
+
+// Every schedules fn to run at first and then every interval thereafter.
+// The interval must be positive.
+func (s *Scheduler) Every(first time.Time, interval time.Duration, fn Handler) *Ticker {
+	if interval <= 0 {
+		panic("des: non-positive ticker interval")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.ev = s.At(first, t.fire)
+	return t
+}
+
+func (t *Ticker) fire(now time.Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped { // fn may have stopped the ticker
+		t.ev = t.s.At(now.Add(t.interval), t.fire)
+	}
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.s.Cancel(t.ev)
+}
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, _ := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

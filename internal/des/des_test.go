@@ -1,0 +1,225 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+var _epoch = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func TestStepFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler(_epoch)
+	var got []int
+	s.At(_epoch.Add(3*time.Second), func(time.Time) { got = append(got, 3) })
+	s.At(_epoch.Add(1*time.Second), func(time.Time) { got = append(got, 1) })
+	s.At(_epoch.Add(2*time.Second), func(time.Time) { got = append(got, 2) })
+	for s.Step() {
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	s := NewScheduler(_epoch)
+	var got []int
+	at := _epoch.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func(time.Time) { got = append(got, i) })
+	}
+	s.RunUntil(at)
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-instant events fired out of schedule order: %v", got)
+	}
+	if len(got) != 10 {
+		t.Errorf("fired %d events, want 10", len(got))
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	s := NewScheduler(_epoch)
+	s.RunUntil(_epoch.Add(time.Minute))
+	fired := false
+	e := s.At(_epoch, func(now time.Time) {
+		fired = true
+		if now.Before(_epoch.Add(time.Minute)) {
+			t.Errorf("event fired at %v, before current now", now)
+		}
+	})
+	if e.Time().Before(_epoch.Add(time.Minute)) {
+		t.Errorf("event scheduled at %v, want clamped to now", e.Time())
+	}
+	s.Step()
+	if !fired {
+		t.Error("clamped event did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(_epoch)
+	fired := false
+	e := s.After(time.Second, func(time.Time) { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Cancel(nil)
+	s.RunUntil(_epoch.Add(time.Minute))
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len() = %d after cancel, want 0", s.Len())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(_epoch)
+	end := _epoch.Add(time.Hour)
+	if n := s.RunUntil(end); n != 0 {
+		t.Errorf("RunUntil fired %d events on empty queue", n)
+	}
+	if !s.Now().Equal(end) {
+		t.Errorf("Now() = %v, want %v", s.Now(), end)
+	}
+}
+
+func TestRunUntilIncludesCascadedEvents(t *testing.T) {
+	s := NewScheduler(_epoch)
+	var fired []string
+	s.After(time.Second, func(now time.Time) {
+		fired = append(fired, "first")
+		s.After(time.Second, func(time.Time) { fired = append(fired, "cascade") })
+		s.After(time.Hour, func(time.Time) { fired = append(fired, "late") })
+	})
+	n := s.RunUntil(_epoch.Add(10 * time.Second))
+	if n != 2 {
+		t.Errorf("RunUntil fired %d events, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "cascade" {
+		t.Errorf("fired = %v, want [first cascade]", fired)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1 pending (the late event)", s.Len())
+	}
+}
+
+func TestEventReceivesItsOwnTime(t *testing.T) {
+	s := NewScheduler(_epoch)
+	at := _epoch.Add(42 * time.Second)
+	s.At(at, func(now time.Time) {
+		if !now.Equal(at) {
+			t.Errorf("handler now = %v, want %v", now, at)
+		}
+		if !s.Now().Equal(at) {
+			t.Errorf("scheduler Now() = %v during handler, want %v", s.Now(), at)
+		}
+	})
+	s.RunUntil(_epoch.Add(time.Minute))
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	s := NewScheduler(_epoch)
+	var times []time.Time
+	tk := s.Every(_epoch.Add(time.Minute), time.Minute, func(now time.Time) {
+		times = append(times, now)
+	})
+	s.RunUntil(_epoch.Add(5*time.Minute + 30*time.Second))
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5", len(times))
+	}
+	for i, at := range times {
+		want := _epoch.Add(time.Duration(i+1) * time.Minute)
+		if !at.Equal(want) {
+			t.Errorf("firing %d at %v, want %v", i, at, want)
+		}
+	}
+	tk.Stop()
+	tk.Stop() // idempotent
+	before := len(times)
+	s.RunUntil(_epoch.Add(time.Hour))
+	if len(times) != before {
+		t.Errorf("ticker fired after Stop: %d > %d", len(times), before)
+	}
+}
+
+func TestTickerStopFromHandler(t *testing.T) {
+	s := NewScheduler(_epoch)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(_epoch.Add(time.Second), time.Second, func(time.Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(_epoch.Add(time.Hour))
+	if count != 3 {
+		t.Errorf("ticker fired %d times, want 3 (stopped from handler)", count)
+	}
+}
+
+func TestEveryPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with zero interval did not panic")
+		}
+	}()
+	NewScheduler(_epoch).Every(_epoch, 0, func(time.Time) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler(_epoch)
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Second, func(time.Time) {})
+	}
+	s.RunUntil(_epoch.Add(time.Minute))
+	if s.Fired() != 7 {
+		t.Errorf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+// TestRandomizedOrdering drives the scheduler with random events and
+// verifies the fundamental invariant: firing times are non-decreasing.
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := NewScheduler(_epoch)
+	var last time.Time
+	violation := false
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Intn(100000)) * time.Millisecond
+		s.At(_epoch.Add(d), func(now time.Time) {
+			if now.Before(last) {
+				violation = true
+			}
+			last = now
+			// Events may reschedule.
+			if rng.Intn(4) == 0 {
+				s.After(time.Duration(rng.Intn(1000))*time.Millisecond, func(time.Time) {})
+			}
+		})
+	}
+	for s.Step() {
+	}
+	if violation {
+		t.Error("events fired with decreasing timestamps")
+	}
+}
+
+func TestPeekSkipsCanceled(t *testing.T) {
+	s := NewScheduler(_epoch)
+	e1 := s.After(time.Second, func(time.Time) {})
+	s.After(2*time.Second, func(time.Time) {})
+	s.Cancel(e1)
+	at, ok := s.Peek()
+	if !ok || !at.Equal(_epoch.Add(2*time.Second)) {
+		t.Errorf("Peek = %v, %v; want second event time", at, ok)
+	}
+}

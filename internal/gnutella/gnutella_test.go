@@ -1,0 +1,124 @@
+package gnutella
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/graph"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build(Config{Peers: 5}); err == nil {
+		t.Error("tiny overlay accepted")
+	}
+	if _, err := Build(Config{Peers: 100, Gen: Generation(99)}); err == nil {
+		t.Error("unknown generation accepted")
+	}
+}
+
+func TestLegacyPowerLawDegrees(t *testing.T) {
+	g, err := Build(Config{Seed: 1, Peers: 8000, Gen: Legacy})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.N() != 8000 {
+		t.Errorf("N = %d, want 8000", g.N())
+	}
+	degrees := g.UndirectedDegrees()
+	fit := graph.FitPowerLaw(degrees, 4)
+	// Preferential attachment yields a power law with α ≈ 3 and a good
+	// KS fit — the distribution early Gnutella studies reported.
+	if fit.Alpha < 2 || fit.Alpha > 4 {
+		t.Errorf("legacy α = %.2f, want ≈ 3", fit.Alpha)
+	}
+	if fit.KS > 0.1 {
+		t.Errorf("legacy KS = %.3f; power law should fit well", fit.KS)
+	}
+	// Heavy tail: the max degree dwarfs the median.
+	h := metrics.NewHistogram(degrees)
+	if h.Max() < 10*h.Mode() {
+		t.Errorf("max degree %d not ≫ mode %d; tail too light", h.Max(), h.Mode())
+	}
+}
+
+func TestModernSpikedDegrees(t *testing.T) {
+	cfg := Config{Seed: 2, Peers: 8000, Gen: Modern}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sane, _ := cfg.sanitize()
+
+	// Leaves spike at LeafLinks.
+	all := metrics.NewHistogram(g.UndirectedDegrees())
+	if all.Mode() != sane.LeafLinks {
+		t.Errorf("overall mode = %d, want the leaf spike at %d", all.Mode(), sane.LeafLinks)
+	}
+
+	// Ultrapeers spike near the connection target, and a power law fits
+	// their distribution poorly — Stutzbach's correction to the early
+	// studies.
+	ultra := metrics.NewHistogram(UltrapeerDegrees(g, sane.LeafLinks))
+	if ultra.N() == 0 {
+		t.Fatal("no ultrapeers found")
+	}
+	mode := ultra.Mode()
+	if mode < sane.UltraTarget-5 || mode > sane.UltraTarget+25 {
+		t.Errorf("ultrapeer mode = %d, want near target %d", mode, sane.UltraTarget)
+	}
+	fit := graph.FitPowerLaw(ultra.Values(), 1)
+	if fit.KS < 0.15 {
+		t.Errorf("modern ultrapeer KS = %.3f; spiked distribution should reject a power law", fit.KS)
+	}
+}
+
+func TestModernTwoTierStructure(t *testing.T) {
+	cfg := Config{Seed: 3, Peers: 2000, Gen: Modern}
+	g, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sane, _ := cfg.sanitize()
+	leaves := 0
+	for i := 0; i < g.N(); i++ {
+		if g.UndirectedDegree(int32(i)) <= sane.LeafLinks {
+			leaves++
+		}
+	}
+	frac := float64(leaves) / float64(g.N())
+	if frac < 0.7 {
+		t.Errorf("leaf fraction = %.2f, want ≈ 0.85", frac)
+	}
+	// The overlay must be usable: connected at its core.
+	lc := g.LargestComponent()
+	if float64(lc.N()) < 0.95*float64(g.N()) {
+		t.Errorf("largest component %d of %d; overlay fragmented", lc.N(), g.N())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, gen := range []Generation{Legacy, Modern} {
+		a, err := Build(Config{Seed: 7, Peers: 500, Gen: gen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(Config{Seed: 7, Peers: 500, Gen: gen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.M() != b.M() || a.N() != b.N() {
+			t.Errorf("gen %d not deterministic: (%d,%d) vs (%d,%d)", gen, a.N(), a.M(), b.N(), b.M())
+		}
+	}
+}
+
+func TestSymmetricEdges(t *testing.T) {
+	g, err := Build(Config{Seed: 4, Peers: 300, Gen: Modern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Gnutella connection is a symmetric TCP link.
+	if r := g.Reciprocity(); r != 1 {
+		t.Errorf("reciprocity = %v, want 1 (symmetric links)", r)
+	}
+}

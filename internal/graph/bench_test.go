@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// benchGraph builds one ER graph per size, reused across iterations.
+func benchGraph(b *testing.B, n, m int) *Digraph {
+	b.Helper()
+	return ErdosRenyiGM(n, m, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([][2]isp.Addr, 20000)
+	for i := range edges {
+		edges[i] = [2]isp.Addr{isp.Addr(rng.Uint32()%2000 + 1), isp.Addr(rng.Uint32()%2000 + 1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewBuilder()
+		for _, e := range edges {
+			builder.AddEdge(e[0], e[1])
+		}
+		_ = builder.Build()
+	}
+}
+
+func BenchmarkClusteringCoefficient(b *testing.B) {
+	sizes := []struct {
+		name string
+		n, m int
+	}{
+		{name: "n500_m5k", n: 500, m: 5000},
+		{name: "n2000_m20k", n: 2000, m: 20000},
+	}
+	for _, sz := range sizes {
+		b.Run(sz.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := ErdosRenyiGM(sz.n, sz.m, rand.New(rand.NewSource(int64(i))))
+				_ = g.ClusteringCoefficient()
+			}
+		})
+	}
+}
+
+func BenchmarkAveragePathLength(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	b.Run("sampled64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.AveragePathLength(rand.New(rand.NewSource(int64(i))), 64)
+		}
+	})
+	b.Run("exact_n500", func(b *testing.B) {
+		small := benchGraph(b, 500, 5000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = small.AveragePathLength(nil, 0)
+		}
+	})
+}
+
+func BenchmarkReciprocity(b *testing.B) {
+	g := benchGraph(b, 2000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.GarlaschelliLoffredo()
+	}
+}
+
+func BenchmarkErdosRenyi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ErdosRenyiGM(2000, 20000, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func BenchmarkFitPowerLaw(b *testing.B) {
+	sample := SampleParetoDegrees(rand.New(rand.NewSource(1)), 10000, 2.3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FitPowerLaw(sample, 3)
+	}
+}

@@ -1,0 +1,258 @@
+// Package graph provides the directed-graph machinery behind the paper's
+// topology analyses: compact snapshot graphs built from trace reports,
+// degree statistics, the Watts–Strogatz clustering coefficient, BFS-based
+// average path lengths, Erdős–Rényi baselines, and the edge-reciprocity
+// metrics (the raw fraction r and the Garlaschelli–Loffredo ρ).
+//
+// Graphs are immutable once built; all algorithms are deterministic given
+// a seeded random source.
+package graph
+
+import (
+	"sort"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Digraph is an immutable directed graph over peer addresses, stored as
+// sorted adjacency lists.
+type Digraph struct {
+	ids []isp.Addr
+	idx map[isp.Addr]int32
+	out [][]int32
+	in  [][]int32
+	m   int
+
+	und [][]int32 // lazily built undirected adjacency (union of in/out)
+}
+
+// Builder accumulates nodes and edges for a Digraph. Duplicate edges and
+// self-loops are dropped at Build time.
+type Builder struct {
+	ids   []isp.Addr
+	idx   map[isp.Addr]int32
+	edges [][2]int32
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{idx: make(map[isp.Addr]int32)}
+}
+
+// AddNode registers an isolated node (a peer with no active links still
+// belongs to the snapshot).
+func (b *Builder) AddNode(a isp.Addr) int32 {
+	if i, ok := b.idx[a]; ok {
+		return i
+	}
+	i := int32(len(b.ids))
+	b.idx[a] = i
+	b.ids = append(b.ids, a)
+	return i
+}
+
+// AddEdge registers the directed edge from → to, adding the endpoints as
+// needed.
+func (b *Builder) AddEdge(from, to isp.Addr) {
+	if from == to {
+		return
+	}
+	u, v := b.AddNode(from), b.AddNode(to)
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// Build finalizes the graph.
+func (b *Builder) Build() *Digraph {
+	g := &Digraph{
+		ids: b.ids,
+		idx: b.idx,
+		out: make([][]int32, len(b.ids)),
+		in:  make([][]int32, len(b.ids)),
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e == prev {
+			continue
+		}
+		prev = e
+		g.out[e[0]] = append(g.out[e[0]], e[1])
+		g.in[e[1]] = append(g.in[e[1]], e[0])
+		g.m++
+	}
+	for i := range g.in {
+		sort.Slice(g.in[i], func(a, b int) bool { return g.in[i][a] < g.in[i][b] })
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Digraph) N() int { return len(g.ids) }
+
+// M returns the directed edge count.
+func (g *Digraph) M() int { return g.m }
+
+// Addr returns the address of node i.
+func (g *Digraph) Addr(i int32) isp.Addr { return g.ids[i] }
+
+// Index returns the node index of an address.
+func (g *Digraph) Index(a isp.Addr) (int32, bool) {
+	i, ok := g.idx[a]
+	return i, ok
+}
+
+// Out returns node i's out-neighbours (sorted; not to be mutated).
+func (g *Digraph) Out(i int32) []int32 { return g.out[i] }
+
+// In returns node i's in-neighbours (sorted; not to be mutated).
+func (g *Digraph) In(i int32) []int32 { return g.in[i] }
+
+// OutDegree returns the number of active receiving partners of node i.
+func (g *Digraph) OutDegree(i int32) int { return len(g.out[i]) }
+
+// InDegree returns the number of active supplying partners of node i.
+func (g *Digraph) InDegree(i int32) int { return len(g.in[i]) }
+
+// HasEdge reports whether the directed edge u → v exists.
+func (g *Digraph) HasEdge(u, v int32) bool {
+	adj := g.out[u]
+	k := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return k < len(adj) && adj[k] == v
+}
+
+// Undirected returns node i's neighbours ignoring direction (sorted,
+// deduplicated; not to be mutated).
+func (g *Digraph) Undirected(i int32) []int32 {
+	g.buildUndirected()
+	return g.und[i]
+}
+
+// UndirectedDegree returns the size of node i's undirected neighbourhood.
+func (g *Digraph) UndirectedDegree(i int32) int {
+	g.buildUndirected()
+	return len(g.und[i])
+}
+
+// UndirectedM returns the number of undirected edges (each reciprocal
+// pair counts once).
+func (g *Digraph) UndirectedM() int {
+	g.buildUndirected()
+	total := 0
+	for _, adj := range g.und {
+		total += len(adj)
+	}
+	return total / 2
+}
+
+func (g *Digraph) buildUndirected() {
+	if g.und != nil {
+		return
+	}
+	g.und = make([][]int32, len(g.ids))
+	for i := range g.ids {
+		a, b := g.out[i], g.in[i]
+		merged := make([]int32, 0, len(a)+len(b))
+		x, y := 0, 0
+		for x < len(a) && y < len(b) {
+			switch {
+			case a[x] < b[y]:
+				merged = append(merged, a[x])
+				x++
+			case a[x] > b[y]:
+				merged = append(merged, b[y])
+				y++
+			default:
+				merged = append(merged, a[x])
+				x++
+				y++
+			}
+		}
+		merged = append(merged, a[x:]...)
+		merged = append(merged, b[y:]...)
+		g.und[int32(i)] = merged
+	}
+}
+
+// InducedSubgraph keeps the nodes for which keep returns true and every
+// edge between two kept nodes — e.g. the stable peers of one ISP.
+func (g *Digraph) InducedSubgraph(keep func(isp.Addr) bool) *Digraph {
+	b := NewBuilder()
+	kept := make([]bool, g.N())
+	for i, a := range g.ids {
+		if keep(a) {
+			kept[i] = true
+			b.AddNode(a)
+		}
+	}
+	for u := range g.out {
+		if !kept[u] {
+			continue
+		}
+		for _, v := range g.out[u] {
+			if kept[v] {
+				b.AddEdge(g.ids[u], g.ids[v])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// EdgeSubgraph keeps the edges for which keep returns true, plus their
+// incident nodes — e.g. "links among peers in the same ISP and their
+// incident peers" (Sec. 4.4).
+func (g *Digraph) EdgeSubgraph(keep func(from, to isp.Addr) bool) *Digraph {
+	b := NewBuilder()
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if keep(g.ids[u], g.ids[v]) {
+				b.AddEdge(g.ids[u], g.ids[v])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// LargestComponent returns the subgraph induced by the largest
+// weakly-connected component.
+func (g *Digraph) LargestComponent() *Digraph {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	best, bestSize := int32(-1), 0
+	next := int32(0)
+	for s := int32(0); s < int32(g.N()); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		size := 0
+		comp[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, v := range g.Undirected(u) {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		if size > bestSize {
+			best, bestSize = id, size
+		}
+	}
+	return g.InducedSubgraph(func(a isp.Addr) bool {
+		i := g.idx[a]
+		return comp[i] == best
+	})
+}

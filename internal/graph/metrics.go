@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// InDegrees returns the active indegree of every node.
+func (g *Digraph) InDegrees() []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = len(g.in[i])
+	}
+	return out
+}
+
+// OutDegrees returns the active outdegree of every node.
+func (g *Digraph) OutDegrees() []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = len(g.out[i])
+	}
+	return out
+}
+
+// UndirectedDegrees returns every node's undirected neighbourhood size.
+func (g *Digraph) UndirectedDegrees() []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = g.UndirectedDegree(int32(i))
+	}
+	return out
+}
+
+// ClusteringCoefficient computes the Watts–Strogatz clustering
+// coefficient on the undirected version of the graph: the average over
+// nodes of (edges among the node's neighbours) / (possible edges among
+// them). Nodes with fewer than two neighbours are excluded from the
+// average, the convention of the small-world literature the paper builds
+// on.
+func (g *Digraph) ClusteringCoefficient() float64 {
+	g.buildUndirected()
+	var sum float64
+	counted := 0
+	for i := range g.und {
+		adj := g.und[i]
+		k := len(adj)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for ai := 0; ai < k; ai++ {
+			for bi := ai + 1; bi < k; bi++ {
+				if g.hasUndirected(adj[ai], adj[bi]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(k*(k-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+func (g *Digraph) hasUndirected(u, v int32) bool {
+	a := g.und[u]
+	b := g.und[v]
+	if len(b) < len(a) {
+		a = b
+		u, v = v, u
+	}
+	k := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return k < len(a) && a[k] == v
+}
+
+// AveragePathLength estimates the mean pairwise shortest-path length over
+// the undirected graph, ignoring unreachable pairs. If samples <= 0 or
+// samples >= N, every node is used as a BFS source (exact); otherwise
+// `samples` sources are drawn without replacement using rng.
+func (g *Digraph) AveragePathLength(rng *rand.Rand, samples int) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	if samples > 0 && samples < n {
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		rng.Shuffle(n, func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		sources = sources[:samples]
+	}
+
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var sum float64
+	var pairs int64
+	for _, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Undirected(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range dist {
+			if d > 0 && int32(i) != s {
+				sum += float64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}
+
+// Reciprocity returns the raw bilateral-edge fraction r of Eq. (1): the
+// number of directed edges whose reverse also exists, over all directed
+// edges.
+func (g *Digraph) Reciprocity() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	bilateral := 0
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if g.HasEdge(v, int32(u)) {
+				bilateral++
+			}
+		}
+	}
+	return float64(bilateral) / float64(g.m)
+}
+
+// GarlaschelliLoffredo returns the edge reciprocity ρ of Eq. (2):
+// ρ = (r − ā) / (1 − ā) with ā = M / (N(N−1)), the density-corrected
+// reciprocity. ρ > 0 means more reciprocal than a random graph of equal
+// density; ρ < 0 means antireciprocal (tree-like).
+func (g *Digraph) GarlaschelliLoffredo() float64 {
+	n := int64(g.N())
+	if n < 2 || g.m == 0 {
+		return 0
+	}
+	abar := float64(g.m) / float64(n*(n-1))
+	if abar >= 1 {
+		return 0
+	}
+	return (g.Reciprocity() - abar) / (1 - abar)
+}
+
+// MeanDegree returns (mean indegree, mean outdegree, mean undirected
+// degree) over all nodes.
+func (g *Digraph) MeanDegree() (in, out, und float64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var si, so, su int
+	for i := 0; i < n; i++ {
+		si += len(g.in[i])
+		so += len(g.out[i])
+		su += g.UndirectedDegree(int32(i))
+	}
+	return float64(si) / float64(n), float64(so) / float64(n), float64(su) / float64(n)
+}

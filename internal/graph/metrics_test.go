@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClusteringTriangle(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {2, 3}, {3, 1}})
+	if c := g.ClusteringCoefficient(); math.Abs(c-1) > 1e-12 {
+		t.Errorf("triangle clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringStar(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {1, 3}, {1, 4}, {1, 5}})
+	if c := g.ClusteringCoefficient(); c != 0 {
+		t.Errorf("star clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringKnownGraph(t *testing.T) {
+	// Triangle 1-2-3 plus pendant 4 attached to 1:
+	// C(1) = 1/3 (neighbours 2,3,4; one edge of three possible),
+	// C(2) = C(3) = 1, node 4 has degree 1 (excluded).
+	g := buildGraph([][2]uint32{{1, 2}, {2, 3}, {3, 1}, {1, 4}})
+	want := (1.0/3 + 1 + 1) / 3
+	if c := g.ClusteringCoefficient(); math.Abs(c-want) > 1e-12 {
+		t.Errorf("clustering = %v, want %v", c, want)
+	}
+}
+
+func TestClusteringDegenerate(t *testing.T) {
+	if c := buildGraph(nil, 1, 2).ClusteringCoefficient(); c != 0 {
+		t.Errorf("edgeless clustering = %v, want 0", c)
+	}
+	if c := buildGraph([][2]uint32{{1, 2}}).ClusteringCoefficient(); c != 0 {
+		t.Errorf("single-edge clustering = %v, want 0", c)
+	}
+}
+
+func TestAveragePathLengthPath(t *testing.T) {
+	// Path 1-2-3-4: pairs (1,2)=1 (1,3)=2 (1,4)=3 (2,3)=1 (2,4)=2 (3,4)=1
+	// → mean 10/6.
+	g := buildGraph([][2]uint32{{1, 2}, {2, 3}, {3, 4}})
+	want := 10.0 / 6
+	if l := g.AveragePathLength(nil, 0); math.Abs(l-want) > 1e-12 {
+		t.Errorf("path-graph L = %v, want %v", l, want)
+	}
+}
+
+func TestAveragePathLengthIgnoresUnreachable(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {3, 4}})
+	if l := g.AveragePathLength(nil, 0); math.Abs(l-1) > 1e-12 {
+		t.Errorf("two-component L = %v, want 1 (unreachable pairs ignored)", l)
+	}
+}
+
+func TestAveragePathLengthSampledCloseToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ErdosRenyiGM(500, 3000, rng)
+	exact := g.AveragePathLength(nil, 0)
+	sampled := g.AveragePathLength(rand.New(rand.NewSource(4)), 100)
+	if math.Abs(sampled-exact)/exact > 0.1 {
+		t.Errorf("sampled L = %.3f vs exact %.3f; more than 10%% off", sampled, exact)
+	}
+}
+
+func TestAveragePathLengthTrivial(t *testing.T) {
+	if l := buildGraph(nil, 1).AveragePathLength(nil, 0); l != 0 {
+		t.Errorf("singleton L = %v, want 0", l)
+	}
+}
+
+func TestReciprocityExtremes(t *testing.T) {
+	full := buildGraph([][2]uint32{{1, 2}, {2, 1}, {2, 3}, {3, 2}})
+	if r := full.Reciprocity(); r != 1 {
+		t.Errorf("fully bilateral r = %v, want 1", r)
+	}
+	oneway := buildGraph([][2]uint32{{1, 2}, {2, 3}, {3, 4}})
+	if r := oneway.Reciprocity(); r != 0 {
+		t.Errorf("one-way chain r = %v, want 0", r)
+	}
+	if r := buildGraph(nil, 1).Reciprocity(); r != 0 {
+		t.Errorf("empty graph r = %v, want 0", r)
+	}
+}
+
+func TestGarlaschelliLoffredoSigns(t *testing.T) {
+	// A directed out-tree has r = 0, so ρ must be negative
+	// (antireciprocal), the paper's tree-streaming thought experiment.
+	tree := buildGraph([][2]uint32{{1, 2}, {1, 3}, {2, 4}, {2, 5}, {3, 6}, {3, 7}})
+	if rho := tree.GarlaschelliLoffredo(); rho >= 0 {
+		t.Errorf("tree ρ = %v, want < 0", rho)
+	}
+	// A heavily bilateral sparse graph must be strongly reciprocal.
+	mesh := buildGraph([][2]uint32{{1, 2}, {2, 1}, {3, 4}, {4, 3}, {5, 6}, {6, 5}, {1, 6}})
+	if rho := mesh.GarlaschelliLoffredo(); rho < 0.5 {
+		t.Errorf("bilateral mesh ρ = %v, want strongly positive", rho)
+	}
+}
+
+func TestGarlaschelliLoffredoRandomIsNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := ErdosRenyiGM(400, 4000, rng)
+	if rho := g.GarlaschelliLoffredo(); math.Abs(rho) > 0.05 {
+		t.Errorf("ER graph ρ = %v, want ≈ 0 (the metric's defining property)", rho)
+	}
+}
+
+func TestReciprocityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(100)
+		m := 10 + rng.Intn(n*3)
+		g := ErdosRenyiGM(n, m, rng)
+		r := g.Reciprocity()
+		rho := g.GarlaschelliLoffredo()
+		c := g.ClusteringCoefficient()
+		if r < 0 || r > 1 {
+			t.Fatalf("r = %v outside [0,1]", r)
+		}
+		if rho < -1 || rho > 1 {
+			t.Fatalf("ρ = %v outside [-1,1]", rho)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("C = %v outside [0,1]", c)
+		}
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {2, 1}, {1, 3}})
+	in, out, und := g.MeanDegree()
+	if math.Abs(in-1) > 1e-12 || math.Abs(out-1) > 1e-12 {
+		t.Errorf("mean in/out = %v, %v; want 1, 1 (3 edges, 3 nodes)", in, out)
+	}
+	// Undirected: node1 has {2,3}, node2 {1}, node3 {1} → mean 4/3.
+	if math.Abs(und-4.0/3) > 1e-12 {
+		t.Errorf("mean undirected = %v, want 4/3", und)
+	}
+}
+
+func TestDegreeSumsMatchEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyiGM(200, 1500, rng)
+	var sumIn, sumOut int
+	for _, d := range g.InDegrees() {
+		sumIn += d
+	}
+	for _, d := range g.OutDegrees() {
+		sumOut += d
+	}
+	if sumIn != g.M() || sumOut != g.M() {
+		t.Errorf("degree sums %d/%d != M %d", sumIn, sumOut, g.M())
+	}
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DegreeAssortativity returns the Pearson correlation of undirected
+// degrees across edge endpoints — positive when high-degree peers attach
+// to high-degree peers. Unstructured file-sharing overlays measure
+// negative-to-neutral assortativity; it is one of the standard metrics
+// of the topology-characterization literature the paper builds on.
+// Returns 0 for graphs with no edges or no degree variance.
+func (g *Digraph) DegreeAssortativity() float64 {
+	g.buildUndirected()
+	var sx, sy, sxx, syy, sxy float64
+	n := 0
+	for u := range g.und {
+		du := float64(len(g.und[u]))
+		for _, v := range g.und[u] {
+			// Each undirected edge visited twice, once per direction —
+			// symmetric, which is what the Pearson form wants.
+			dv := float64(len(g.und[v]))
+			sx += du
+			sy += dv
+			sxx += du * du
+			syy += dv * dv
+			sxy += du * dv
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	varX := sxx/fn - (sx/fn)*(sx/fn)
+	varY := syy/fn - (sy/fn)*(sy/fn)
+	if varX <= 0 || varY <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(varX*varY)
+}
+
+// KCore returns, for every node, the largest k such that the node
+// belongs to the k-core of the undirected graph (the maximal subgraph
+// where every node has degree ≥ k). Computed with the standard
+// peeling algorithm in O(N + M).
+func (g *Digraph) KCore() []int {
+	g.buildUndirected()
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for i := range deg {
+		deg[i] = len(g.und[i])
+		if deg[i] > maxDeg {
+			maxDeg = deg[i]
+		}
+	}
+
+	// Bucket sort nodes by degree.
+	bins := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bins[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		count := bins[d]
+		bins[d] = start
+		start += count
+	}
+	pos := make([]int, n)    // node → position in vert
+	vert := make([]int32, n) // sorted by current degree
+	fill := make([]int, maxDeg+1)
+	for i := 0; i < n; i++ {
+		d := deg[i]
+		p := bins[d] + fill[d]
+		pos[i] = p
+		vert[p] = int32(i)
+		fill[d]++
+	}
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		for _, v := range g.und[u] {
+			if core[v] > core[u] {
+				// Move v one bucket down: swap it with the first node of
+				// its current bucket, then shrink the bucket.
+				dv := core[v]
+				pv := pos[v]
+				pw := bins[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
+				}
+				bins[dv]++
+				core[v]--
+			}
+		}
+	}
+	return core
+}
+
+// MaxCore returns the graph's degeneracy (the largest k with a non-empty
+// k-core).
+func (g *Digraph) MaxCore() int {
+	max := 0
+	for _, k := range g.KCore() {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// EstimateDiameter lower-bounds the undirected diameter by iterated
+// double-sweep BFS: start anywhere, BFS to the farthest node, repeat
+// from there. rounds ≥ 1 controls the number of sweeps.
+func (g *Digraph) EstimateDiameter(rng *rand.Rand, rounds int) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := 0
+	start := int32(rng.Intn(n))
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for r := 0; r < 2*rounds; r++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[start] = 0
+		queue = append(queue[:0], start)
+		far, farD := start, int32(0)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Undirected(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+					if dist[v] > farD {
+						far, farD = v, dist[v]
+					}
+				}
+			}
+		}
+		if int(farD) > best {
+			best = int(farD)
+		}
+		start = far
+	}
+	return best
+}
+
+// JointDegree is one (indegree, outdegree) observation.
+type JointDegree struct {
+	In  int
+	Out int
+}
+
+// JointDegrees returns every node's (in, out) pair, backing scatter-style
+// analyses of supplier/consumer roles.
+func (g *Digraph) JointDegrees() []JointDegree {
+	out := make([]JointDegree, g.N())
+	for i := range out {
+		out[i] = JointDegree{In: len(g.in[i]), Out: len(g.out[i])}
+	}
+	return out
+}
+
+// InOutCorrelation returns the Pearson correlation between nodes'
+// indegrees and outdegrees. The paper observes the supplying and
+// receiving partner sets are strongly correlated (Sec. 4.4); this is the
+// node-level quantification.
+func (g *Digraph) InOutCorrelation() float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x := float64(len(g.in[i]))
+		y := float64(len(g.out[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	varX := sxx/fn - (sx/fn)*(sx/fn)
+	varY := syy/fn - (sy/fn)*(sy/fn)
+	if varX <= 0 || varY <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(varX*varY)
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+func TestAssortativityStarIsNegative(t *testing.T) {
+	// A star is maximally disassortative: the hub (degree n) only
+	// touches leaves (degree 1).
+	var edges [][2]uint32
+	for i := uint32(2); i <= 20; i++ {
+		edges = append(edges, [2]uint32{1, i})
+	}
+	g := buildGraph(edges)
+	if r := g.DegreeAssortativity(); r != 0 {
+		// With exactly two degree values the correlation is -1.
+		if r > -0.99 {
+			t.Errorf("star assortativity = %.3f, want ≈ -1", r)
+		}
+	} else {
+		t.Error("star assortativity = 0, want strongly negative")
+	}
+}
+
+func TestAssortativityRegularGraphIsZero(t *testing.T) {
+	// A cycle is degree-regular: no degree variance, defined as 0.
+	var edges [][2]uint32
+	for i := uint32(1); i <= 30; i++ {
+		edges = append(edges, [2]uint32{i, i%30 + 1})
+	}
+	g := buildGraph(edges)
+	if r := g.DegreeAssortativity(); r != 0 {
+		t.Errorf("cycle assortativity = %v, want 0 (no variance)", r)
+	}
+}
+
+func TestAssortativityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := ErdosRenyiGM(50+rng.Intn(200), 100+rng.Intn(1000), rng)
+		r := g.DegreeAssortativity()
+		if r < -1-1e-9 || r > 1+1e-9 {
+			t.Fatalf("assortativity %v outside [-1, 1]", r)
+		}
+	}
+}
+
+func TestKCoreKnownGraph(t *testing.T) {
+	// Triangle {1,2,3} (2-core) with pendant 4 on node 1 (1-core) and
+	// isolated node 5 (0-core).
+	g := buildGraph([][2]uint32{{1, 2}, {2, 3}, {3, 1}, {1, 4}}, 5)
+	core := g.KCore()
+	want := map[uint32]int{1: 2, 2: 2, 3: 2, 4: 1, 5: 0}
+	for addr, k := range want {
+		i, ok := g.Index(isp.Addr(addr))
+		if !ok {
+			t.Fatalf("node %d missing", addr)
+		}
+		if core[i] != k {
+			t.Errorf("core(%d) = %d, want %d", addr, core[i], k)
+		}
+	}
+	if g.MaxCore() != 2 {
+		t.Errorf("MaxCore = %d, want 2", g.MaxCore())
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	var edges [][2]uint32
+	const n = 8
+	for i := uint32(1); i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			edges = append(edges, [2]uint32{i, j})
+		}
+	}
+	g := buildGraph(edges)
+	for i, k := range g.KCore() {
+		if k != n-1 {
+			t.Fatalf("clique core[%d] = %d, want %d", i, k, n-1)
+		}
+	}
+}
+
+func TestKCoreInvariant(t *testing.T) {
+	// Every node's core number is at most its degree, and the k-core
+	// subgraph induced by {core ≥ k} has min degree ≥ k inside it.
+	rng := rand.New(rand.NewSource(2))
+	g := ErdosRenyiGM(300, 2000, rng)
+	core := g.KCore()
+	k := g.MaxCore()
+	inCore := make(map[int32]bool)
+	for i, c := range core {
+		if c > g.UndirectedDegree(int32(i)) {
+			t.Fatalf("core %d exceeds degree %d", c, g.UndirectedDegree(int32(i)))
+		}
+		if c >= k {
+			inCore[int32(i)] = true
+		}
+	}
+	for i := range core {
+		if !inCore[int32(i)] {
+			continue
+		}
+		within := 0
+		for _, v := range g.Undirected(int32(i)) {
+			if inCore[v] {
+				within++
+			}
+		}
+		if within < k {
+			t.Fatalf("node %d has only %d neighbours inside the %d-core", i, within, k)
+		}
+	}
+}
+
+func TestEstimateDiameterPathGraph(t *testing.T) {
+	var edges [][2]uint32
+	for i := uint32(1); i < 50; i++ {
+		edges = append(edges, [2]uint32{i, i + 1})
+	}
+	g := buildGraph(edges)
+	if d := g.EstimateDiameter(rand.New(rand.NewSource(1)), 2); d != 49 {
+		t.Errorf("path-graph diameter estimate = %d, want 49", d)
+	}
+}
+
+func TestEstimateDiameterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ErdosRenyiGM(300, 3000, rng)
+	d := g.EstimateDiameter(rng, 2)
+	l := g.AveragePathLength(nil, 0)
+	if float64(d) < l {
+		t.Errorf("diameter estimate %d below average path length %.2f", d, l)
+	}
+	if empty := buildGraph(nil, 1); empty.EstimateDiameter(nil, 1) != 0 {
+		t.Error("singleton diameter not 0")
+	}
+}
+
+func TestInOutCorrelation(t *testing.T) {
+	// Perfectly reciprocal graph: in == out at every node → correlation 1.
+	g := buildGraph([][2]uint32{{1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 1}, {1, 3}})
+	if r := g.InOutCorrelation(); r != 0 {
+		t.Errorf("regular reciprocal graph correlation = %v, want 0 (no variance)", r)
+	}
+	// Hub supplies many, consumes few; leaves consume only.
+	g2 := buildGraph([][2]uint32{{1, 2}, {1, 3}, {1, 4}, {1, 5}, {2, 1}})
+	r := g2.InOutCorrelation()
+	if math.IsNaN(r) || r < -1 || r > 1 {
+		t.Errorf("correlation %v outside [-1, 1]", r)
+	}
+	if empty := buildGraph(nil); empty.InOutCorrelation() != 0 {
+		t.Error("empty-graph correlation not 0")
+	}
+}
+
+func TestJointDegrees(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {1, 3}, {2, 1}})
+	i1, _ := g.Index(isp.Addr(1))
+	jd := g.JointDegrees()
+	if jd[i1].Out != 2 || jd[i1].In != 1 {
+		t.Errorf("joint degrees of node 1 = %+v, want {1 2}", jd[i1])
+	}
+	if len(jd) != g.N() {
+		t.Errorf("JointDegrees length %d != N %d", len(jd), g.N())
+	}
+}

@@ -1,0 +1,46 @@
+package isp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db, err := Generate(rng, GenConfig{Blocks: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]Addr, 4096)
+	for i := range addrs {
+		addrs[i] = Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkAlloc(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db, err := Generate(rng, GenConfig{Blocks: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := NewAllocator(rng, db)
+	shares := DefaultShares()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.Alloc(SampleISP(rng, shares)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rand.New(rand.NewSource(int64(i))), GenConfig{Blocks: 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

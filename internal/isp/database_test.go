@@ -1,0 +1,152 @@
+package isp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustDB(t *testing.T, ranges []Range) *Database {
+	t.Helper()
+	db, err := NewDatabase(ranges)
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	return db
+}
+
+func TestDatabaseLookup(t *testing.T) {
+	db := mustDB(t, []Range{
+		{Lo: MustParseAddr("10.0.0.0"), Hi: MustParseAddr("10.0.255.255"), ISP: ChinaTelecom},
+		{Lo: MustParseAddr("20.0.0.0"), Hi: MustParseAddr("20.0.0.255"), ISP: ChinaNetcom},
+		{Lo: MustParseAddr("30.0.0.0"), Hi: MustParseAddr("30.0.0.0"), ISP: Oversea},
+	})
+	tests := []struct {
+		give string
+		want ISP
+	}{
+		{give: "10.0.0.0", want: ChinaTelecom},
+		{give: "10.0.128.7", want: ChinaTelecom},
+		{give: "10.0.255.255", want: ChinaTelecom},
+		{give: "10.1.0.0", want: Unknown},
+		{give: "9.255.255.255", want: Unknown},
+		{give: "20.0.0.128", want: ChinaNetcom},
+		{give: "30.0.0.0", want: Oversea},
+		{give: "30.0.0.1", want: Unknown},
+		{give: "0.0.0.1", want: Unknown},
+		{give: "255.0.0.1", want: Unknown},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			if got := db.Lookup(MustParseAddr(tt.give)); got != tt.want {
+				t.Errorf("Lookup(%s) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewDatabaseRejectsOverlap(t *testing.T) {
+	_, err := NewDatabase([]Range{
+		{Lo: 100, Hi: 200, ISP: ChinaTelecom},
+		{Lo: 200, Hi: 300, ISP: ChinaNetcom},
+	})
+	if !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlapping ranges: err = %v, want ErrOverlap", err)
+	}
+}
+
+func TestNewDatabaseRejectsInverted(t *testing.T) {
+	_, err := NewDatabase([]Range{{Lo: 200, Hi: 100, ISP: ChinaTelecom}})
+	if !errors.Is(err, ErrBadRange) {
+		t.Errorf("inverted range: err = %v, want ErrBadRange", err)
+	}
+}
+
+func TestNewDatabaseSortsInput(t *testing.T) {
+	db := mustDB(t, []Range{
+		{Lo: 1000, Hi: 1999, ISP: ChinaNetcom},
+		{Lo: 0, Hi: 999, ISP: ChinaTelecom},
+	})
+	if got := db.Lookup(500); got != ChinaTelecom {
+		t.Errorf("Lookup(500) = %v, want ChinaTelecom", got)
+	}
+	if got := db.Lookup(1500); got != ChinaNetcom {
+		t.Errorf("Lookup(1500) = %v, want ChinaNetcom", got)
+	}
+}
+
+func TestDatabaseCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig, err := Generate(rng, GenConfig{Blocks: 64})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatalf("ReadDatabase: %v", err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip changed range count: %d != %d", back.Len(), orig.Len())
+	}
+	or, br := orig.Ranges(), back.Ranges()
+	for i := range or {
+		if or[i] != br[i] {
+			t.Fatalf("range %d changed: %+v != %+v", i, br[i], or[i])
+		}
+	}
+}
+
+func TestReadDatabaseSkipsCommentsAndBlank(t *testing.T) {
+	in := strings.NewReader(`# synthetic database
+1.0.0.0,1.0.255.255,China Telecom
+
+2.0.0.0,2.0.255.255,Oversea
+`)
+	db, err := ReadDatabase(in)
+	if err != nil {
+		t.Fatalf("ReadDatabase: %v", err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", db.Len())
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "too few fields", give: "1.0.0.0,2.0.0.0"},
+		{name: "bad lo", give: "x,2.0.0.0,Oversea"},
+		{name: "bad hi", give: "1.0.0.0,y,Oversea"},
+		{name: "bad isp", give: "1.0.0.0,2.0.0.0,Mars Telecom"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadDatabase(strings.NewReader(tt.give)); err == nil {
+				t.Errorf("ReadDatabase(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestAddressMass(t *testing.T) {
+	db := mustDB(t, []Range{
+		{Lo: 0, Hi: 9, ISP: ChinaTelecom},
+		{Lo: 100, Hi: 119, ISP: ChinaTelecom},
+		{Lo: 200, Hi: 209, ISP: Oversea},
+	})
+	mass := db.AddressMass()
+	if mass[ChinaTelecom] != 30 {
+		t.Errorf("mass[ChinaTelecom] = %d, want 30", mass[ChinaTelecom])
+	}
+	if mass[Oversea] != 10 {
+		t.Errorf("mass[Oversea] = %d, want 10", mass[Oversea])
+	}
+}

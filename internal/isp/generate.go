@@ -1,0 +1,205 @@
+package isp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GenConfig controls synthetic database generation.
+type GenConfig struct {
+	// Shares assigns the fraction of total address mass per ISP. Defaults
+	// to DefaultShares. Values are normalized, so they need not sum to 1.
+	Shares map[ISP]float64
+	// Blocks is the total number of /16-sized blocks to carve. More blocks
+	// means more, smaller ranges — closer to a real allocation table.
+	// Defaults to 1024 (≈ 67 M addresses).
+	Blocks int
+	// MaxGap is the maximum number of addresses left unassigned between
+	// consecutive blocks, emulating unallocated space. Defaults to 4096.
+	MaxGap int
+}
+
+const _blockSize = 1 << 16 // one /16 per block
+
+// Generate builds a synthetic IP-to-ISP database whose per-ISP address
+// mass matches cfg.Shares. Blocks of different ISPs are interleaved
+// through the address space, as real carrier allocations are, so database
+// lookups cannot shortcut on address locality.
+func Generate(rng *rand.Rand, cfg GenConfig) (*Database, error) {
+	shares := cfg.Shares
+	if shares == nil {
+		shares = DefaultShares()
+	}
+	blocks := cfg.Blocks
+	if blocks <= 0 {
+		blocks = 1024
+	}
+	maxGap := cfg.MaxGap
+	if maxGap <= 0 {
+		maxGap = 4096
+	}
+
+	var total float64
+	for _, s := range shares {
+		if s < 0 {
+			return nil, fmt.Errorf("isp: negative share %v", s)
+		}
+		total += s
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("isp: all shares are zero")
+	}
+
+	// Convert shares into integer block quotas using largest remainders,
+	// iterating ISPs in a fixed order for determinism.
+	owners := make([]ISP, 0, blocks)
+	type quota struct {
+		isp  ISP
+		frac float64
+		n    int
+	}
+	quotas := make([]quota, 0, len(shares))
+	for _, p := range All() {
+		s, ok := shares[p]
+		if !ok || s == 0 {
+			continue
+		}
+		exact := s / total * float64(blocks)
+		n := int(exact)
+		quotas = append(quotas, quota{isp: p, frac: exact - float64(n), n: n})
+	}
+	assigned := 0
+	for _, q := range quotas {
+		assigned += q.n
+	}
+	sort.Slice(quotas, func(i, j int) bool {
+		if quotas[i].frac != quotas[j].frac {
+			return quotas[i].frac > quotas[j].frac
+		}
+		return quotas[i].isp < quotas[j].isp
+	})
+	for i := 0; assigned < blocks; i++ {
+		quotas[i%len(quotas)].n++
+		assigned++
+	}
+	for _, q := range quotas {
+		for i := 0; i < q.n; i++ {
+			owners = append(owners, q.isp)
+		}
+	}
+	rng.Shuffle(len(owners), func(i, j int) { owners[i], owners[j] = owners[j], owners[i] })
+
+	// Walk the unicast space laying blocks down with small random gaps.
+	ranges := make([]Range, 0, len(owners))
+	cursor := uint64(MustParseAddr("1.0.0.0"))
+	limit := uint64(MustParseAddr("223.255.255.255"))
+	for _, owner := range owners {
+		cursor += uint64(rng.Intn(maxGap + 1))
+		if cursor+_blockSize-1 > limit {
+			return nil, fmt.Errorf("isp: address space exhausted after %d blocks", len(ranges))
+		}
+		ranges = append(ranges, Range{
+			Lo:  Addr(cursor),
+			Hi:  Addr(cursor + _blockSize - 1),
+			ISP: owner,
+		})
+		cursor += _blockSize
+	}
+	return NewDatabase(ranges)
+}
+
+// Allocator hands out peer IP addresses drawn from a database, by ISP,
+// guaranteeing uniqueness across one simulation (the traces identify
+// peers by IP, as the paper does).
+//
+// Allocator is not safe for concurrent use.
+type Allocator struct {
+	rng     *rand.Rand
+	byISP   map[ISP][]Range
+	cumMass map[ISP][]uint64 // cumulative sizes aligned with byISP
+	used    map[Addr]struct{}
+}
+
+// NewAllocator builds an allocator over db.
+func NewAllocator(rng *rand.Rand, db *Database) *Allocator {
+	a := &Allocator{
+		rng:     rng,
+		byISP:   make(map[ISP][]Range, NumISPs),
+		cumMass: make(map[ISP][]uint64, NumISPs),
+		used:    make(map[Addr]struct{}),
+	}
+	for _, r := range db.Ranges() {
+		a.byISP[r.ISP] = append(a.byISP[r.ISP], r)
+	}
+	for p, rs := range a.byISP {
+		cum := make([]uint64, len(rs))
+		var sum uint64
+		for i, r := range rs {
+			sum += r.Size()
+			cum[i] = sum
+		}
+		a.cumMass[p] = cum
+	}
+	return a
+}
+
+// Alloc returns a fresh, previously unissued address belonging to the
+// given ISP. It fails only if the ISP has no address mass or the mass is
+// effectively exhausted.
+func (a *Allocator) Alloc(p ISP) (Addr, error) {
+	rs := a.byISP[p]
+	if len(rs) == 0 {
+		return 0, fmt.Errorf("isp: no ranges for %v", p)
+	}
+	cum := a.cumMass[p]
+	mass := cum[len(cum)-1]
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		off := uint64(a.rng.Int63n(int64(mass)))
+		i := sort.Search(len(cum), func(i int) bool { return cum[i] > off })
+		r := rs[i]
+		prev := uint64(0)
+		if i > 0 {
+			prev = cum[i-1]
+		}
+		addr := Addr(uint64(r.Lo) + (off - prev))
+		if _, taken := a.used[addr]; taken {
+			continue
+		}
+		a.used[addr] = struct{}{}
+		return addr, nil
+	}
+	return 0, fmt.Errorf("isp: address mass for %v exhausted", p)
+}
+
+// Release returns an address to the pool. Simulations recycle addresses
+// only across independent runs, but the trace-replay example uses this to
+// model DHCP-style reassignment.
+func (a *Allocator) Release(addr Addr) {
+	delete(a.used, addr)
+}
+
+// SampleISP draws an ISP according to the given shares (normalized
+// internally). It iterates ISPs in canonical order so results are
+// deterministic for a seeded rng.
+func SampleISP(rng *rand.Rand, shares map[ISP]float64) ISP {
+	var total float64
+	for _, p := range All() {
+		total += shares[p]
+	}
+	u := rng.Float64() * total
+	for _, p := range All() {
+		u -= shares[p]
+		if u < 0 {
+			return p
+		}
+	}
+	// Floating-point slack: return the last ISP with positive share.
+	for i := len(All()) - 1; i >= 0; i-- {
+		if shares[All()[i]] > 0 {
+			return All()[i]
+		}
+	}
+	return Unknown
+}

@@ -1,0 +1,176 @@
+package isp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateMassMatchesShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db, err := Generate(rng, GenConfig{Blocks: 1024})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	mass := db.AddressMass()
+	var total uint64
+	for _, m := range mass {
+		total += m
+	}
+	shares := DefaultShares()
+	for p, want := range shares {
+		got := float64(mass[p]) / float64(total)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v share = %.4f, want %.4f ± 0.01", p, got, want)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate(rand.New(rand.NewSource(5)), GenConfig{Blocks: 128})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(5)), GenConfig{Blocks: 128})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	ar, br := a.Ranges(), b.Ranges()
+	if len(ar) != len(br) {
+		t.Fatalf("range counts differ: %d != %d", len(ar), len(br))
+	}
+	for i := range ar {
+		if ar[i] != br[i] {
+			t.Fatalf("range %d differs: %+v != %+v", i, ar[i], br[i])
+		}
+	}
+}
+
+func TestGenerateRejectsBadShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, GenConfig{Shares: map[ISP]float64{ChinaTelecom: -1}}); err == nil {
+		t.Error("negative share accepted")
+	}
+	if _, err := Generate(rng, GenConfig{Shares: map[ISP]float64{ChinaTelecom: 0}}); err == nil {
+		t.Error("all-zero shares accepted")
+	}
+}
+
+func TestAllocatorUniqueAndCorrectISP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db, err := Generate(rng, GenConfig{Blocks: 64})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	alloc := NewAllocator(rng, db)
+	seen := make(map[Addr]struct{})
+	for i := 0; i < 5000; i++ {
+		p := SampleISP(rng, DefaultShares())
+		addr, err := alloc.Alloc(p)
+		if err != nil {
+			t.Fatalf("Alloc(%v): %v", p, err)
+		}
+		if _, dup := seen[addr]; dup {
+			t.Fatalf("duplicate address %v", addr)
+		}
+		seen[addr] = struct{}{}
+		if got := db.Lookup(addr); got != p {
+			t.Fatalf("allocated %v resolves to %v, want %v", addr, got, p)
+		}
+	}
+}
+
+func TestAllocatorReleaseAllowsReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := mustDB(t, []Range{{Lo: 100, Hi: 100, ISP: ChinaEdu}})
+	alloc := NewAllocator(rng, db)
+	a, err := alloc.Alloc(ChinaEdu)
+	if err != nil {
+		t.Fatalf("first Alloc: %v", err)
+	}
+	if _, err := alloc.Alloc(ChinaEdu); err == nil {
+		t.Fatal("second Alloc of a one-address pool succeeded")
+	}
+	alloc.Release(a)
+	if _, err := alloc.Alloc(ChinaEdu); err != nil {
+		t.Fatalf("Alloc after Release: %v", err)
+	}
+}
+
+func TestAllocatorUnknownISP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := mustDB(t, []Range{{Lo: 100, Hi: 200, ISP: ChinaEdu}})
+	alloc := NewAllocator(rng, db)
+	if _, err := alloc.Alloc(ChinaTelecom); err == nil {
+		t.Error("Alloc for ISP with no ranges succeeded")
+	}
+}
+
+func TestSampleISPDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shares := DefaultShares()
+	counts := make(map[ISP]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[SampleISP(rng, shares)]++
+	}
+	for p, want := range shares {
+		got := float64(counts[p]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v sampled at %.4f, want %.4f ± 0.01", p, got, want)
+		}
+	}
+}
+
+func TestSampleISPSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if got := SampleISP(rng, map[ISP]float64{ChinaUnicom: 1}); got != ChinaUnicom {
+			t.Fatalf("SampleISP = %v, want ChinaUnicom", got)
+		}
+	}
+}
+
+func TestISPStringAndParse(t *testing.T) {
+	for _, p := range All() {
+		back, err := ParseISP(p.String())
+		if err != nil {
+			t.Errorf("ParseISP(%q): %v", p.String(), err)
+			continue
+		}
+		if back != p {
+			t.Errorf("ParseISP(%q) = %v, want %v", p.String(), back, p)
+		}
+		if !p.Valid() {
+			t.Errorf("%v reported invalid", p)
+		}
+	}
+	if _, err := ParseISP("nope"); err == nil {
+		t.Error("ParseISP accepted unknown name")
+	}
+	if ISP(200).String() == "" {
+		t.Error("String of out-of-range ISP is empty")
+	}
+	if Unknown.Valid() {
+		t.Error("Unknown reported valid")
+	}
+}
+
+func TestDomestic(t *testing.T) {
+	tests := []struct {
+		give ISP
+		want bool
+	}{
+		{give: ChinaTelecom, want: true},
+		{give: ChinaNetcom, want: true},
+		{give: ChinaEdu, want: true},
+		{give: ChinaOther, want: true},
+		{give: Oversea, want: false},
+		{give: Unknown, want: false},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Domestic(); got != tt.want {
+			t.Errorf("%v.Domestic() = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}

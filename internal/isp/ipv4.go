@@ -1,0 +1,52 @@
+package isp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. Peer identities in the
+// traces are IPv4 addresses, as in the paper (10 million unique IPs over
+// the trace period), so the whole pipeline uses this compact form.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation ("202.108.22.5") into an Addr.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("isp: invalid IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("isp: invalid IPv4 address %q: %w", s, err)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// MustParseAddr is ParseAddr for tests and constant tables; it panics on
+// malformed input.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	var b strings.Builder
+	b.Grow(15)
+	for shift := 24; shift >= 0; shift -= 8 {
+		if shift != 24 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(int(a >> uint(shift) & 0xff)))
+	}
+	return b.String()
+}

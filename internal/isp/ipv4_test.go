@@ -1,0 +1,78 @@
+package isp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Addr
+		wantErr bool
+	}{
+		{give: "0.0.0.0", want: 0},
+		{give: "1.0.0.0", want: 1 << 24},
+		{give: "202.108.22.5", want: 202<<24 | 108<<16 | 22<<8 | 5},
+		{give: "255.255.255.255", want: 0xffffffff},
+		{give: "256.0.0.1", wantErr: true},
+		{give: "1.2.3", wantErr: true},
+		{give: "1.2.3.4.5", wantErr: true},
+		{give: "a.b.c.d", wantErr: true},
+		{give: "", wantErr: true},
+		{give: "-1.2.3.4", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseAddr(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseAddr(%q) = %v, want error", tt.give, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseAddr(%q): %v", tt.give, err)
+			}
+			if got != tt.want {
+				t.Errorf("ParseAddr(%q) = %d, want %d", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	tests := []struct {
+		give Addr
+		want string
+	}{
+		{give: 0, want: "0.0.0.0"},
+		{give: 1<<24 | 2<<16 | 3<<8 | 4, want: "1.2.3.4"},
+		{give: 0xffffffff, want: "255.255.255.255"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Addr(%d).String() = %q, want %q", uint32(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	prop := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr on bad input did not panic")
+		}
+	}()
+	MustParseAddr("not-an-address")
+}

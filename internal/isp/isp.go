@@ -1,0 +1,104 @@
+// Package isp models the Internet-service-provider structure of the UUSee
+// peer population: an enumeration of the major Chinese ISPs the paper
+// reports (Fig. 2), a synthetic IPv4-range-to-ISP mapping database standing
+// in for the proprietary database UUSee provided to the Magellan authors,
+// and utilities to allocate peer IP addresses with a realistic ISP mix.
+//
+// The paper uses the database in one way only: translate a peer's IPv4
+// address into its ISP, with Chinese ISPs resolved individually and all
+// foreign addresses lumped into an "overseas" code. This package preserves
+// exactly that interface.
+package isp
+
+import "fmt"
+
+// ISP identifies the Internet service provider a peer's address belongs
+// to. The set mirrors Fig. 2 of the paper: the major Chinese carriers are
+// resolved individually, the remaining Chinese providers are grouped, and
+// every non-Chinese address maps to Oversea.
+type ISP uint8
+
+// The ISPs distinguished by the paper's mapping database.
+const (
+	Unknown ISP = iota
+	ChinaTelecom
+	ChinaNetcom
+	ChinaUnicom
+	ChinaTietong
+	ChinaEdu
+	ChinaOther
+	Oversea
+)
+
+// NumISPs is the number of known ISP codes, excluding Unknown.
+const NumISPs = 7
+
+// All lists every known ISP in display order (the order of the Fig. 2
+// legend).
+func All() []ISP {
+	return []ISP{
+		ChinaTelecom,
+		ChinaNetcom,
+		ChinaUnicom,
+		ChinaTietong,
+		ChinaOther,
+		ChinaEdu,
+		Oversea,
+	}
+}
+
+var _names = map[ISP]string{
+	Unknown:      "Unknown",
+	ChinaTelecom: "China Telecom",
+	ChinaNetcom:  "China Netcom",
+	ChinaUnicom:  "China Unicom",
+	ChinaTietong: "China Tietong",
+	ChinaEdu:     "China Edu",
+	ChinaOther:   "China Other",
+	Oversea:      "Oversea",
+}
+
+// String returns the human-readable ISP name used in figures and reports.
+func (p ISP) String() string {
+	if s, ok := _names[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("ISP(%d)", uint8(p))
+}
+
+// Valid reports whether p is one of the known ISP codes (Unknown excluded).
+func (p ISP) Valid() bool {
+	return p >= ChinaTelecom && p <= Oversea
+}
+
+// Domestic reports whether p is a Chinese ISP. The paper's ISP-level
+// analyses (intra-ISP degree, per-ISP subgraphs) focus on domestic ISPs.
+func (p ISP) Domestic() bool {
+	return p >= ChinaTelecom && p <= ChinaOther
+}
+
+// ParseISP maps a display name back to its ISP code.
+func ParseISP(name string) (ISP, error) {
+	for p, s := range _names {
+		if s == name {
+			return p, nil
+		}
+	}
+	return Unknown, fmt.Errorf("isp: unknown ISP name %q", name)
+}
+
+// DefaultShares returns the fraction of the peer population assigned to
+// each ISP. The values are synthetic, read off the Fig. 2 pie chart: China
+// Telecom and China Netcom dominate, a substantial overseas share remains,
+// and the smaller domestic carriers split the rest. The shares sum to 1.
+func DefaultShares() map[ISP]float64 {
+	return map[ISP]float64{
+		ChinaTelecom: 0.38,
+		ChinaNetcom:  0.27,
+		ChinaUnicom:  0.06,
+		ChinaTietong: 0.05,
+		ChinaOther:   0.07,
+		ChinaEdu:     0.07,
+		Oversea:      0.10,
+	}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Bin is one point of a discrete distribution: a value and the fraction
+// of the population at (PDF) or at-or-above (CCDF) it.
+type Bin struct {
+	Value int
+	Frac  float64
+}
+
+// Histogram is a frequency count over non-negative integers (degrees,
+// partner counts).
+type Histogram struct {
+	counts map[int]int
+	n      int
+}
+
+// NewHistogram counts the given values.
+func NewHistogram(values []int) *Histogram {
+	h := &Histogram{counts: make(map[int]int)}
+	for _, v := range values {
+		h.Add(v)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.n++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return h.n }
+
+// Count returns how many observations equal v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.n)
+}
+
+// Mode returns the most frequent value — the "spike" location the paper
+// reads off its degree distributions. Ties resolve to the smaller value.
+func (h *Histogram) Mode() int {
+	best, bestCount := 0, -1
+	for v, c := range h.counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PDF returns (value, fraction) pairs in ascending value order.
+func (h *Histogram) PDF() []Bin {
+	out := make([]Bin, 0, len(h.counts))
+	for v, c := range h.counts {
+		out = append(out, Bin{Value: v, Frac: float64(c) / float64(h.n)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// CCDF returns (value, P(X ≥ value)) pairs in ascending value order.
+func (h *Histogram) CCDF() []Bin {
+	pdf := h.PDF()
+	out := make([]Bin, len(pdf))
+	rest := 1.0
+	for i, b := range pdf {
+		out[i] = Bin{Value: b.Value, Frac: rest}
+		rest -= b.Frac
+	}
+	return out
+}
+
+// Values replays every observation (order by value); used to feed
+// fitting routines.
+func (h *Histogram) Values() []int {
+	out := make([]int, 0, h.n)
+	keys := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	for _, v := range keys {
+		for i := 0; i < h.counts[v]; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LogBin is one logarithmic bin of a distribution: [Lo, Hi] inclusive
+// with the average per-value probability density inside.
+type LogBin struct {
+	Lo, Hi  int
+	Density float64
+}
+
+// LogBins bins a histogram logarithmically with the given base (> 1),
+// the standard presentation for log-log degree plots: equal-width bins in
+// log space, each reporting probability mass divided by bin width.
+func (h *Histogram) LogBins(base float64) []LogBin {
+	if h.n == 0 || base <= 1 {
+		return nil
+	}
+	max := h.Max()
+	var out []LogBin
+	lo := 1
+	for lo <= max {
+		hi := int(math.Ceil(float64(lo)*base)) - 1
+		if hi < lo {
+			hi = lo
+		}
+		mass := 0
+		for v := lo; v <= hi; v++ {
+			mass += h.counts[v]
+		}
+		if mass > 0 {
+			width := float64(hi - lo + 1)
+			out = append(out, LogBin{
+				Lo:      lo,
+				Hi:      hi,
+				Density: float64(mass) / float64(h.n) / width,
+			})
+		}
+		lo = hi + 1
+	}
+	return out
+}

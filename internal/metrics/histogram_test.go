@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]int{1, 2, 2, 3, 3, 3})
+	if h.N() != 6 {
+		t.Errorf("N = %d, want 6", h.N())
+	}
+	if h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Errorf("counts wrong: %d, %d", h.Count(3), h.Count(9))
+	}
+	if m := h.Mean(); math.Abs(m-14.0/6) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", m, 14.0/6)
+	}
+	if h.Mode() != 3 {
+		t.Errorf("Mode = %d, want 3", h.Mode())
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d, want 3", h.Max())
+	}
+}
+
+func TestHistogramModeTieBreak(t *testing.T) {
+	h := NewHistogram([]int{5, 5, 2, 2, 8})
+	if h.Mode() != 2 {
+		t.Errorf("Mode = %d, want 2 (smaller value wins ties)", h.Mode())
+	}
+}
+
+func TestPDFSumsToOne(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		for i, v := range raw {
+			vals[i] = int(v)
+		}
+		h := NewHistogram(vals)
+		var sum float64
+		prev := -1
+		for _, b := range h.PDF() {
+			if b.Value <= prev {
+				return false // not ascending
+			}
+			prev = b.Value
+			sum += b.Frac
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	h := NewHistogram([]int{1, 1, 2, 5, 5, 5, 9})
+	ccdf := h.CCDF()
+	if ccdf[0].Frac != 1 {
+		t.Errorf("CCDF starts at %v, want 1", ccdf[0].Frac)
+	}
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i].Frac > ccdf[i-1].Frac {
+			t.Fatal("CCDF not non-increasing")
+		}
+	}
+	// P(X ≥ 9) = 1/7.
+	last := ccdf[len(ccdf)-1]
+	if last.Value != 9 || math.Abs(last.Frac-1.0/7) > 1e-12 {
+		t.Errorf("last CCDF bin = %+v, want {9, 1/7}", last)
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	orig := []int{4, 4, 1, 7, 7, 7}
+	h := NewHistogram(orig)
+	back := h.Values()
+	if len(back) != len(orig) {
+		t.Fatalf("Values length %d, want %d", len(back), len(orig))
+	}
+	h2 := NewHistogram(back)
+	for v := 0; v <= 10; v++ {
+		if h.Count(v) != h2.Count(v) {
+			t.Fatalf("count mismatch at %d", v)
+		}
+	}
+}
+
+func TestLogBins(t *testing.T) {
+	vals := make([]int, 0, 1000)
+	for i := 1; i <= 1000; i++ {
+		vals = append(vals, i%100+1)
+	}
+	h := NewHistogram(vals)
+	bins := h.LogBins(2)
+	if len(bins) == 0 {
+		t.Fatal("no bins")
+	}
+	// Bins tile [1, max] without overlap.
+	prev := 0
+	var mass float64
+	for _, b := range bins {
+		if b.Lo != prev+1 {
+			t.Errorf("bin starts at %d, want %d", b.Lo, prev+1)
+		}
+		if b.Hi < b.Lo {
+			t.Errorf("inverted bin %+v", b)
+		}
+		prev = b.Hi
+		mass += b.Density * float64(b.Hi-b.Lo+1)
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("total binned mass = %v, want 1", mass)
+	}
+}
+
+func TestLogBinsDegenerate(t *testing.T) {
+	if bins := NewHistogram(nil).LogBins(2); bins != nil {
+		t.Error("empty histogram produced bins")
+	}
+	if bins := NewHistogram([]int{3}).LogBins(1); bins != nil {
+		t.Error("base ≤ 1 produced bins")
+	}
+}
+
+func TestHistogramAddIncremental(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 10; i++ {
+		h.Add(7)
+	}
+	if h.N() != 10 || h.Count(7) != 10 {
+		t.Errorf("incremental add failed: N=%d", h.N())
+	}
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Autocorrelation returns the normalized autocorrelation of the series'
+// values at the given lag (in samples). The series must be sorted and
+// evenly sampled; lag must satisfy 0 ≤ lag < Len.
+func (s *Series) Autocorrelation(lag int) float64 {
+	n := len(s.points)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	mean := s.Mean()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := s.points[i].V - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (s.points[i].V - mean) * (s.points[i+lag].V - mean)
+	}
+	return num / den
+}
+
+// DominantPeriod scans lags in [minLag, maxLag] (in samples) and returns
+// the lag with the highest autocorrelation together with that
+// correlation. It is how the tests verify the peer-count series carries
+// the paper's 24-hour diurnal cycle without eyeballing a plot.
+func (s *Series) DominantPeriod(minLag, maxLag int) (lag int, corr float64) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(s.points) {
+		maxLag = len(s.points) - 1
+	}
+	best, bestLag := math.Inf(-1), 0
+	for l := minLag; l <= maxLag; l++ {
+		if c := s.Autocorrelation(l); c > best {
+			best, bestLag = c, l
+		}
+	}
+	if bestLag == 0 {
+		return 0, 0
+	}
+	return bestLag, best
+}
+
+// DominantPeriodDuration is DominantPeriod expressed in wall time, given
+// the series' sampling interval.
+func (s *Series) DominantPeriodDuration(interval time.Duration, min, max time.Duration) (time.Duration, float64) {
+	if interval <= 0 {
+		return 0, 0
+	}
+	lag, corr := s.DominantPeriod(int(min/interval), int(max/interval))
+	return time.Duration(lag) * interval, corr
+}

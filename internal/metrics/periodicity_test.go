@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sineSeries(period int, n int) *Series {
+	s := NewSeries()
+	for i := 0; i < n; i++ {
+		v := math.Sin(2 * math.Pi * float64(i) / float64(period))
+		s.Add(_t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	return s
+}
+
+func TestAutocorrelationAtPeriod(t *testing.T) {
+	s := sineSeries(48, 480)
+	if c := s.Autocorrelation(48); c < 0.8 {
+		t.Errorf("ACF at true period = %.3f, want high", c)
+	}
+	if c := s.Autocorrelation(24); c > -0.5 {
+		t.Errorf("ACF at half period = %.3f, want strongly negative", c)
+	}
+	if c := s.Autocorrelation(0); math.Abs(c-1) > 1e-9 {
+		t.Errorf("ACF at lag 0 = %v, want 1", c)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	s := seriesOf(5, 5, 5, 5)
+	if c := s.Autocorrelation(1); c != 0 {
+		t.Errorf("constant series ACF = %v, want 0 (no variance)", c)
+	}
+	if c := s.Autocorrelation(-1); c != 0 {
+		t.Error("negative lag not rejected")
+	}
+	if c := s.Autocorrelation(99); c != 0 {
+		t.Error("lag beyond length not rejected")
+	}
+}
+
+func TestDominantPeriodFindsSine(t *testing.T) {
+	s := sineSeries(48, 480)
+	lag, corr := s.DominantPeriod(30, 70)
+	if lag < 46 || lag > 50 {
+		t.Errorf("dominant period = %d samples, want ≈ 48", lag)
+	}
+	if corr < 0.8 {
+		t.Errorf("dominant correlation = %.3f, want high", corr)
+	}
+}
+
+func TestDominantPeriodDuration(t *testing.T) {
+	s := sineSeries(48, 480) // one-minute sampling, 48-minute period
+	d, corr := s.DominantPeriodDuration(time.Minute, 30*time.Minute, 70*time.Minute)
+	if d < 46*time.Minute || d > 50*time.Minute {
+		t.Errorf("dominant period = %v, want ≈ 48m", d)
+	}
+	if corr < 0.8 {
+		t.Errorf("correlation = %.3f", corr)
+	}
+	if d, _ := s.DominantPeriodDuration(0, time.Minute, time.Hour); d != 0 {
+		t.Error("zero interval not rejected")
+	}
+}
+
+func TestDominantPeriodDegenerate(t *testing.T) {
+	s := seriesOf(1, 2)
+	if lag, _ := s.DominantPeriod(5, 10); lag != 0 {
+		t.Errorf("degenerate window returned lag %d, want 0", lag)
+	}
+}

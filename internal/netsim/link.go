@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Host is the network identity of a peer: its address, ISP, and access
+// capacity. The protocol layer decorates this with streaming state.
+type Host struct {
+	Addr isp.Addr
+	ISP  isp.ISP
+	Cap  Capacity
+}
+
+// Link describes the measured quality of a TCP connection between two
+// hosts: the round-trip delay and the per-connection throughput ceiling.
+// These are the two quantities each UUSee peer measures on its partner
+// connections before choosing whom to stream from (Sec. 3.1).
+type Link struct {
+	RTT          time.Duration
+	CapacityKbps float64
+	// SameISP records whether both endpoints share an ISP. The deployed
+	// client never consults it (ISP locality emerges from quality
+	// alone); the future-work locality experiment biases supplier
+	// selection with it.
+	SameISP bool
+}
+
+// Score is the suitability metric peer selection ranks partners by:
+// achievable throughput, discounted by delay. Higher is better.
+func (l Link) Score() float64 {
+	ms := float64(l.RTT) / float64(time.Millisecond)
+	return l.CapacityKbps / (1 + ms/100)
+}
+
+// pathCategory classifies a host pair for the latency/congestion model.
+type pathCategory uint8
+
+const (
+	_pathIntraISP pathCategory = iota + 1
+	_pathDomesticCross
+	_pathChinaOversea
+	_pathOverseaOversea
+)
+
+// Baseline RTTs and inter-network congestion discounts per category. The
+// numbers model the well-documented state of Chinese inter-carrier peering
+// circa 2006: crossing the Telecom/Netcom boundary cost most of a
+// connection's throughput, and trans-Pacific paths cost more still.
+var _pathSpec = map[pathCategory]struct {
+	baseRTT   time.Duration
+	congested float64 // multiplier on per-connection throughput
+}{
+	_pathIntraISP:       {baseRTT: 25 * time.Millisecond, congested: 1.0},
+	_pathDomesticCross:  {baseRTT: 85 * time.Millisecond, congested: 0.35},
+	_pathChinaOversea:   {baseRTT: 230 * time.Millisecond, congested: 0.15},
+	_pathOverseaOversea: {baseRTT: 140 * time.Millisecond, congested: 0.5},
+}
+
+// _tcpWindowBits is the effective TCP window used to derive the
+// per-connection throughput ceiling (window / RTT): 16 KB, typical for
+// 2006-era consumer stacks without window scaling.
+const _tcpWindowBits = 16 * 1024 * 8
+
+// Network derives deterministic link properties for any host pair. The
+// same pair always measures the same link (up to the seed), which mirrors
+// reality — path quality is a property of the route — and keeps
+// simulations reproducible.
+type Network struct {
+	seed uint64
+
+	// ISPBlind, when set, erases the intra-/inter-ISP quality asymmetry:
+	// every pair is treated as a mid-quality domestic path. Used by the
+	// ablation experiments to show ISP clustering is caused by the
+	// asymmetry rather than by the protocol.
+	ISPBlind bool
+}
+
+// NewNetwork builds a network model with the given seed.
+func NewNetwork(seed uint64) *Network {
+	return &Network{seed: seed}
+}
+
+// Link returns the link quality between two hosts. It is symmetric:
+// Link(a,b) == Link(b,a).
+func (n *Network) Link(a, b Host) Link {
+	cat := n.classify(a.ISP, b.ISP)
+	spec := _pathSpec[cat]
+
+	rttJitter, capJitter := n.pairJitter(a.Addr, b.Addr)
+	// Jitter in [0.6, 1.8): long tails exist, but most paths sit near the
+	// category baseline.
+	rtt := time.Duration(float64(spec.baseRTT) * (0.6 + 1.2*rttJitter))
+
+	capKbps := _tcpWindowBits / rtt.Seconds() / 1000 // kbps achievable at this RTT
+	capKbps *= spec.congested * (0.7 + 0.6*capJitter)
+
+	// A connection can never beat the slower endpoint's access link.
+	if lim := minf(a.Cap.UpKbps, b.Cap.DownKbps); capKbps > lim {
+		capKbps = lim
+	}
+	return Link{RTT: rtt, CapacityKbps: capKbps, SameISP: a.ISP == b.ISP && a.ISP != isp.Unknown}
+}
+
+func (n *Network) classify(a, b isp.ISP) pathCategory {
+	if n.ISPBlind {
+		return _pathDomesticCross
+	}
+	switch {
+	case a == b:
+		return _pathIntraISP
+	case a == isp.Oversea && b == isp.Oversea:
+		return _pathOverseaOversea
+	case a == isp.Oversea || b == isp.Oversea:
+		return _pathChinaOversea
+	default:
+		return _pathDomesticCross
+	}
+}
+
+// pairJitter hashes the unordered pair into two uniform values in [0, 1).
+func (n *Network) pairJitter(a, b isp.Addr) (float64, float64) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	putUint64(buf[0:], n.seed)
+	putUint64(buf[8:], uint64(lo))
+	putUint64(buf[16:], uint64(hi))
+	_, _ = h.Write(buf[:])
+	v := h.Sum64()
+	const norm = float64(1<<32 - 1)
+	return float64(v>>32) / norm, float64(v&0xffffffff) / norm
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

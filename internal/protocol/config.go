@@ -1,0 +1,102 @@
+// Package protocol implements the UUSee peer-selection protocol the paper
+// describes in Sec. 3.1: tracker-assisted bootstrap with up to 50 initial
+// partners, quality-ranked selection of around 30 peers to actually
+// request media from, availability-driven registration at the tracker,
+// partner recommendation between neighbours, and tracker re-contact as a
+// last resort when playback starves.
+//
+// The package holds peer and tracker state machines only; moving bytes
+// across the mesh is the stream package's job, and wiring everything to
+// virtual time is the sim package's.
+package protocol
+
+import "time"
+
+// Config carries the protocol constants. The defaults are the values the
+// paper states or implies for the deployed UUSee client.
+type Config struct {
+	// MaxBootstrap is the size of the initial partner set supplied by the
+	// tracker ("up to 50").
+	MaxBootstrap int
+	// TargetActive is the number of most-suitable partners a peer selects
+	// to request media blocks from ("around 30").
+	TargetActive int
+	// MaxPartners caps a peer's partner list; beyond it new connections
+	// are refused.
+	MaxPartners int
+	// TrackerRefill is how many extra partners a starving peer asks the
+	// tracker for.
+	TrackerRefill int
+	// RecommendSize is how many partners a neighbour recommends per
+	// exchange.
+	RecommendSize int
+	// AvailabilityHeadroomKbps is the spare upload capacity a peer must
+	// retain to register as available for new connections at the tracker.
+	AvailabilityHeadroomKbps float64
+	// StarveQuality and StarveRounds define starvation: quality EWMA
+	// below StarveQuality for StarveRounds consecutive maintenance rounds
+	// triggers tracker re-contact.
+	StarveQuality float64
+	StarveRounds  int
+	// MaintInterval is the period of the maintenance loop (selection
+	// refresh, recommendations, starvation checks).
+	MaintInterval time.Duration
+
+	// LocalityBias is the paper's "future work" extension: the fraction
+	// of each bootstrap sample the tracker draws from the requester's
+	// own ISP (when it knows peer ISPs). 0 — the deployed protocol — is
+	// fully ISP-oblivious; the analyses then show clustering emerging
+	// from link quality alone. Positive values let the
+	// locality-bias experiment measure how much inter-ISP traffic an
+	// ISP-aware tracker saves.
+	LocalityBias float64
+}
+
+// DefaultConfig returns the deployed-client constants.
+func DefaultConfig() Config {
+	return Config{
+		MaxBootstrap:             50,
+		TargetActive:             30,
+		MaxPartners:              80,
+		TrackerRefill:            10,
+		RecommendSize:            5,
+		AvailabilityHeadroomKbps: 100,
+		StarveQuality:            0.85,
+		StarveRounds:             2,
+		MaintInterval:            5 * time.Minute,
+	}
+}
+
+// sanitize fills zero fields with defaults so partially-specified configs
+// behave sensibly.
+func (c Config) sanitize() Config {
+	d := DefaultConfig()
+	if c.MaxBootstrap <= 0 {
+		c.MaxBootstrap = d.MaxBootstrap
+	}
+	if c.TargetActive <= 0 {
+		c.TargetActive = d.TargetActive
+	}
+	if c.MaxPartners <= 0 {
+		c.MaxPartners = d.MaxPartners
+	}
+	if c.TrackerRefill <= 0 {
+		c.TrackerRefill = d.TrackerRefill
+	}
+	if c.RecommendSize <= 0 {
+		c.RecommendSize = d.RecommendSize
+	}
+	if c.AvailabilityHeadroomKbps <= 0 {
+		c.AvailabilityHeadroomKbps = d.AvailabilityHeadroomKbps
+	}
+	if c.StarveQuality <= 0 {
+		c.StarveQuality = d.StarveQuality
+	}
+	if c.StarveRounds <= 0 {
+		c.StarveRounds = d.StarveRounds
+	}
+	if c.MaintInterval <= 0 {
+		c.MaintInterval = d.MaintInterval
+	}
+	return c
+}

@@ -1,0 +1,265 @@
+package protocol
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/netsim"
+)
+
+// Partner is one edge of a peer's partner list: a live TCP connection
+// with its measured quality and the segment bookkeeping the UUSee client
+// keeps per partner (Sec. 3.2: "the number of sent/received segments over
+// the TCP connection").
+type Partner struct {
+	ID    isp.Addr
+	Port  uint16
+	Link  netsim.Link
+	Added time.Time
+
+	// Cumulative segment counters over the connection's lifetime.
+	CumSent float64
+	CumRecv float64
+	// Window counters since the peer's last trace report; the report
+	// carries these and resets them.
+	WinSent float64
+	WinRecv float64
+}
+
+// MaxDepth is the depth assigned to peers with no supply path from an
+// origin server; only the tree-push ablation consults depths.
+const MaxDepth = 1 << 30
+
+// Peer is a UUSee client's protocol state.
+type Peer struct {
+	Host     netsim.Host
+	Port     uint16
+	Channel  string
+	RateKbps float64
+	JoinedAt time.Time
+	// IsServer marks UUSee origin streaming servers: they never depart,
+	// never consume, and never report.
+	IsServer bool
+	// Depth is the peer's hop distance from the origin servers over the
+	// current supply mesh; only the tree-push ablation consults it.
+	Depth int
+
+	// QualityEWMA tracks smoothed playback quality (received rate over
+	// stream rate, capped at 1).
+	QualityEWMA float64
+	// LastSentKbps and LastRecvKbps are the aggregate instantaneous
+	// throughputs measured over the previous tick, as reported to the
+	// trace server.
+	LastSentKbps float64
+	LastRecvKbps float64
+	// ShareEstimate is the per-receiver upload share this peer advertised
+	// after the last tick; receivers use it to size their requests.
+	ShareEstimate float64
+	// StarveCount counts consecutive maintenance rounds below the
+	// starvation quality threshold.
+	StarveCount int
+	// LocalityBias weights same-ISP links in supplier ranking (the
+	// future-work ISP-aware client). 0 reproduces the deployed,
+	// ISP-oblivious selection.
+	LocalityBias float64
+	// TickRecvSeg and TickSentSeg accumulate segments moved during the
+	// current exchange tick; the stream package owns and resets them.
+	TickRecvSeg float64
+	TickSentSeg float64
+
+	// Buffer and PlaySeg are the block-mode state: the sliding-window
+	// buffer map the client advertises to partners, and the playback
+	// position in stream segments. The flow-level exchange mode leaves
+	// them untouched (reports then carry a synthesized bitmap).
+	Buffer  Window
+	PlaySeg float64
+
+	partners map[isp.Addr]*Partner
+	ids      []isp.Addr // sorted partner IDs, rebuilt lazily
+	idsDirty bool
+}
+
+// NewPeer initializes protocol state for a joining peer (or server).
+func NewPeer(host netsim.Host, port uint16, channel string, rateKbps float64, joined time.Time) *Peer {
+	return &Peer{
+		Host:          host,
+		Port:          port,
+		Channel:       channel,
+		RateKbps:      rateKbps,
+		JoinedAt:      joined,
+		Depth:         MaxDepth,
+		QualityEWMA:   1, // optimistic start; decays immediately if unserved
+		ShareEstimate: host.Cap.UpKbps / 4,
+		partners:      make(map[isp.Addr]*Partner),
+	}
+}
+
+// ID returns the peer's identity — its IP address, as in the traces.
+func (p *Peer) ID() isp.Addr { return p.Host.Addr }
+
+// PartnerCount returns the size of the partner list.
+func (p *Peer) PartnerCount() int { return len(p.partners) }
+
+// Partner returns the partner entry for id, or nil.
+func (p *Peer) Partner(id isp.Addr) *Partner { return p.partners[id] }
+
+// PartnerIDs returns the partner IDs in ascending order. The slice is
+// owned by the peer and must not be mutated by callers.
+func (p *Peer) PartnerIDs() []isp.Addr {
+	if p.idsDirty {
+		p.ids = p.ids[:0]
+		for id := range p.partners {
+			p.ids = append(p.ids, id)
+		}
+		sort.Slice(p.ids, func(i, j int) bool { return p.ids[i] < p.ids[j] })
+		p.idsDirty = false
+	}
+	return p.ids
+}
+
+// Partners calls fn for every partner in ascending ID order.
+func (p *Peer) Partners(fn func(*Partner)) {
+	for _, id := range p.PartnerIDs() {
+		fn(p.partners[id])
+	}
+}
+
+// addPartner inserts a partner entry. It does not check limits; Connect
+// does.
+func (p *Peer) addPartner(q *Peer, link netsim.Link, now time.Time) {
+	p.partners[q.ID()] = &Partner{ID: q.ID(), Port: q.Port, Link: link, Added: now}
+	p.idsDirty = true
+}
+
+// RemovePartner drops one side of a partnership. Disconnect removes both.
+func (p *Peer) RemovePartner(id isp.Addr) {
+	if _, ok := p.partners[id]; ok {
+		delete(p.partners, id)
+		p.idsDirty = true
+	}
+}
+
+// HasPartner reports whether id is in the partner list.
+func (p *Peer) HasPartner(id isp.Addr) bool {
+	_, ok := p.partners[id]
+	return ok
+}
+
+// AcceptsConnection reports whether the peer will accept one more
+// partner. Origin servers always accept; regular peers refuse beyond
+// MaxPartners, mirroring the deployed client's connection cap.
+func (p *Peer) AcceptsConnection(cfg Config) bool {
+	if p.IsServer {
+		return true
+	}
+	return len(p.partners) < cfg.MaxPartners
+}
+
+// SpareUploadKbps estimates unused upload capacity from the last tick's
+// aggregate sending throughput — the quantity each UUSee peer
+// continuously monitors to decide whether to volunteer at the tracker.
+func (p *Peer) SpareUploadKbps() float64 {
+	spare := p.Host.Cap.UpKbps - p.LastSentKbps
+	if spare < 0 {
+		return 0
+	}
+	return spare
+}
+
+// TopSuppliers returns up to k partners ranked by link score (best
+// first), ties broken by ID — the "most suitable peers from which it
+// actually requests media blocks".
+func (p *Peer) TopSuppliers(k int) []*Partner {
+	ranked := make([]*Partner, 0, len(p.partners))
+	for _, id := range p.PartnerIDs() {
+		ranked = append(ranked, p.partners[id])
+	}
+	score := func(pt *Partner) float64 {
+		s := pt.Link.Score()
+		if pt.Link.SameISP {
+			s *= 1 + p.LocalityBias
+		}
+		return s
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(ranked[i]), score(ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// ResetWindow clears the per-report-window segment counters, called after
+// the peer emits a trace report.
+func (p *Peer) ResetWindow() {
+	for _, pt := range p.partners {
+		pt.WinSent, pt.WinRecv = 0, 0
+	}
+}
+
+// UpdateQuality folds one tick's delivered fraction into the EWMA.
+func (p *Peer) UpdateQuality(fraction float64) {
+	if fraction > 1 {
+		fraction = 1
+	}
+	const alpha = 0.3
+	p.QualityEWMA = (1-alpha)*p.QualityEWMA + alpha*fraction
+}
+
+// Recommend samples up to n of the peer's partners, excluding the
+// requester — the "recommend known partners to each other" mechanism.
+// Sampling is uniform over the partner list.
+func (p *Peer) Recommend(rng *rand.Rand, requester isp.Addr, n int) []isp.Addr {
+	ids := p.PartnerIDs()
+	candidates := make([]isp.Addr, 0, len(ids))
+	for _, id := range ids {
+		if id != requester {
+			candidates = append(candidates, id)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > n {
+		candidates = candidates[:n]
+	}
+	return candidates
+}
+
+// Connect establishes a partnership between two peers over the given
+// link, enforcing acceptance rules. It reports whether the connection was
+// made. Self-connections, duplicates, cross-channel pairs, and refusals
+// all fail.
+func Connect(p, q *Peer, link netsim.Link, cfg Config, now time.Time) bool {
+	if p == nil || q == nil || p == q || p.ID() == q.ID() {
+		return false
+	}
+	if p.Channel != q.Channel && !p.IsServer && !q.IsServer {
+		return false
+	}
+	if p.HasPartner(q.ID()) {
+		return false
+	}
+	if !p.AcceptsConnection(cfg) || !q.AcceptsConnection(cfg) {
+		return false
+	}
+	p.addPartner(q, link, now)
+	q.addPartner(p, link, now)
+	return true
+}
+
+// Disconnect tears down a partnership from both sides.
+func Disconnect(p, q *Peer) {
+	if p == nil || q == nil {
+		return
+	}
+	p.RemovePartner(q.ID())
+	q.RemovePartner(p.ID())
+}

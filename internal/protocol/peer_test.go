@@ -1,0 +1,254 @@
+package protocol
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/netsim"
+)
+
+var _t0 = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func testPeer(addr uint32, channel string) *Peer {
+	host := netsim.Host{
+		Addr: isp.Addr(addr),
+		ISP:  isp.ChinaTelecom,
+		Cap:  netsim.Capacity{UpKbps: 448, DownKbps: 2048},
+	}
+	return NewPeer(host, 12345, channel, 400, _t0)
+}
+
+func testLink(scoreKbps float64) netsim.Link {
+	return netsim.Link{RTT: 50 * time.Millisecond, CapacityKbps: scoreKbps}
+}
+
+func TestConnectEstablishesBothSides(t *testing.T) {
+	cfg := DefaultConfig()
+	p, q := testPeer(1, "CCTV1"), testPeer(2, "CCTV1")
+	if !Connect(p, q, testLink(500), cfg, _t0) {
+		t.Fatal("Connect failed")
+	}
+	if !p.HasPartner(q.ID()) || !q.HasPartner(p.ID()) {
+		t.Error("partnership not symmetric")
+	}
+	if p.PartnerCount() != 1 || q.PartnerCount() != 1 {
+		t.Errorf("partner counts = %d, %d; want 1, 1", p.PartnerCount(), q.PartnerCount())
+	}
+	if p.Partner(q.ID()).Port != q.Port {
+		t.Error("partner record missing port")
+	}
+}
+
+func TestConnectRejections(t *testing.T) {
+	cfg := DefaultConfig()
+	p := testPeer(1, "CCTV1")
+	q := testPeer(2, "CCTV1")
+	other := testPeer(3, "CCTV4")
+
+	if Connect(p, p, testLink(500), cfg, _t0) {
+		t.Error("self-connection accepted")
+	}
+	if Connect(nil, p, testLink(500), cfg, _t0) || Connect(p, nil, testLink(500), cfg, _t0) {
+		t.Error("nil peer accepted")
+	}
+	if Connect(p, other, testLink(500), cfg, _t0) {
+		t.Error("cross-channel connection accepted")
+	}
+	if !Connect(p, q, testLink(500), cfg, _t0) {
+		t.Fatal("valid connect failed")
+	}
+	if Connect(p, q, testLink(500), cfg, _t0) {
+		t.Error("duplicate connection accepted")
+	}
+}
+
+func TestConnectServerCrossesChannels(t *testing.T) {
+	cfg := DefaultConfig()
+	server := testPeer(100, "")
+	server.IsServer = true
+	p := testPeer(1, "CCTV1")
+	if !Connect(p, server, testLink(5000), cfg, _t0) {
+		t.Error("server connection refused")
+	}
+}
+
+func TestConnectRespectsMaxPartners(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPartners = 3
+	p := testPeer(1, "CCTV1")
+	for i := 2; i <= 4; i++ {
+		if !Connect(p, testPeer(uint32(i), "CCTV1"), testLink(500), cfg, _t0) {
+			t.Fatalf("connect %d failed below cap", i)
+		}
+	}
+	if Connect(p, testPeer(99, "CCTV1"), testLink(500), cfg, _t0) {
+		t.Error("connection accepted beyond MaxPartners")
+	}
+	server := testPeer(200, "")
+	server.IsServer = true
+	for i := 0; i < 5; i++ {
+		q := testPeer(uint32(300+i), "CCTV1")
+		if !Connect(q, server, testLink(500), cfg, _t0) {
+			t.Error("server refused connection (servers always accept)")
+		}
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	cfg := DefaultConfig()
+	p, q := testPeer(1, "CCTV1"), testPeer(2, "CCTV1")
+	Connect(p, q, testLink(500), cfg, _t0)
+	Disconnect(p, q)
+	if p.HasPartner(q.ID()) || q.HasPartner(p.ID()) {
+		t.Error("Disconnect left a side connected")
+	}
+	Disconnect(p, q) // idempotent
+	Disconnect(nil, q)
+}
+
+func TestPartnerIDsSorted(t *testing.T) {
+	cfg := DefaultConfig()
+	p := testPeer(1, "CCTV1")
+	for _, a := range []uint32{50, 3, 999, 20, 7} {
+		Connect(p, testPeer(a, "CCTV1"), testLink(500), cfg, _t0)
+	}
+	ids := p.PartnerIDs()
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Errorf("PartnerIDs not sorted: %v", ids)
+	}
+	p.RemovePartner(isp.Addr(20))
+	ids = p.PartnerIDs()
+	if len(ids) != 4 {
+		t.Fatalf("after removal len = %d, want 4", len(ids))
+	}
+	for _, id := range ids {
+		if id == 20 {
+			t.Error("removed ID still listed")
+		}
+	}
+}
+
+func TestTopSuppliersRankedByScore(t *testing.T) {
+	cfg := DefaultConfig()
+	p := testPeer(1, "CCTV1")
+	scores := map[uint32]float64{10: 100, 11: 900, 12: 500, 13: 700, 14: 300}
+	for a, s := range scores {
+		q := testPeer(a, "CCTV1")
+		if !Connect(p, q, testLink(s), cfg, _t0) {
+			t.Fatal("connect failed")
+		}
+	}
+	top := p.TopSuppliers(3)
+	if len(top) != 3 {
+		t.Fatalf("TopSuppliers returned %d, want 3", len(top))
+	}
+	want := []isp.Addr{11, 13, 12}
+	for i, pt := range top {
+		if pt.ID != want[i] {
+			t.Errorf("rank %d = %v, want %v", i, pt.ID, want[i])
+		}
+	}
+	if got := p.TopSuppliers(100); len(got) != 5 {
+		t.Errorf("TopSuppliers(100) = %d partners, want all 5", len(got))
+	}
+}
+
+func TestTopSuppliersTieBreakByID(t *testing.T) {
+	cfg := DefaultConfig()
+	p := testPeer(1, "CCTV1")
+	for _, a := range []uint32{30, 10, 20} {
+		Connect(p, testPeer(a, "CCTV1"), testLink(400), cfg, _t0)
+	}
+	top := p.TopSuppliers(3)
+	for i := 1; i < len(top); i++ {
+		if top[i-1].ID > top[i].ID {
+			t.Errorf("equal scores not ID-ordered: %v", []isp.Addr{top[0].ID, top[1].ID, top[2].ID})
+		}
+	}
+}
+
+func TestResetWindowPreservesCumulative(t *testing.T) {
+	cfg := DefaultConfig()
+	p, q := testPeer(1, "CCTV1"), testPeer(2, "CCTV1")
+	Connect(p, q, testLink(500), cfg, _t0)
+	pt := p.Partner(q.ID())
+	pt.WinRecv, pt.WinSent = 42, 17
+	pt.CumRecv, pt.CumSent = 42, 17
+	p.ResetWindow()
+	if pt.WinRecv != 0 || pt.WinSent != 0 {
+		t.Error("window counters not reset")
+	}
+	if pt.CumRecv != 42 || pt.CumSent != 17 {
+		t.Error("cumulative counters were reset")
+	}
+}
+
+func TestUpdateQuality(t *testing.T) {
+	p := testPeer(1, "CCTV1")
+	p.QualityEWMA = 1
+	for i := 0; i < 50; i++ {
+		p.UpdateQuality(0)
+	}
+	if p.QualityEWMA > 0.01 {
+		t.Errorf("EWMA after sustained starvation = %.3f, want ≈ 0", p.QualityEWMA)
+	}
+	for i := 0; i < 50; i++ {
+		p.UpdateQuality(5) // capped at 1
+	}
+	if p.QualityEWMA > 1.0001 {
+		t.Errorf("EWMA exceeded 1: %.3f", p.QualityEWMA)
+	}
+}
+
+func TestSpareUploadKbps(t *testing.T) {
+	p := testPeer(1, "CCTV1")
+	p.LastSentKbps = 100
+	if got := p.SpareUploadKbps(); got != 348 {
+		t.Errorf("SpareUploadKbps = %v, want 348", got)
+	}
+	p.LastSentKbps = 1000
+	if got := p.SpareUploadKbps(); got != 0 {
+		t.Errorf("oversubscribed spare = %v, want 0", got)
+	}
+}
+
+func TestRecommendExcludesRequester(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	p := testPeer(1, "CCTV1")
+	for i := 2; i <= 12; i++ {
+		Connect(p, testPeer(uint32(i), "CCTV1"), testLink(500), cfg, _t0)
+	}
+	for trial := 0; trial < 50; trial++ {
+		rec := p.Recommend(rng, isp.Addr(5), 4)
+		if len(rec) != 4 {
+			t.Fatalf("Recommend returned %d, want 4", len(rec))
+		}
+		seen := make(map[isp.Addr]bool)
+		for _, id := range rec {
+			if id == 5 {
+				t.Fatal("requester recommended to itself")
+			}
+			if seen[id] {
+				t.Fatal("duplicate recommendation")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRecommendFewPartners(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	p := testPeer(1, "CCTV1")
+	Connect(p, testPeer(2, "CCTV1"), testLink(500), cfg, _t0)
+	if rec := p.Recommend(rng, 99, 5); len(rec) != 1 {
+		t.Errorf("Recommend = %d IDs, want 1", len(rec))
+	}
+	if rec := p.Recommend(rng, 2, 5); len(rec) != 0 {
+		t.Errorf("Recommend excluding only partner = %d IDs, want 0", len(rec))
+	}
+}

@@ -1,0 +1,264 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Tracker is a UUSee tracking server for a set of channels. It maintains,
+// per channel, the member list and the subset of peers that have
+// volunteered as available for new upload connections, and bootstraps new
+// peers "with peers randomly selected from this set" (Sec. 3.1).
+//
+// Tracker is not safe for concurrent use; the simulator drives it from
+// its single event loop.
+type Tracker struct {
+	cfg Config
+	rng *rand.Rand
+
+	channels map[string]*channelState
+	isps     map[isp.Addr]isp.ISP
+}
+
+type channelState struct {
+	members   *addrSet
+	available *addrSet
+	availISP  map[isp.ISP]*addrSet // maintained only when LocalityBias > 0
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg Config, rng *rand.Rand) *Tracker {
+	return &Tracker{
+		cfg:      cfg.sanitize(),
+		rng:      rng,
+		channels: make(map[string]*channelState),
+		isps:     make(map[isp.Addr]isp.ISP),
+	}
+}
+
+func (t *Tracker) channel(name string) *channelState {
+	cs, ok := t.channels[name]
+	if !ok {
+		cs = &channelState{members: newAddrSet(), available: newAddrSet()}
+		if t.cfg.LocalityBias > 0 {
+			cs.availISP = make(map[isp.ISP]*addrSet, isp.NumISPs)
+		}
+		t.channels[name] = cs
+	}
+	return cs
+}
+
+// SetISP records a peer's ISP, enabling locality-biased bootstrap when
+// the tracker is configured for it. The deployed UUSee tracker never
+// learned ISPs; this feeds the paper's future-work experiment.
+func (t *Tracker) SetISP(id isp.Addr, p isp.ISP) {
+	if t.cfg.LocalityBias > 0 && p.Valid() {
+		t.isps[id] = p
+	}
+}
+
+// Join registers a peer in a channel.
+func (t *Tracker) Join(channel string, id isp.Addr) {
+	t.channel(channel).members.add(id)
+}
+
+// Leave removes a peer from a channel and from the availability set.
+func (t *Tracker) Leave(channel string, id isp.Addr) {
+	cs := t.channel(channel)
+	cs.members.remove(id)
+	cs.available.remove(id)
+	if cs.availISP != nil {
+		if p, ok := t.isps[id]; ok {
+			if set := cs.availISP[p]; set != nil {
+				set.remove(id)
+			}
+		}
+	}
+	delete(t.isps, id)
+}
+
+// SetAvailable records whether a peer has spare upload capacity and is
+// willing to accept new connections.
+func (t *Tracker) SetAvailable(channel string, id isp.Addr, available bool) {
+	cs := t.channel(channel)
+	if !cs.members.contains(id) {
+		return
+	}
+	if available {
+		cs.available.add(id)
+	} else {
+		cs.available.remove(id)
+	}
+	if cs.availISP == nil {
+		return
+	}
+	p, ok := t.isps[id]
+	if !ok {
+		return
+	}
+	set := cs.availISP[p]
+	if set == nil {
+		set = newAddrSet()
+		cs.availISP[p] = set
+	}
+	if available {
+		set.add(id)
+	} else {
+		set.remove(id)
+	}
+}
+
+// Bootstrap returns up to n candidate partners for a joining or starving
+// peer: a random sample of available peers first, padded with random
+// channel members if availability is scarce. The requester itself is
+// excluded. The tracker is ISP-oblivious, as the paper emphasises — any
+// ISP locality in the topology must emerge later from peer selection.
+func (t *Tracker) Bootstrap(channel string, self isp.Addr, n int) []isp.Addr {
+	if n <= 0 {
+		n = t.cfg.MaxBootstrap
+	}
+	cs := t.channel(channel)
+
+	var out []isp.Addr
+	seen := make(map[isp.Addr]struct{}, n)
+	take := func(ids []isp.Addr) {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+
+	// Future-work extension: draw a configured fraction of the sample
+	// from the requester's own ISP first.
+	if t.cfg.LocalityBias > 0 && cs.availISP != nil {
+		if own, ok := t.isps[self]; ok {
+			if set := cs.availISP[own]; set != nil {
+				local := int(float64(n)*t.cfg.LocalityBias + 0.5)
+				take(set.sample(t.rng, local, self, nil))
+			}
+		}
+	}
+
+	take(cs.available.sample(t.rng, n-len(out), self, seen))
+	if len(out) < n {
+		take(cs.members.sample(t.rng, n-len(out), self, seen))
+	}
+	return out
+}
+
+// MemberCount returns the channel's registered peer count.
+func (t *Tracker) MemberCount(channel string) int {
+	return t.channel(channel).members.len()
+}
+
+// AvailableCount returns the channel's availability-set size.
+func (t *Tracker) AvailableCount(channel string) int {
+	return t.channel(channel).available.len()
+}
+
+// Channels returns the names of channels with at least one member.
+func (t *Tracker) Channels() []string {
+	var out []string
+	for name, cs := range t.channels {
+		if cs.members.len() > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// addrSet is a set of addresses with O(1) add/remove/uniform-sample.
+type addrSet struct {
+	ids []isp.Addr
+	idx map[isp.Addr]int
+}
+
+func newAddrSet() *addrSet {
+	return &addrSet{idx: make(map[isp.Addr]int)}
+}
+
+func (s *addrSet) len() int { return len(s.ids) }
+
+func (s *addrSet) contains(id isp.Addr) bool {
+	_, ok := s.idx[id]
+	return ok
+}
+
+func (s *addrSet) add(id isp.Addr) {
+	if _, ok := s.idx[id]; ok {
+		return
+	}
+	s.idx[id] = len(s.ids)
+	s.ids = append(s.ids, id)
+}
+
+func (s *addrSet) remove(id isp.Addr) {
+	i, ok := s.idx[id]
+	if !ok {
+		return
+	}
+	last := len(s.ids) - 1
+	s.ids[i] = s.ids[last]
+	s.idx[s.ids[i]] = i
+	s.ids = s.ids[:last]
+	delete(s.idx, id)
+}
+
+// sample draws up to n distinct addresses uniformly, excluding self and
+// anything in skip. It uses a partial Fisher–Yates over a scratch copy
+// when the set is small, or rejection sampling when n is much smaller
+// than the set.
+func (s *addrSet) sample(rng *rand.Rand, n int, self isp.Addr, skip map[isp.Addr]struct{}) []isp.Addr {
+	if n <= 0 || len(s.ids) == 0 {
+		return nil
+	}
+	excluded := func(id isp.Addr) bool {
+		if id == self {
+			return true
+		}
+		if skip != nil {
+			if _, ok := skip[id]; ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	if len(s.ids) <= 4*n {
+		scratch := make([]isp.Addr, len(s.ids))
+		copy(scratch, s.ids)
+		rng.Shuffle(len(scratch), func(i, j int) { scratch[i], scratch[j] = scratch[j], scratch[i] })
+		out := make([]isp.Addr, 0, n)
+		for _, id := range scratch {
+			if excluded(id) {
+				continue
+			}
+			out = append(out, id)
+			if len(out) == n {
+				break
+			}
+		}
+		return out
+	}
+
+	out := make([]isp.Addr, 0, n)
+	chosen := make(map[isp.Addr]struct{}, n)
+	// n ≪ set size: rejection sampling terminates quickly; the attempt
+	// cap guards degenerate exclusion sets.
+	for attempts := 0; len(out) < n && attempts < 20*n; attempts++ {
+		id := s.ids[rng.Intn(len(s.ids))]
+		if excluded(id) {
+			continue
+		}
+		if _, dup := chosen[id]; dup {
+			continue
+		}
+		chosen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}

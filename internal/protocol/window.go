@@ -1,0 +1,97 @@
+package protocol
+
+import "math/bits"
+
+// WindowSize is the sliding-window length in segments. The trace report
+// format carries the occupancy bitmap in a 64-bit word, so the deployed
+// window is modelled at 64 segments (≈ 13 s of a 400 kbps stream).
+const WindowSize = 64
+
+// Window is a peer's sliding playback buffer over the segment stream:
+// WindowSize consecutive segment slots starting at Start(), each either
+// held or missing. UUSee peers exchange these bitmaps periodically and
+// request missing segments from partners that hold them (Sec. 3.1); the
+// block-level exchange mode operates on them directly.
+type Window struct {
+	start uint64
+	bits  uint64
+	valid bool
+}
+
+// Valid reports whether the window has been initialized.
+func (w *Window) Valid() bool { return w.valid }
+
+// Reset positions an empty window at start.
+func (w *Window) Reset(start uint64) {
+	w.start = start
+	w.bits = 0
+	w.valid = true
+}
+
+// Start returns the stream offset of the window's first slot.
+func (w *Window) Start() uint64 { return w.start }
+
+// Bitmap returns the raw occupancy bits (bit i ⇔ segment Start()+i).
+func (w *Window) Bitmap() uint64 { return w.bits }
+
+// Has reports whether the window holds the given segment.
+func (w *Window) Has(seg uint64) bool {
+	if !w.valid || seg < w.start || seg >= w.start+WindowSize {
+		return false
+	}
+	return w.bits>>(seg-w.start)&1 == 1
+}
+
+// Set marks a segment as held. It reports false when the segment falls
+// outside the window (too old or too far ahead).
+func (w *Window) Set(seg uint64) bool {
+	if !w.valid || seg < w.start || seg >= w.start+WindowSize {
+		return false
+	}
+	w.bits |= 1 << (seg - w.start)
+	return true
+}
+
+// AdvanceTo slides the window forward so its first slot is newStart,
+// dropping segments that fall off the back. Sliding backwards is a
+// no-op.
+func (w *Window) AdvanceTo(newStart uint64) {
+	if !w.valid || newStart <= w.start {
+		return
+	}
+	shift := newStart - w.start
+	if shift >= WindowSize {
+		w.bits = 0
+	} else {
+		w.bits >>= shift
+	}
+	w.start = newStart
+}
+
+// Fill returns the fraction of window slots held.
+func (w *Window) Fill() float64 {
+	if !w.valid {
+		return 0
+	}
+	return float64(bits.OnesCount64(w.bits)) / WindowSize
+}
+
+// Missing appends to dst the segments in [from, to) that the window
+// covers but does not hold, in ascending order, and returns dst.
+func (w *Window) Missing(dst []uint64, from, to uint64) []uint64 {
+	if !w.valid {
+		return dst
+	}
+	if from < w.start {
+		from = w.start
+	}
+	if max := w.start + WindowSize; to > max {
+		to = max
+	}
+	for seg := from; seg < to; seg++ {
+		if w.bits>>(seg-w.start)&1 == 0 {
+			dst = append(dst, seg)
+		}
+	}
+	return dst
+}

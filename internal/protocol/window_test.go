@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowBasics(t *testing.T) {
+	var w Window
+	if w.Valid() {
+		t.Error("zero window reports valid")
+	}
+	if w.Has(0) || w.Set(0) {
+		t.Error("invalid window accepted operations")
+	}
+	w.Reset(1000)
+	if !w.Valid() || w.Start() != 1000 {
+		t.Fatalf("Reset failed: start=%d", w.Start())
+	}
+	if !w.Set(1000) || !w.Set(1063) {
+		t.Error("in-window Set failed")
+	}
+	if w.Set(999) || w.Set(1064) {
+		t.Error("out-of-window Set succeeded")
+	}
+	if !w.Has(1000) || !w.Has(1063) || w.Has(1001) {
+		t.Error("Has wrong")
+	}
+	if w.Bitmap() != 1|1<<63 {
+		t.Errorf("Bitmap = %x", w.Bitmap())
+	}
+}
+
+func TestWindowAdvance(t *testing.T) {
+	var w Window
+	w.Reset(0)
+	for seg := uint64(0); seg < 10; seg++ {
+		w.Set(seg)
+	}
+	w.AdvanceTo(5)
+	if w.Has(4) {
+		t.Error("segment behind the window still held")
+	}
+	for seg := uint64(5); seg < 10; seg++ {
+		if !w.Has(seg) {
+			t.Errorf("segment %d lost by advance", seg)
+		}
+	}
+	// Backwards advance is a no-op.
+	w.AdvanceTo(2)
+	if w.Start() != 5 {
+		t.Errorf("window slid backwards to %d", w.Start())
+	}
+	// Advancing past everything clears the map.
+	w.AdvanceTo(500)
+	if w.Bitmap() != 0 {
+		t.Error("far advance left stale bits")
+	}
+}
+
+func TestWindowFill(t *testing.T) {
+	var w Window
+	if w.Fill() != 0 {
+		t.Error("invalid window fill != 0")
+	}
+	w.Reset(0)
+	for seg := uint64(0); seg < 32; seg++ {
+		w.Set(seg)
+	}
+	if w.Fill() != 0.5 {
+		t.Errorf("Fill = %v, want 0.5", w.Fill())
+	}
+}
+
+func TestWindowMissing(t *testing.T) {
+	var w Window
+	w.Reset(100)
+	w.Set(101)
+	w.Set(103)
+	got := w.Missing(nil, 100, 105)
+	want := []uint64{100, 102, 104}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+	// Ranges are clipped to the window.
+	all := w.Missing(nil, 0, 10000)
+	if len(all) != WindowSize-2 {
+		t.Errorf("clipped Missing returned %d, want %d", len(all), WindowSize-2)
+	}
+	var invalid Window
+	if m := invalid.Missing(nil, 0, 10); m != nil {
+		t.Error("invalid window returned missing segments")
+	}
+}
+
+func TestWindowQuickInvariants(t *testing.T) {
+	prop := func(startSeed uint32, ops []uint16) bool {
+		var w Window
+		w.Reset(uint64(startSeed))
+		rng := rand.New(rand.NewSource(int64(startSeed)))
+		for _, op := range ops {
+			seg := w.Start() + uint64(op%96) // mostly in-window, some beyond
+			switch rng.Intn(3) {
+			case 0:
+				if w.Set(seg) && !w.Has(seg) {
+					return false // set must be visible
+				}
+			case 1:
+				w.AdvanceTo(w.Start() + uint64(op%8))
+			case 2:
+				if w.Has(seg) && (seg < w.Start() || seg >= w.Start()+WindowSize) {
+					return false // held segment outside window bounds
+				}
+			}
+			if w.Fill() < 0 || w.Fill() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+// WriteCSVs exports every figure's data as CSV files under dir, one file
+// per figure panel, named fig1a.csv … fig8b.csv.
+func WriteCSVs(dir string, res *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: create %s: %w", dir, err)
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("report: create %s: %w", name, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("report: write %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	if err := write("fig1a.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"total", res.PeerCounts.Total},
+			{"stable", res.PeerCounts.Stable},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig1b.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "day,total,stable"); err != nil {
+			return err
+		}
+		for _, d := range res.PeerCounts.Days {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d\n", d.Day.Format("2006-01-02"), d.Total, d.Stable); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig2.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "isp,share"); err != nil {
+			return err
+		}
+		for _, p := range isp.All() {
+			if _, err := fmt.Fprintf(w, "%s,%g\n", p, res.ISPShares.Shares[p]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig3.csv", func(w io.Writer) error {
+		var series []namedSeries
+		names := make([]string, 0, len(res.Quality.ByChannel))
+		for ch := range res.Quality.ByChannel {
+			names = append(names, ch)
+		}
+		sort.Strings(names)
+		for _, ch := range names {
+			series = append(series, namedSeries{ch, res.Quality.ByChannel[ch]})
+		}
+		return multiSeriesCSV(w, series)
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig4.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "snapshot,metric,degree,fraction"); err != nil {
+			return err
+		}
+		for _, snap := range res.DegreeDist.Snapshots {
+			panels := []struct {
+				name string
+				hist *metrics.Histogram
+			}{
+				{"partners", snap.Partners},
+				{"indegree", snap.In},
+				{"outdegree", snap.Out},
+			}
+			for _, panel := range panels {
+				for _, b := range panel.hist.PDF() {
+					if _, err := fmt.Fprintf(w, "%s,%s,%d,%g\n", snap.Label, panel.name, b.Value, b.Frac); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig5.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"partners", res.DegreeEvolution.Partners},
+			{"indegree", res.DegreeEvolution.In},
+			{"outdegree", res.DegreeEvolution.Out},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig6.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"in_frac", res.IntraISP.InFrac},
+			{"out_frac", res.IntraISP.OutFrac},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig7a.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"C", res.SmallWorld.C},
+			{"C_random", res.SmallWorld.CRand},
+			{"L", res.SmallWorld.L},
+			{"L_random", res.SmallWorld.LRand},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig7b.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"C_isp", res.SmallWorld.CISP},
+			{"C_random", res.SmallWorld.CRandISP},
+			{"L_isp", res.SmallWorld.LISP},
+			{"L_random", res.SmallWorld.LRandISP},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig8a.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"rho", res.Reciprocity.All},
+			{"r_raw", res.Reciprocity.Raw},
+		})
+	}); err != nil {
+		return err
+	}
+
+	return write("fig8b.csv", func(w io.Writer) error {
+		return multiSeriesCSV(w, []namedSeries{
+			{"rho_all", res.Reciprocity.All},
+			{"rho_intra", res.Reciprocity.Intra},
+			{"rho_inter", res.Reciprocity.Inter},
+		})
+	})
+}
+
+type namedSeries struct {
+	name string
+	s    *metrics.Series
+}
+
+// multiSeriesCSV writes series side by side keyed by timestamp; series
+// missing a timestamp leave the cell empty.
+func multiSeriesCSV(w io.Writer, series []namedSeries) error {
+	times := make(map[int64]time.Time)
+	cols := make([]map[int64]float64, len(series))
+	header := "time"
+	for i, ns := range series {
+		header += "," + ns.name
+		cols[i] = make(map[int64]float64)
+		if ns.s == nil {
+			continue
+		}
+		for _, pt := range ns.s.Points() {
+			key := pt.T.UnixNano()
+			times[key] = pt.T
+			cols[i][key] = pt.V
+		}
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	keys := make([]int64, 0, len(times))
+	for k := range times {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if _, err := fmt.Fprint(w, times[k].UTC().Format(time.RFC3339)); err != nil {
+			return err
+		}
+		for i := range cols {
+			if v, ok := cols[i][k]; ok {
+				if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprint(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

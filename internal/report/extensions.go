@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+)
+
+// RenderExtensions prints the beyond-the-paper analyses: topology
+// dynamics, structural metrics, the crawl-bias study, and the Gnutella
+// baseline contrast.
+func RenderExtensions(w io.Writer, ext *core.Extensions, interval time.Duration) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	seriesHeader := []string{"series", "mean", "min", "max", "evolution"}
+
+	if err := p("\n== Extension — topology dynamics ==\n\n"); err != nil {
+		return err
+	}
+	d := ext.Dynamics
+	if err := Table(w, seriesHeader, [][]string{
+		seriesRow("partner retention/epoch", d.PartnerRetention),
+		seriesRow("stable-peer persistence", d.PeerPersistence),
+	}); err != nil {
+		return err
+	}
+	if err := p("mean active-link lifetime: %.2f epochs (%v)\n",
+		d.MeanEdgeLifetime, time.Duration(d.MeanEdgeLifetime*float64(interval)).Round(time.Second)); err != nil {
+		return err
+	}
+
+	if err := p("\n== Extension — structural metrics (stable graph) ==\n\n"); err != nil {
+		return err
+	}
+	s := ext.Structure
+	if err := Table(w, seriesHeader, [][]string{
+		seriesRow("degree assortativity", s.Assortativity),
+		seriesRow("in/out degree correlation", s.InOutCorr),
+		seriesRow("max k-core", s.MaxCore),
+		seriesRow("diameter (est.)", s.Diameter),
+	}); err != nil {
+		return err
+	}
+
+	if err := p("\n== Extension — crawl-speed bias (Stutzbach effect) ==\n\n"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(ext.Bias))
+	for _, b := range ext.Bias {
+		rows = append(rows, []string{
+			b.WindowDuration(interval).String(),
+			fmt.Sprintf("%d", b.Peers),
+			fmt.Sprintf("%.1f", b.MeanInDegree),
+			fmt.Sprintf("%d", b.MaxInDegree),
+			fmt.Sprintf("%.3f", b.PowerLawKS),
+		})
+	}
+	if err := Table(w, []string{"crawl window", "peers", "mean indegree", "max", "power-law KS"}, rows); err != nil {
+		return err
+	}
+	if err := p("slower crawls superimpose topologies: apparent degrees inflate\n"); err != nil {
+		return err
+	}
+
+	if err := p("\n== Extension — file-sharing baseline contrast ==\n\n"); err != nil {
+		return err
+	}
+	if err := Table(w, []string{"overlay", "power-law alpha", "KS", "verdict"}, [][]string{
+		{"Gnutella legacy (pref. attach)", fmt.Sprintf("%.2f", ext.LegacyFit.Alpha),
+			fmt.Sprintf("%.3f", ext.LegacyFit.KS), "power law fits"},
+		{"Gnutella modern (ultrapeers)", fmt.Sprintf("%.2f", ext.ModernUltraFit.Alpha),
+			fmt.Sprintf("%.3f", ext.ModernUltraFit.KS), "spiked, rejects"},
+		{"UUSee streaming (this trace)", "-", "see Fig 4", "spiked, rejects"},
+	}); err != nil {
+		return err
+	}
+	return p("streaming degrees are supply-driven (rate/striping), not attachment-driven\n")
+}

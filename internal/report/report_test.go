@@ -1,0 +1,243 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+var _t0 = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func seriesOf(vals ...float64) *metrics.Series {
+	s := metrics.NewSeries()
+	for i, v := range vals {
+		s.Add(_t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	return s
+}
+
+func TestSparkline(t *testing.T) {
+	s := seriesOf(1, 2, 3, 4, 5, 6, 7, 8)
+	out := Sparkline(s, 8)
+	if utf8.RuneCountInString(out) != 8 {
+		t.Fatalf("width = %d, want 8", utf8.RuneCountInString(out))
+	}
+	runes := []rune(out)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("monotone series rendered %q", out)
+	}
+	if Sparkline(metrics.NewSeries(), 10) != "" {
+		t.Error("empty series rendered non-empty sparkline")
+	}
+	if Sparkline(s, 0) != "" {
+		t.Error("zero width rendered non-empty sparkline")
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	out := Sparkline(seriesOf(5, 5, 5, 5), 4)
+	for _, r := range out {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q, want all low blocks", out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"name", "value"}, [][]string{
+		{"x", "1"},
+		{"longer-name", "22"},
+	})
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "longer-name") {
+		t.Errorf("row lost: %q", lines[3])
+	}
+}
+
+// fakeResults builds a minimal but fully-populated Results so rendering
+// can be exercised without a simulation.
+func fakeResults() *core.Results {
+	mkHist := func(vals ...int) *metrics.Histogram { return metrics.NewHistogram(vals) }
+	res := &core.Results{
+		Interval:   10 * time.Minute,
+		EpochCount: 5,
+	}
+	res.PeerCounts = core.PeerCountsResult{
+		Total:       seriesOf(100, 120, 130),
+		Stable:      seriesOf(33, 40, 44),
+		Days:        []core.DayCount{{Day: _t0, Total: 500, Stable: 150}},
+		MeanTotal:   116,
+		MeanStable:  39,
+		StableShare: 0.33,
+	}
+	res.ISPShares = core.ISPSharesResult{Shares: map[isp.ISP]float64{isp.ChinaTelecom: 0.4, isp.Oversea: 0.6}}
+	res.Quality = core.QualityResult{
+		Bar:      0.9,
+		RateKbps: 400,
+		ByChannel: map[string]*metrics.Series{
+			"CCTV1": seriesOf(0.7, 0.75),
+			"CCTV4": seriesOf(0.72, 0.74),
+		},
+	}
+	res.DegreeDist = core.DegreeDistResult{Snapshots: []core.DegreeSnapshot{{
+		Label:    "9am 10/03",
+		Time:     _t0,
+		Partners: mkHist(10, 12, 11),
+		In:       mkHist(9, 10, 10),
+		Out:      mkHist(5, 30, 2),
+	}}}
+	res.DegreeEvolution = core.DegreeEvolutionResult{
+		Partners: seriesOf(15, 18), In: seriesOf(9, 10), Out: seriesOf(9, 10),
+	}
+	res.IntraISP = core.IntraISPResult{
+		InFrac: seriesOf(0.4, 0.42), OutFrac: seriesOf(0.39, 0.41), RandomMixing: 0.25,
+	}
+	res.SmallWorld = core.SmallWorldResult{
+		C: seriesOf(0.2), L: seriesOf(4.5), CRand: seriesOf(0.01), LRand: seriesOf(4.0),
+		ISP:  isp.ChinaNetcom,
+		CISP: seriesOf(0.3), LISP: seriesOf(3.8), CRandISP: seriesOf(0.02), LRandISP: seriesOf(3.5),
+	}
+	res.Reciprocity = core.ReciprocityResult{
+		Raw: seriesOf(0.3), All: seriesOf(0.25), Intra: seriesOf(0.3), Inter: seriesOf(0.15),
+	}
+	return res
+}
+
+func TestRenderAllMentionsEveryFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderAll(&sb, fakeResults()); err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Fig 1(A)", "Fig 1(B)", "Fig 2", "Fig 3", "Fig 4",
+		"Fig 5", "Fig 6", "Fig 7(A)", "Fig 7(B)", "Fig 8",
+		"China Telecom", "CCTV1", "CCTV4", "9am 10/03",
+		"stable/total share", "random", "reciproc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCSVs(dir, fakeResults()); err != nil {
+		t.Fatalf("WriteCSVs: %v", err)
+	}
+	wantFiles := []string{
+		"fig1a.csv", "fig1b.csv", "fig2.csv", "fig3.csv", "fig4.csv",
+		"fig5.csv", "fig6.csv", "fig7a.csv", "fig7b.csv", "fig8a.csv", "fig8b.csv",
+	}
+	for _, name := range wantFiles {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has no data rows", name)
+		}
+		if !strings.Contains(lines[0], ",") {
+			t.Errorf("%s header malformed: %q", name, lines[0])
+		}
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	ext := &core.Extensions{
+		Dynamics: &core.DynamicsResult{
+			PartnerRetention: seriesOf(0.6, 0.62),
+			PeerPersistence:  seriesOf(0.7, 0.72),
+			EdgeLifetimes:    metrics.NewHistogram([]int{1, 1, 2, 3}),
+			MeanEdgeLifetime: 1.75,
+		},
+		Structure: &core.StructureResult{
+			Assortativity: seriesOf(-0.1, -0.12),
+			InOutCorr:     seriesOf(0.5, 0.55),
+			MaxCore:       seriesOf(6, 7),
+			Diameter:      seriesOf(4, 5),
+		},
+		Bias: []core.SnapshotBias{
+			{WindowEpochs: 1, Peers: 100, MeanInDegree: 10, MaxInDegree: 20, PowerLawKS: 0.4},
+			{WindowEpochs: 6, Peers: 150, MeanInDegree: 16, MaxInDegree: 35, PowerLawKS: 0.42},
+		},
+	}
+	ext.LegacyFit.Alpha, ext.LegacyFit.KS = 2.7, 0.03
+	ext.ModernUltraFit.Alpha, ext.ModernUltraFit.KS = 1.4, 0.5
+
+	var sb strings.Builder
+	if err := RenderExtensions(&sb, ext, 10*time.Minute); err != nil {
+		t.Fatalf("RenderExtensions: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"topology dynamics", "partner retention", "structural metrics",
+		"crawl-speed bias", "baseline contrast", "Gnutella legacy", "power law fits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions render missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSVGs(dir, fakeResults()); err != nil {
+		t.Fatalf("WriteSVGs: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Errorf("SVG export produced %d files, want 9", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", e.Name())
+		}
+	}
+}
+
+func TestMultiSeriesCSVAlignsTimestamps(t *testing.T) {
+	a := seriesOf(1, 2, 3)
+	b := metrics.NewSeries()
+	b.Add(_t0.Add(time.Hour), 20) // only overlaps the middle point
+	var sb strings.Builder
+	if err := multiSeriesCSV(&sb, []namedSeries{{"a", a}, {"b", b}}); err != nil {
+		t.Fatalf("multiSeriesCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("row count = %d, want header + 3", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], ",1,") {
+		t.Errorf("row 1 should have empty b cell: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",2,20") {
+		t.Errorf("row 2 should align both: %q", lines[2])
+	}
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/viz"
+)
+
+// WriteSVGs renders every figure as an SVG file under dir, one file per
+// figure panel (fig1a.svg … fig8b.svg), mirroring the CSV export.
+func WriteSVGs(dir string, res *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: create %s: %w", dir, err)
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("report: create %s: %w", name, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("report: render %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	if err := write("fig1a.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{Title: "Fig 1(A) — simultaneous peers", YLabel: "peers"}, []viz.Line{
+			{Name: "total", Series: res.PeerCounts.Total},
+			{Name: "stable", Series: res.PeerCounts.Stable},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig3.svg", func(w io.Writer) error {
+		var lines []viz.Line
+		names := make([]string, 0, len(res.Quality.ByChannel))
+		for ch := range res.Quality.ByChannel {
+			names = append(names, ch)
+		}
+		sort.Strings(names)
+		for _, ch := range names {
+			lines = append(lines, viz.Line{Name: ch, Series: res.Quality.ByChannel[ch]})
+		}
+		return viz.LineChart(w, viz.Plot{
+			Title:  "Fig 3 — peers at ≥ 90% stream rate",
+			YLabel: "fraction served",
+		}, lines)
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig4.svg", func(w io.Writer) error {
+		var sets []viz.Scatter
+		for _, snap := range res.DegreeDist.Snapshots {
+			sets = append(sets, viz.Scatter{
+				Name:   "indegree " + snap.Label,
+				Points: snap.In.PDF(),
+			})
+		}
+		return viz.LogLogScatter(w, viz.Plot{
+			Title:  "Fig 4(B) — indegree distributions (log-log)",
+			YLabel: "fraction of peers",
+		}, sets)
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig4a.svg", func(w io.Writer) error {
+		var sets []viz.Scatter
+		for _, snap := range res.DegreeDist.Snapshots {
+			sets = append(sets, viz.Scatter{
+				Name:   "partners " + snap.Label,
+				Points: snap.Partners.PDF(),
+			})
+		}
+		return viz.LogLogScatter(w, viz.Plot{
+			Title:  "Fig 4(A) — total partner distributions (log-log)",
+			YLabel: "fraction of peers",
+		}, sets)
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig5.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{Title: "Fig 5 — average degree evolution", YLabel: "degree"}, []viz.Line{
+			{Name: "partners", Series: res.DegreeEvolution.Partners},
+			{Name: "indegree", Series: res.DegreeEvolution.In},
+			{Name: "outdegree", Series: res.DegreeEvolution.Out},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig6.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{Title: "Fig 6 — intra-ISP degree fraction", YLabel: "fraction"}, []viz.Line{
+			{Name: "indegree", Series: res.IntraISP.InFrac},
+			{Name: "outdegree", Series: res.IntraISP.OutFrac},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig7a.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{Title: "Fig 7(A) — small-world metrics", YLabel: "C / L"}, []viz.Line{
+			{Name: "C UUSee", Series: res.SmallWorld.C},
+			{Name: "C random", Series: res.SmallWorld.CRand},
+			{Name: "L UUSee", Series: res.SmallWorld.L},
+			{Name: "L random", Series: res.SmallWorld.LRand},
+		})
+	}); err != nil {
+		return err
+	}
+
+	if err := write("fig7b.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{
+			Title:  fmt.Sprintf("Fig 7(B) — small-world metrics, %s subgraph", res.SmallWorld.ISP),
+			YLabel: "C / L",
+		}, []viz.Line{
+			{Name: "C ISP", Series: res.SmallWorld.CISP},
+			{Name: "C random", Series: res.SmallWorld.CRandISP},
+			{Name: "L ISP", Series: res.SmallWorld.LISP},
+			{Name: "L random", Series: res.SmallWorld.LRandISP},
+		})
+	}); err != nil {
+		return err
+	}
+
+	return write("fig8.svg", func(w io.Writer) error {
+		return viz.LineChart(w, viz.Plot{Title: "Fig 8 — edge reciprocity ρ", YLabel: "ρ"}, []viz.Line{
+			{Name: "all links", Series: res.Reciprocity.All},
+			{Name: "intra-ISP", Series: res.Reciprocity.Intra},
+			{Name: "inter-ISP", Series: res.Reciprocity.Inter},
+		})
+	})
+}

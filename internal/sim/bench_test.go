@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// BenchmarkSimulatedHour measures the cost of one simulated hour of the
+// overlay at a given target concurrency, reports included.
+func BenchmarkSimulatedHour(b *testing.B) {
+	for _, conc := range []float64{200, 600} {
+		name := "conc200"
+		if conc == 600 {
+			name = "conc600"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(Config{
+					Seed:            int64(i + 1),
+					Duration:        time.Hour,
+					MeanConcurrency: conc,
+					ExtraChannels:   10,
+					Sink:            trace.Discard,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim composes the substrates — ISP database, network model,
+// workload, UUSee protocol, stream exchange, and trace pipeline — into a
+// deterministic simulation of the UUSee overlay over virtual time. A run
+// produces exactly what the paper's measurement infrastructure produced:
+// a stream of 10-minute reports from stable peers, which the analyzers in
+// internal/core then chart.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/protocol"
+	"github.com/magellan-p2p/magellan/internal/stream"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives every random choice in the run; identical configs with
+	// identical seeds produce identical traces.
+	Seed int64
+	// Start is the virtual start instant; defaults to Sunday Oct 1 2006
+	// 00:00 Beijing time, the paper's trace window.
+	Start time.Time
+	// Duration is the simulated span; defaults to 14 days.
+	Duration time.Duration
+	// Tick is the bandwidth-integration step; defaults to one minute.
+	Tick time.Duration
+
+	// MeanConcurrency is the target average online population (the paper
+	// observes ~100,000; scaled runs use hundreds to thousands).
+	MeanConcurrency float64
+	// Crowds are flash-crowd events; nil means none.
+	Crowds []workload.FlashCrowd
+	// ExtraChannels is the number of channels besides CCTV1/CCTV4;
+	// defaults to 48.
+	ExtraChannels int
+	// Sessions overrides the session-length model; nil means defaults.
+	Sessions *workload.SessionModel
+
+	// Protocol carries the UUSee protocol constants.
+	Protocol protocol.Config
+	// Mode selects mesh pull (default) or the tree-push ablation.
+	Mode stream.Mode
+	// ISPBlind erases the intra-/inter-ISP link-quality asymmetry
+	// (ablation).
+	ISPBlind bool
+	// NoRecommendation disables partner recommendation between
+	// neighbours (ablation).
+	NoRecommendation bool
+
+	// Trackers is the number of tracking servers; defaults to 1. UUSee
+	// ran several, each peer bound to one ("supplied by one of its
+	// tracking servers"), which shards the membership view: peers
+	// bootstrapped by different trackers see different candidate pools.
+	Trackers int
+
+	// ServersPerChannel is how many origin streaming servers each channel
+	// gets; defaults to 2. ServerUpKbps is their upload capacity;
+	// defaults to 4 Mbps (about ten peers' worth of seeding per server).
+	ServersPerChannel int
+	ServerUpKbps      float64
+
+	// ReportInterval and InitialReportDelay configure the measurement
+	// instrumentation (Sec. 3.2 defaults: 10 and 20 minutes).
+	ReportInterval     time.Duration
+	InitialReportDelay time.Duration
+
+	// Sink receives every report; defaults to trace.Discard.
+	Sink trace.Sink
+
+	// ISPBlocks is the number of /16 blocks in the generated ISP
+	// database; defaults to 1024.
+	ISPBlocks int
+
+	// Progress, when non-nil, is invoked once per simulated hour.
+	Progress func(Stats)
+}
+
+func (c Config) sanitize() (Config, error) {
+	if c.MeanConcurrency <= 0 {
+		return c, fmt.Errorf("sim: MeanConcurrency must be positive, got %v", c.MeanConcurrency)
+	}
+	if c.Start.IsZero() {
+		c.Start = workload.TraceStart()
+	}
+	if c.Duration <= 0 {
+		c.Duration = 14 * 24 * time.Hour
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Minute
+		if c.Mode == stream.ModeBlock {
+			c.Tick = 5 * time.Second
+		}
+	}
+	if c.Mode == stream.ModeBlock && c.Tick > 6*time.Second {
+		// One tick of stream (5 seg/s at 400 kbps) must stay under the
+		// block-mode playback delay or relays cannot keep up, and must
+		// fit in the 64-segment window.
+		return c, fmt.Errorf("sim: block mode needs Tick ≤ 6s, got %v", c.Tick)
+	}
+	if c.ExtraChannels < 0 {
+		return c, fmt.Errorf("sim: negative ExtraChannels")
+	}
+	if c.ExtraChannels == 0 {
+		c.ExtraChannels = 48
+	}
+	c.Protocol = withProtocolDefaults(c.Protocol)
+	if c.Mode == 0 {
+		c.Mode = stream.ModeMesh
+	}
+	if c.Trackers <= 0 {
+		c.Trackers = 1
+	}
+	if c.ServersPerChannel <= 0 {
+		c.ServersPerChannel = 2
+	}
+	if c.ServerUpKbps <= 0 {
+		c.ServerUpKbps = 4096
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = trace.DefaultReportInterval
+	}
+	if c.InitialReportDelay <= 0 {
+		c.InitialReportDelay = trace.DefaultInitialDelay
+	}
+	if c.Sink == nil {
+		c.Sink = trace.Discard
+	}
+	if c.ISPBlocks <= 0 {
+		c.ISPBlocks = 1024
+	}
+	for _, f := range c.Crowds {
+		if err := workload.ValidateCrowd(f); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// withProtocolDefaults round-trips a protocol config through its
+// defaulting logic (exposed here to keep sanitize in one place).
+func withProtocolDefaults(cfg protocol.Config) protocol.Config {
+	d := protocol.DefaultConfig()
+	if cfg.MaxBootstrap <= 0 {
+		cfg.MaxBootstrap = d.MaxBootstrap
+	}
+	if cfg.TargetActive <= 0 {
+		cfg.TargetActive = d.TargetActive
+	}
+	if cfg.MaxPartners <= 0 {
+		cfg.MaxPartners = d.MaxPartners
+	}
+	if cfg.TrackerRefill <= 0 {
+		cfg.TrackerRefill = d.TrackerRefill
+	}
+	if cfg.RecommendSize <= 0 {
+		cfg.RecommendSize = d.RecommendSize
+	}
+	if cfg.AvailabilityHeadroomKbps <= 0 {
+		cfg.AvailabilityHeadroomKbps = d.AvailabilityHeadroomKbps
+	}
+	if cfg.StarveQuality <= 0 {
+		cfg.StarveQuality = d.StarveQuality
+	}
+	if cfg.StarveRounds <= 0 {
+		cfg.StarveRounds = d.StarveRounds
+	}
+	if cfg.MaintInterval <= 0 {
+		cfg.MaintInterval = d.MaintInterval
+	}
+	return cfg
+}
+
+// Stats is a point-in-time summary of the running simulation.
+type Stats struct {
+	Now     time.Time
+	Online  int // live peers, servers excluded
+	Stable  int // live peers online at least InitialReportDelay
+	Servers int
+	Joins   uint64 // cumulative arrivals
+	Reports uint64 // cumulative reports submitted
+}
+
+// ISPShares returns the population shares used for peer placement (the
+// Fig. 2 mix).
+func ISPShares() map[isp.ISP]float64 { return isp.DefaultShares() }

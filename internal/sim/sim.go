@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/des"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/netsim"
+	"github.com/magellan-p2p/magellan/internal/protocol"
+	"github.com/magellan-p2p/magellan/internal/stream"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// Simulation is one deterministic run of the UUSee overlay.
+type Simulation struct {
+	cfg      Config
+	rng      *rand.Rand
+	sched    *des.Scheduler
+	wl       *workload.Workload
+	network  *netsim.Network
+	db       *isp.Database
+	alloc    *isp.Allocator
+	trackers []*protocol.Tracker
+	ex       *stream.Exchange
+
+	peers []*protocol.Peer
+	pos   map[isp.Addr]int
+	index map[isp.Addr]*protocol.Peer
+	run   map[isp.Addr]*peerRuntime
+
+	servers int
+	joins   uint64
+	reports uint64
+}
+
+type peerRuntime struct {
+	peer   *protocol.Peer
+	report *des.Ticker
+	depart *des.Event
+}
+
+// New builds a simulation: generates the ISP database, seeds the origin
+// servers, and arms the first arrival.
+func New(cfg Config) (*Simulation, error) {
+	cfg, err := cfg.sanitize()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	db, err := isp.Generate(rand.New(rand.NewSource(cfg.Seed+1)), isp.GenConfig{Blocks: cfg.ISPBlocks})
+	if err != nil {
+		return nil, fmt.Errorf("sim: generate ISP database: %w", err)
+	}
+
+	wl, err := workload.New(workload.Config{
+		Seed:            cfg.Seed + 2,
+		MeanConcurrency: cfg.MeanConcurrency,
+		Sessions:        cfg.Sessions,
+		Channels:        workload.DefaultChannels(cfg.ExtraChannels),
+		Crowds:          cfg.Crowds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: workload: %w", err)
+	}
+
+	network := netsim.NewNetwork(uint64(cfg.Seed) + 3)
+	network.ISPBlind = cfg.ISPBlind
+
+	s := &Simulation{
+		cfg:     cfg,
+		rng:     rng,
+		sched:   des.NewScheduler(cfg.Start),
+		wl:      wl,
+		network: network,
+		db:      db,
+		alloc:   isp.NewAllocator(rand.New(rand.NewSource(cfg.Seed+4)), db),
+		ex: stream.NewExchange(stream.Config{
+			Mode:         cfg.Mode,
+			TargetActive: cfg.Protocol.TargetActive,
+		}, rand.New(rand.NewSource(cfg.Seed+6))),
+		pos:   make(map[isp.Addr]int),
+		index: make(map[isp.Addr]*protocol.Peer),
+		run:   make(map[isp.Addr]*peerRuntime),
+	}
+
+	for i := 0; i < cfg.Trackers; i++ {
+		s.trackers = append(s.trackers,
+			protocol.NewTracker(cfg.Protocol, rand.New(rand.NewSource(cfg.Seed+5+int64(i)))))
+	}
+
+	if err := s.seedServers(); err != nil {
+		return nil, err
+	}
+
+	// Maintenance loop and first arrival.
+	s.sched.Every(cfg.Start.Add(cfg.Protocol.MaintInterval), cfg.Protocol.MaintInterval, s.maintain)
+	s.sched.At(s.wl.NextArrival(cfg.Start), s.handleArrival)
+
+	return s, nil
+}
+
+// Database exposes the run's generated ISP database, which analyzers need
+// to resolve peer addresses.
+func (s *Simulation) Database() *isp.Database { return s.db }
+
+// Workload exposes the run's workload (channel set, rates) for reports.
+func (s *Simulation) Workload() *workload.Workload { return s.wl }
+
+// trackerFor returns the tracking server a peer is bound to. The
+// binding is by address hash, fixed for the peer's lifetime, as UUSee
+// clients stuck to the tracker that bootstrapped them.
+func (s *Simulation) trackerFor(addr isp.Addr) *protocol.Tracker {
+	return s.trackers[int(uint32(addr))%len(s.trackers)]
+}
+
+// Stats summarizes the live overlay.
+func (s *Simulation) Stats() Stats {
+	st := Stats{
+		Now:     s.sched.Now(),
+		Servers: s.servers,
+		Joins:   s.joins,
+		Reports: s.reports,
+	}
+	cutoff := s.sched.Now().Add(-s.cfg.InitialReportDelay)
+	for _, p := range s.peers {
+		if p.IsServer {
+			continue
+		}
+		st.Online++
+		if !p.JoinedAt.After(cutoff) {
+			st.Stable++
+		}
+	}
+	return st
+}
+
+// Run executes the configured span: discrete events (joins, departures,
+// reports, maintenance) interleaved with fixed bandwidth-integration
+// ticks.
+func (s *Simulation) Run() error {
+	end := s.cfg.Start.Add(s.cfg.Duration)
+	nextProgress := s.cfg.Start.Add(time.Hour)
+	for now := s.cfg.Start; now.Before(end); {
+		tickEnd := now.Add(s.cfg.Tick)
+		if tickEnd.After(end) {
+			tickEnd = end
+		}
+		s.sched.RunUntil(tickEnd)
+		s.ex.Tick(s.peers, s.index, tickEnd.Sub(now))
+		now = tickEnd
+
+		if s.cfg.Progress != nil && !now.Before(nextProgress) {
+			s.cfg.Progress(s.Stats())
+			nextProgress = nextProgress.Add(time.Hour)
+		}
+	}
+	return nil
+}
+
+// seedServers places origin servers in every channel and registers them
+// as always-available at the tracker.
+func (s *Simulation) seedServers() error {
+	// Servers are spread across ISPs round-robin: UUSee operated "a large
+	// collection of streaming servers around the world".
+	isps := isp.All()
+	i := 0
+	for _, ch := range s.wl.Channels().Channels() {
+		for k := 0; k < s.cfg.ServersPerChannel; k++ {
+			owner := isps[i%len(isps)]
+			i++
+			addr, err := s.alloc.Alloc(owner)
+			if err != nil {
+				return fmt.Errorf("sim: allocate server address: %w", err)
+			}
+			host := netsim.Host{
+				Addr: addr,
+				ISP:  owner,
+				Cap:  netsim.Capacity{UpKbps: s.cfg.ServerUpKbps, DownKbps: s.cfg.ServerUpKbps},
+			}
+			srv := protocol.NewPeer(host, 8000, ch.Name, 0, s.cfg.Start)
+			srv.IsServer = true
+			srv.Depth = 0
+			s.insert(srv)
+			s.servers++
+			for _, tr := range s.trackers {
+				tr.Join(ch.Name, addr)
+				tr.SetISP(addr, owner)
+				tr.SetAvailable(ch.Name, addr, true)
+			}
+		}
+	}
+	return nil
+}
+
+// handleArrival creates one peer and chains the next arrival event.
+func (s *Simulation) handleArrival(now time.Time) {
+	s.sched.At(s.wl.NextArrival(now), s.handleArrival)
+
+	owner := isp.SampleISP(s.rng, isp.DefaultShares())
+	addr, err := s.alloc.Alloc(owner)
+	if err != nil {
+		// Address mass exhausted for this ISP: skip the arrival. This is
+		// unreachable at supported scales but must not kill the run.
+		return
+	}
+	class := netsim.SampleClass(s.rng)
+	host := netsim.Host{Addr: addr, ISP: owner, Cap: netsim.SampleCapacity(s.rng, class)}
+	ch := s.wl.SampleChannel(now)
+	p := protocol.NewPeer(host, uint16(1024+s.rng.Intn(60000)), ch.Name, ch.RateKbps, now)
+	p.LocalityBias = s.cfg.Protocol.LocalityBias
+
+	s.insert(p)
+	s.joins++
+	tr := s.trackerFor(addr)
+	tr.Join(ch.Name, addr)
+	tr.SetISP(addr, owner)
+	tr.SetAvailable(ch.Name, addr, true)
+
+	s.bootstrap(p, s.cfg.Protocol.MaxBootstrap, now)
+
+	rt := s.run[addr]
+	session := s.wl.SampleSession()
+	rt.depart = s.sched.At(now.Add(session), func(t time.Time) { s.handleDeparture(p, t) })
+	rt.report = s.sched.Every(now.Add(s.cfg.InitialReportDelay), s.cfg.ReportInterval,
+		func(t time.Time) { s.emitReport(p, t) })
+}
+
+// bootstrap asks the tracker for candidates and connects to them.
+func (s *Simulation) bootstrap(p *protocol.Peer, n int, now time.Time) {
+	for _, id := range s.trackerFor(p.ID()).Bootstrap(p.Channel, p.ID(), n) {
+		q, ok := s.index[id]
+		if !ok {
+			continue
+		}
+		link := s.network.Link(p.Host, q.Host)
+		protocol.Connect(p, q, link, s.cfg.Protocol, now)
+	}
+}
+
+// handleDeparture tears a peer down: disconnect everywhere, deregister,
+// stop its timers, remove from the live set.
+func (s *Simulation) handleDeparture(p *protocol.Peer, _ time.Time) {
+	addr := p.ID()
+	rt, ok := s.run[addr]
+	if !ok {
+		return
+	}
+	for _, id := range append([]isp.Addr(nil), p.PartnerIDs()...) {
+		if q, live := s.index[id]; live {
+			protocol.Disconnect(p, q)
+		}
+	}
+	if p.IsServer {
+		for _, tr := range s.trackers {
+			tr.Leave(p.Channel, addr)
+		}
+	} else {
+		s.trackerFor(addr).Leave(p.Channel, addr)
+	}
+	if rt.report != nil {
+		rt.report.Stop()
+	}
+	s.remove(addr)
+}
+
+// emitReport assembles and submits one trace report for a stable peer.
+func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
+	rep := trace.Report{
+		Time:     now,
+		Addr:     p.ID(),
+		Port:     p.Port,
+		Channel:  p.Channel,
+		UpKbps:   p.Host.Cap.UpKbps,
+		DownKbps: p.Host.Cap.DownKbps,
+		RecvKbps: p.LastRecvKbps,
+		SentKbps: p.LastSentKbps,
+	}
+	if p.Buffer.Valid() {
+		// Block mode: the report carries the peer's real buffer map.
+		rep.BufferMap = p.Buffer.Bitmap()
+		rep.PlayPoint = uint32(p.PlaySeg)
+	} else {
+		rep.BufferMap = s.synthBufferMap(p.QualityEWMA)
+		rep.PlayPoint = uint32(stream.SegOf(p.RateKbps, now.Sub(s.cfg.Start)))
+	}
+	rep.Partners = make([]trace.PartnerRecord, 0, p.PartnerCount())
+	p.Partners(func(pt *protocol.Partner) {
+		rep.Partners = append(rep.Partners, trace.PartnerRecord{
+			Addr:    pt.ID,
+			Port:    pt.Port,
+			SentSeg: uint32(pt.WinSent + 0.5),
+			RecvSeg: uint32(pt.WinRecv + 0.5),
+		})
+	})
+	if err := s.cfg.Sink.Submit(rep); err == nil {
+		s.reports++
+	}
+	p.ResetWindow()
+}
+
+// synthBufferMap renders playback quality as a sliding-window occupancy
+// bitmap: a peer at quality q holds about q of the 64-segment window.
+func (s *Simulation) synthBufferMap(quality float64) uint64 {
+	k := int(quality*64 + float64(s.rng.Intn(9)) - 4)
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
+// maintain runs the periodic per-peer protocol upkeep: starvation
+// detection with tracker re-contact, neighbour recommendation, and
+// availability registration. In tree mode it also refreshes depths.
+func (s *Simulation) maintain(now time.Time) {
+	if s.cfg.Mode == stream.ModeTreePush {
+		stream.ComputeDepths(s.peers, s.index)
+	}
+	cfg := s.cfg.Protocol
+	// Iterate over a stable copy: connects mutate partner lists but not
+	// membership; departures cannot happen mid-maintenance.
+	for _, p := range s.peers {
+		if p.IsServer {
+			continue
+		}
+
+		// Starvation: low quality for several rounds sends the peer back
+		// to the tracker, the protocol's "last resort". A peer on a weak
+		// downlink compares against what its own access link can carry,
+		// not the full stream rate — no client keeps re-bootstrapping
+		// over a structural last-mile limit.
+		starveBar := cfg.StarveQuality
+		if p.RateKbps > 0 && p.Host.Cap.DownKbps < p.RateKbps {
+			starveBar *= p.Host.Cap.DownKbps / p.RateKbps
+		}
+		if p.QualityEWMA < starveBar {
+			p.StarveCount++
+			if p.StarveCount >= cfg.StarveRounds {
+				s.bootstrap(p, cfg.TrackerRefill, now)
+				p.StarveCount = 0
+			}
+		} else {
+			p.StarveCount = 0
+		}
+
+		// Recommendation: a peer short of its target active set asks a
+		// random partner for known peers, building the triangles behind
+		// the paper's clustering observations.
+		if !s.cfg.NoRecommendation && p.PartnerCount() > 0 && p.PartnerCount() < cfg.TargetActive {
+			ids := p.PartnerIDs()
+			helper := s.index[ids[s.rng.Intn(len(ids))]]
+			if helper != nil {
+				for _, id := range helper.Recommend(s.rng, p.ID(), cfg.RecommendSize) {
+					q, ok := s.index[id]
+					if !ok || p.HasPartner(id) {
+						continue
+					}
+					link := s.network.Link(p.Host, q.Host)
+					protocol.Connect(p, q, link, cfg, now)
+				}
+			}
+		}
+
+		// Availability: volunteer at the tracker while upload headroom
+		// remains, exactly the protocol's capacity-utilization strategy.
+		available := p.SpareUploadKbps() > cfg.AvailabilityHeadroomKbps && p.AcceptsConnection(cfg)
+		s.trackerFor(p.ID()).SetAvailable(p.Channel, p.ID(), available)
+	}
+}
+
+// insert adds a peer to the live set.
+func (s *Simulation) insert(p *protocol.Peer) {
+	addr := p.ID()
+	s.pos[addr] = len(s.peers)
+	s.peers = append(s.peers, p)
+	s.index[addr] = p
+	s.run[addr] = &peerRuntime{peer: p}
+}
+
+// remove deletes a peer from the live set by swap-removal.
+func (s *Simulation) remove(addr isp.Addr) {
+	i, ok := s.pos[addr]
+	if !ok {
+		return
+	}
+	last := len(s.peers) - 1
+	s.peers[i] = s.peers[last]
+	s.pos[s.peers[i].ID()] = i
+	s.peers[last] = nil
+	s.peers = s.peers[:last]
+	delete(s.pos, addr)
+	delete(s.index, addr)
+	delete(s.run, addr)
+}

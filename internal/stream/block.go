@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/protocol"
+)
+
+// ModeBlock is the block-level exchange: instead of allocating fluid
+// bandwidth, peers hold real sliding-window buffer maps (the ones the
+// trace reports carry), advance a playback point, and request specific
+// missing segments from partners whose buffer maps cover them — the
+// actual CoolStreaming/UUSee mechanism. It is an order of magnitude more
+// expensive per simulated second than ModeMesh and needs ticks short
+// enough that a tick's worth of stream (rate × tick) fits inside the
+// 64-segment window; use it for protocol-fidelity studies at small
+// scale.
+const ModeBlock Mode = 3
+
+// _playbackDelay is how far behind the live edge a joining peer sets
+// its playback point, in segments. It must exceed one tick's worth of
+// stream (rate × tick) or multi-hop relays cannot work: a second-hop
+// peer would always request segments newer than anything its relay
+// fetched last tick. The sim layer enforces the matching tick bound.
+const _playbackDelay = 48
+
+// _prefetchMargin is how far ahead of the playback point a peer tries to
+// fill, in segments.
+const _prefetchMargin = 56
+
+// blockTick runs one block-mode exchange round. elapsed is total virtual
+// time since the stream began (the live edge is at SegOf(rate, elapsed)).
+func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer, dt, elapsed time.Duration) {
+	// Budgets per supplier and per link, in whole segments.
+	budget := make(map[isp.Addr]float64, len(peers))
+	for _, p := range peers {
+		budget[p.ID()] = SegOf(p.Host.Cap.UpKbps, dt)
+	}
+
+	// Servers hold every segment up to the live edge; their windows
+	// trail it so buffer-map checks work uniformly.
+	for _, p := range peers {
+		if !p.IsServer {
+			continue
+		}
+		edge := uint64(SegOf(400, elapsed)) // channels share the 400 kbps rate
+		start := uint64(0)
+		if edge > protocol.WindowSize {
+			start = edge - protocol.WindowSize
+		}
+		p.Buffer.Reset(start)
+		for seg := start; seg <= edge && seg < start+protocol.WindowSize; seg++ {
+			p.Buffer.Set(seg)
+		}
+	}
+
+	e.order = e.order[:0]
+	for _, p := range peers {
+		if !p.IsServer {
+			e.order = append(e.order, p)
+		}
+	}
+	e.rng.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+
+	var missing []uint64
+	for _, p := range e.order {
+		if p.RateKbps <= 0 {
+			continue
+		}
+		liveEdge := SegOf(p.RateKbps, elapsed)
+
+		// Fresh peer: position the window behind the live edge.
+		if !p.Buffer.Valid() {
+			start := 0.0
+			if liveEdge > _playbackDelay {
+				start = liveEdge - _playbackDelay
+			}
+			p.Buffer.Reset(uint64(start))
+			p.PlaySeg = start
+		}
+
+		// Fetch phase: request missing segments between playback and the
+		// prefetch horizon from the best partners holding them.
+		horizon := p.PlaySeg + _prefetchMargin
+		if horizon > liveEdge {
+			horizon = liveEdge
+		}
+		missing = missing[:0]
+		missing = p.Buffer.Missing(missing, uint64(p.PlaySeg), uint64(horizon))
+		if len(missing) > 0 {
+			suppliers := p.TopSuppliers(e.cfg.TargetActive)
+			perLink := make([]float64, len(suppliers))
+			stripe := SegOf(p.RateKbps, dt) * e.cfg.SpreadFraction * 2
+			for i, pt := range suppliers {
+				perLink[i] = SegOf(pt.Link.CapacityKbps, dt)
+				if perLink[i] > stripe {
+					perLink[i] = stripe
+				}
+			}
+			for _, seg := range missing {
+				for i, pt := range suppliers {
+					if perLink[i] < 1 {
+						continue
+					}
+					sp, ok := index[pt.ID]
+					if !ok || budget[sp.ID()] < 1 || !sp.Buffer.Has(seg) {
+						continue
+					}
+					// Deliver the segment.
+					p.Buffer.Set(seg)
+					budget[sp.ID()]--
+					perLink[i]--
+					e.apply(sp, p, 1)
+					break
+				}
+			}
+		}
+
+		// Playback phase: advance at stream rate but keep the startup
+		// delay behind the live edge (a player that creeps to the edge
+		// has no prefetch room and stalls on every hiccup). Every
+		// missing segment crossed is a loss; quality is playback
+		// continuity.
+		maxPlay := liveEdge - _playbackDelay
+		newPlay := p.PlaySeg + SegOf(p.RateKbps, dt)
+		if newPlay > maxPlay {
+			newPlay = maxPlay
+		}
+		played, lost := 0.0, 0.0
+		for next := p.PlaySeg + 1; next <= newPlay; next++ {
+			played++
+			if !p.Buffer.Has(uint64(next)) {
+				lost++
+			}
+		}
+		if newPlay > p.PlaySeg {
+			p.PlaySeg = newPlay
+		}
+		if played > 0 {
+			p.UpdateQuality(1 - lost/played)
+		}
+
+		// Slide the window to track playback.
+		if p.PlaySeg > 8 {
+			p.Buffer.AdvanceTo(uint64(p.PlaySeg - 8))
+		}
+	}
+
+	for _, p := range peers {
+		p.LastRecvKbps = KbpsOf(p.TickRecvSeg, dt)
+		p.LastSentKbps = KbpsOf(p.TickSentSeg, dt)
+	}
+}

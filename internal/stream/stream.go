@@ -1,0 +1,295 @@
+// Package stream moves media segments across the partner mesh. It is a
+// flow-level model of UUSee's BitTorrent-like block exchange: rather than
+// simulating individual block requests, each tick allocates each supplier's
+// upload budget across the receivers pulling from it and counts the
+// segments transferred per directed link — exactly the quantities the
+// trace reports carry and the paper's analyses consume.
+//
+// Two exchange modes exist. ModeMesh is the real protocol: every peer
+// pulls from its best-scored partners, so a pair of peers that select
+// each other trade segments in both directions, which is where the
+// paper's positive edge reciprocity comes from. ModeTreePush is the
+// thought experiment of Sec. 4.4 — content only flows from peers closer
+// to the origin servers toward peers farther away — used by the ablation
+// bench to show that tree-like propagation drives reciprocity below zero.
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/protocol"
+)
+
+// SegKB is the media segment size: 10 KB, so a 400 kbps stream is five
+// segments per second. The paper's active-partner threshold (10 segments
+// per 10-minute report window) is defined over these units.
+const SegKB = 10
+
+// segPerKbpsSec converts kbps sustained for one second into segments.
+const segPerKbpsSec = 1.0 / (SegKB * 8)
+
+// SegOf returns the number of segments a flow of rateKbps delivers in dt.
+func SegOf(rateKbps float64, dt time.Duration) float64 {
+	return rateKbps * dt.Seconds() * segPerKbpsSec
+}
+
+// KbpsOf converts a segment count over dt back into kbps.
+func KbpsOf(seg float64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return seg / segPerKbpsSec / dt.Seconds()
+}
+
+// Mode selects the content propagation discipline.
+type Mode uint8
+
+// Exchange modes.
+const (
+	ModeMesh Mode = iota + 1
+	ModeTreePush
+)
+
+// Config tunes the exchange.
+type Config struct {
+	// Mode defaults to ModeMesh.
+	Mode Mode
+	// TargetActive is the maximum number of suppliers a receiver pulls
+	// from per tick (the protocol's ~30 selection).
+	TargetActive int
+	// OverRequest is how much more than its demand a receiver asks for,
+	// to absorb supplier-side shortfalls. Defaults to 1.2.
+	OverRequest float64
+	// SpreadFraction caps how much of its demand a receiver requests
+	// from any single supplier. Block-based swarming stripes requests
+	// across many partners rather than draining one, which is what keeps
+	// the paper's active indegree near 10 even when a single fat link
+	// could carry the whole stream. Defaults to 0.15 (so a receiver
+	// needs ≈ 8 suppliers to cover its demand).
+	SpreadFraction float64
+}
+
+func (c Config) sanitize() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeMesh
+	}
+	if c.TargetActive <= 0 {
+		c.TargetActive = protocol.DefaultConfig().TargetActive
+	}
+	if c.OverRequest <= 1 {
+		c.OverRequest = 1.2
+	}
+	if c.SpreadFraction <= 0 || c.SpreadFraction > 1 {
+		c.SpreadFraction = 0.15
+	}
+	return c
+}
+
+// Exchange runs the per-tick allocation. It is not safe for concurrent
+// use.
+type Exchange struct {
+	cfg     Config
+	rng     *rand.Rand
+	elapsed time.Duration // stream age, drives the block-mode live edge
+
+	order    []*protocol.Peer // scratch: shuffled receiver order
+	reqOrder []*protocol.Peer // scratch: suppliers in first-request order
+	requests map[isp.Addr][]grantReq
+}
+
+type grantReq struct {
+	recv *protocol.Peer
+	seg  float64
+}
+
+// NewExchange builds an exchange engine.
+func NewExchange(cfg Config, rng *rand.Rand) *Exchange {
+	return &Exchange{
+		cfg:      cfg.sanitize(),
+		rng:      rng,
+		requests: make(map[isp.Addr][]grantReq),
+	}
+}
+
+// Tick advances the exchange by dt: receivers issue pull requests to
+// their best suppliers, suppliers water-fill their upload budgets across
+// requesters, and all per-link and per-peer counters are updated.
+//
+// index must resolve every live partner ID; entries missing from it are
+// treated as departed and skipped.
+func (e *Exchange) Tick(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer, dt time.Duration) {
+	e.elapsed += dt
+
+	// Phase 0: reset tick accumulators.
+	for _, p := range peers {
+		p.TickRecvSeg, p.TickSentSeg = 0, 0
+	}
+
+	if e.cfg.Mode == ModeBlock {
+		e.blockTick(peers, index, dt, e.elapsed)
+		return
+	}
+
+	// Phase 1: receivers request, in random order so no peer has a
+	// systematic first-mover advantage across a run.
+	e.order = e.order[:0]
+	for _, p := range peers {
+		if !p.IsServer {
+			e.order = append(e.order, p)
+		}
+	}
+	e.rng.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+
+	e.reqOrder = e.reqOrder[:0]
+	for k := range e.requests {
+		delete(e.requests, k)
+	}
+	for _, p := range e.order {
+		e.collectRequests(p, index, dt)
+	}
+
+	// Phase 2: suppliers grant. reqOrder preserves first-request order,
+	// which is deterministic given the seeded shuffle.
+	for _, s := range e.reqOrder {
+		e.grant(s, dt)
+	}
+
+	// Phase 3: finalize per-peer aggregates and quality.
+	for _, p := range peers {
+		p.LastRecvKbps = KbpsOf(p.TickRecvSeg, dt)
+		p.LastSentKbps = KbpsOf(p.TickSentSeg, dt)
+		if p.IsServer {
+			continue
+		}
+		demand := SegOf(p.RateKbps, dt)
+		if demand > 0 {
+			p.UpdateQuality(p.TickRecvSeg / demand)
+		}
+	}
+}
+
+func (e *Exchange) collectRequests(p *protocol.Peer, index map[isp.Addr]*protocol.Peer, dt time.Duration) {
+	demand := SegOf(p.RateKbps, dt)
+	if demand <= 0 {
+		return
+	}
+	want := demand * e.cfg.OverRequest
+	// A receiver cannot aggregate beyond its own downlink; peers on weak
+	// access links are structurally capped below the stream rate.
+	if lim := SegOf(p.Host.Cap.DownKbps, dt); want > lim {
+		want = lim
+	}
+	covered := 0.0
+	for _, pt := range p.TopSuppliers(e.cfg.TargetActive) {
+		sp, ok := index[pt.ID]
+		if !ok {
+			continue
+		}
+		if e.cfg.Mode == ModeTreePush && !sp.IsServer && sp.Depth >= p.Depth {
+			continue
+		}
+		est := SegOf(pt.Link.CapacityKbps, dt)
+		if share := SegOf(sp.ShareEstimate, dt); share < est {
+			est = share
+		}
+		if lim := demand * e.cfg.SpreadFraction; est > lim {
+			est = lim
+		}
+		// Always probe a supplier for at least a trickle: saturated
+		// suppliers can recover, and probing is how the client discovers
+		// freed capacity.
+		if floor := demand * 0.02; est < floor {
+			est = floor
+		}
+		amount := want - covered
+		if amount > est {
+			amount = est
+		}
+		if amount <= 0 {
+			break
+		}
+		if _, seen := e.requests[sp.ID()]; !seen {
+			e.reqOrder = append(e.reqOrder, sp)
+		}
+		e.requests[sp.ID()] = append(e.requests[sp.ID()], grantReq{recv: p, seg: amount})
+		covered += amount
+		if covered >= want {
+			break
+		}
+	}
+}
+
+// grant water-fills the supplier's upload budget across its requesters:
+// requests smaller than the fair share are fully served, and the freed
+// budget is redistributed among the rest.
+func (e *Exchange) grant(s *protocol.Peer, dt time.Duration) {
+	reqs := e.requests[s.ID()]
+	if len(reqs) == 0 {
+		return
+	}
+	budget := SegOf(s.Host.Cap.UpKbps, dt)
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].seg != reqs[j].seg {
+			return reqs[i].seg < reqs[j].seg
+		}
+		return reqs[i].recv.ID() < reqs[j].recv.ID()
+	})
+	remaining := budget
+	for i, r := range reqs {
+		fair := remaining / float64(len(reqs)-i)
+		g := r.seg
+		if g > fair {
+			g = fair
+		}
+		if g <= 0 {
+			continue
+		}
+		remaining -= g
+		e.apply(s, r.recv, g)
+	}
+	// Advertise next tick's expected per-receiver share.
+	s.ShareEstimate = s.Host.Cap.UpKbps / float64(len(reqs))
+}
+
+func (e *Exchange) apply(s, r *protocol.Peer, seg float64) {
+	if sp := s.Partner(r.ID()); sp != nil {
+		sp.WinSent += seg
+		sp.CumSent += seg
+	}
+	if rp := r.Partner(s.ID()); rp != nil {
+		rp.WinRecv += seg
+		rp.CumRecv += seg
+	}
+	s.TickSentSeg += seg
+	r.TickRecvSeg += seg
+}
+
+// ComputeDepths assigns every peer its hop distance from the nearest
+// origin server over the partner mesh (servers are depth 0, unreachable
+// peers protocol.MaxDepth). The tree-push mode consults these depths; the
+// mesh mode ignores them.
+func ComputeDepths(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer) {
+	queue := make([]*protocol.Peer, 0, len(peers))
+	for _, p := range peers {
+		if p.IsServer {
+			p.Depth = 0
+			queue = append(queue, p)
+		} else {
+			p.Depth = protocol.MaxDepth
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, id := range cur.PartnerIDs() {
+			next, ok := index[id]
+			if !ok || next.Depth <= cur.Depth+1 {
+				continue
+			}
+			next.Depth = cur.Depth + 1
+			queue = append(queue, next)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Binary trace format: a 5-byte header ("MGLT" + version) followed by
+// length-prefixed report payloads. Integers are unsigned varints, floats
+// are little-endian IEEE-754 doubles. A two-week scaled trace compresses
+// roughly 4× versus JSON lines.
+var (
+	_magic = [4]byte{'M', 'G', 'L', 'T'}
+
+	// ErrBadMagic reports a stream that is not a binary trace.
+	ErrBadMagic = errors.New("trace: bad magic, not a binary trace stream")
+	// ErrBadVersion reports an unsupported format version.
+	ErrBadVersion = errors.New("trace: unsupported trace format version")
+	// ErrCorrupt reports a structurally invalid record.
+	ErrCorrupt = errors.New("trace: corrupt record")
+)
+
+const _version = 1
+
+// _maxRecordSize bounds a single encoded report (a full 512-partner list
+// is well under this).
+const _maxRecordSize = 1 << 20
+
+// AppendReport encodes a report payload (no length framing) onto buf.
+func AppendReport(buf []byte, r *Report) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Time.UnixNano()))
+	buf = binary.AppendUvarint(buf, uint64(r.Addr))
+	buf = binary.AppendUvarint(buf, uint64(r.Port))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Channel)))
+	buf = append(buf, r.Channel...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.UpKbps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.DownKbps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.RecvKbps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.SentKbps))
+	buf = binary.LittleEndian.AppendUint64(buf, r.BufferMap)
+	buf = binary.AppendUvarint(buf, uint64(r.PlayPoint))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Partners)))
+	for _, p := range r.Partners {
+		buf = binary.AppendUvarint(buf, uint64(p.Addr))
+		buf = binary.AppendUvarint(buf, uint64(p.Port))
+		buf = binary.AppendUvarint(buf, uint64(p.SentSeg))
+		buf = binary.AppendUvarint(buf, uint64(p.RecvSeg))
+	}
+	return buf
+}
+
+// DecodeReport decodes one report payload produced by AppendReport.
+func DecodeReport(data []byte) (out Report, err error) {
+	br := bytes.NewReader(data)
+
+	// Short reads inside the field helpers abort decoding via a typed
+	// panic, converted back into ErrCorrupt here; any other panic is a
+	// bug and re-propagates.
+	defer func() {
+		if rec := recover(); rec != nil {
+			ec, ok := rec.(errCorrupt)
+			if !ok {
+				panic(rec)
+			}
+			err = fmt.Errorf("%w: %v", ErrCorrupt, ec.err)
+		}
+	}()
+
+	u := func() uint64 {
+		v, uerr := binary.ReadUvarint(br)
+		if uerr != nil {
+			panic(errCorrupt{uerr})
+		}
+		return v
+	}
+	f64 := func() uint64 {
+		var b [8]byte
+		if _, ferr := io.ReadFull(br, b[:]); ferr != nil {
+			panic(errCorrupt{ferr})
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	f := func() float64 { return math.Float64frombits(f64()) }
+
+	var r Report
+	r.Time = time.Unix(0, int64(u())).UTC()
+	r.Addr = isp.Addr(u())
+	r.Port = uint16(u())
+	n := u()
+	if n > _maxRecordSize {
+		return r, fmt.Errorf("%w: channel length %d", ErrCorrupt, n)
+	}
+	name := make([]byte, n)
+	if _, rerr := io.ReadFull(br, name); rerr != nil {
+		return r, fmt.Errorf("%w: channel bytes: %v", ErrCorrupt, rerr)
+	}
+	r.Channel = string(name)
+	r.UpKbps, r.DownKbps = f(), f()
+	r.RecvKbps, r.SentKbps = f(), f()
+	r.BufferMap = f64()
+	r.PlayPoint = uint32(u())
+	np := u()
+	if np > MaxPartnersPerReport {
+		return r, fmt.Errorf("%w: %d partners", ErrCorrupt, np)
+	}
+	if np > 0 {
+		r.Partners = make([]PartnerRecord, np)
+	}
+	for i := range r.Partners {
+		r.Partners[i] = PartnerRecord{
+			Addr:    isp.Addr(u()),
+			Port:    uint16(u()),
+			SentSeg: uint32(u()),
+			RecvSeg: uint32(u()),
+		}
+	}
+	if br.Len() != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, br.Len())
+	}
+	return r, nil
+}
+
+type errCorrupt struct{ err error }
+
+// Writer streams reports in the binary format. It implements Sink.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+var _ Sink = (*Writer)(nil)
+
+// NewWriter writes the header and returns a streaming writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(_magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	if err := bw.WriteByte(_version); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Submit implements Sink.
+func (w *Writer) Submit(r Report) error {
+	w.buf = AppendReport(w.buf[:0], &r)
+	var frame [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(len(w.buf)))
+	if _, err := w.bw.Write(frame[:n]); err != nil {
+		return fmt.Errorf("trace: write frame: %w", err)
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams reports from the binary format.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], _magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != _version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next report, or io.EOF at end of stream.
+func (r *Reader) Next() (Report, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Report{}, io.EOF
+		}
+		return Report{}, fmt.Errorf("trace: read frame: %w", err)
+	}
+	if n > _maxRecordSize {
+		return Report{}, fmt.Errorf("%w: record size %d", ErrCorrupt, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return Report{}, fmt.Errorf("trace: read record: %w", err)
+	}
+	return DecodeReport(r.buf)
+}
+
+// LoadStore reads a whole binary trace stream into a Store.
+func LoadStore(src io.Reader, interval time.Duration) (*Store, error) {
+	rd, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	store := NewStore(interval)
+	for {
+		rep, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return store, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Submit(rep); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// JSONLWriter streams reports as one JSON object per line. It implements
+// Sink.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+var _ Sink = (*JSONLWriter)(nil)
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Submit implements Sink.
+func (w *JSONLWriter) Submit(r Report) error {
+	if err := w.enc.Encode(&r); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// JSONLReader streams reports from JSON lines.
+type JSONLReader struct {
+	dec *json.Decoder
+}
+
+// NewJSONLReader wraps r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next report, or io.EOF at end of stream.
+func (r *JSONLReader) Next() (Report, error) {
+	var rep Report
+	if err := r.dec.Decode(&rep); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Report{}, io.EOF
+		}
+		return Report{}, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return rep, nil
+}

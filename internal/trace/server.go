@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is the standalone trace server of Sec. 3.2: it receives one
+// binary-encoded report per UDP datagram and submits it to a sink.
+// Datagrams that fail to decode or validate are counted and dropped — a
+// measurement pipeline must survive malformed input.
+type Server struct {
+	conn *net.UDPConn
+	sink Sink
+
+	received atomic.Uint64
+	dropped  atomic.Uint64
+
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewServer binds a UDP socket on addr (e.g. "127.0.0.1:0") and starts
+// the receive loop. Close must be called to release the socket.
+func NewServer(addr string, sink Sink) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace server: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("trace server: listen: %w", err)
+	}
+	// A trace server absorbs synchronized report bursts (clients share
+	// the 10-minute cadence); a deep receive buffer is what keeps the
+	// kernel from shedding them. Best effort: some platforms clamp it.
+	_ = conn.SetReadBuffer(4 << 20)
+	s := &Server{conn: conn, sink: sink}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address, useful when listening on port 0.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Received returns the number of successfully ingested reports.
+func (s *Server) Received() uint64 { return s.received.Load() }
+
+// Dropped returns the number of datagrams rejected (decode or validation
+// failures, or sink errors).
+func (s *Server) Dropped() uint64 { return s.dropped.Load() }
+
+// Close stops the receive loop and releases the socket. It is safe to
+// call multiple times.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.conn.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient socket errors: keep serving.
+			continue
+		}
+		rep, err := DecodeReport(buf[:n])
+		if err != nil {
+			s.dropped.Add(1)
+			continue
+		}
+		if err := rep.Validate(); err != nil {
+			s.dropped.Add(1)
+			continue
+		}
+		if err := s.sink.Submit(rep); err != nil {
+			s.dropped.Add(1)
+			continue
+		}
+		s.received.Add(1)
+	}
+}
+
+// Client sends reports to a trace server over UDP, one report per
+// datagram, exactly as the instrumented UUSee client does.
+type Client struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// Dial connects a client to the trace server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace client: dial %q: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+var _ Sink = (*Client)(nil)
+
+// Submit implements Sink: it encodes the report and ships it in a single
+// datagram.
+func (c *Client) Submit(r Report) error {
+	c.buf = AppendReport(c.buf[:0], &r)
+	if len(c.buf) > 64*1024 {
+		return fmt.Errorf("trace client: report of %d bytes exceeds datagram limit", len(c.buf))
+	}
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return fmt.Errorf("trace client: send: %w", err)
+	}
+	return nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }

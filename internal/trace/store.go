@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Store buckets reports into fixed epochs (default: the 10-minute report
+// interval) and serves per-epoch snapshots to the analyzers. One epoch's
+// reports together describe one "continuous-time snapshot of the P2P
+// streaming topology", in the paper's terms.
+//
+// Store is safe for concurrent use: the UDP trace server submits from its
+// receive loop while analyzers read.
+type Store struct {
+	mu       sync.RWMutex
+	interval time.Duration
+	epochs   map[int64][]Report
+	count    int
+}
+
+// NewStore builds a store with the given epoch interval (0 means
+// DefaultReportInterval).
+func NewStore(interval time.Duration) *Store {
+	if interval <= 0 {
+		interval = DefaultReportInterval
+	}
+	return &Store{
+		interval: interval,
+		epochs:   make(map[int64][]Report),
+	}
+}
+
+var _ Sink = (*Store)(nil)
+
+// Interval returns the epoch width.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// EpochOf maps an instant to its epoch index.
+func (s *Store) EpochOf(t time.Time) int64 {
+	return t.UnixNano() / int64(s.interval)
+}
+
+// EpochStart returns the instant an epoch begins, in UTC.
+func (s *Store) EpochStart(epoch int64) time.Time {
+	return time.Unix(0, epoch*int64(s.interval)).UTC()
+}
+
+// Submit implements Sink.
+func (s *Store) Submit(r Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	e := s.EpochOf(r.Time)
+	s.mu.Lock()
+	s.epochs[e] = append(s.epochs[e], r)
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the total number of stored reports.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Epochs returns the indexes of all non-empty epochs, ascending.
+func (s *Store) Epochs() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, 0, len(s.epochs))
+	for e := range s.epochs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot is one epoch's worth of reports.
+type Snapshot struct {
+	Epoch   int64
+	Start   time.Time
+	Reports []Report
+}
+
+// Snapshot returns the reports of one epoch in arrival order. The slice
+// is a copy; callers may keep it.
+func (s *Store) Snapshot(epoch int64) Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reports := make([]Report, len(s.epochs[epoch]))
+	copy(reports, s.epochs[epoch])
+	return Snapshot{Epoch: epoch, Start: s.EpochStart(epoch), Reports: reports}
+}
+
+// Range calls fn for each epoch in ascending order. fn receives a shared
+// (read-only) report slice; it must not mutate or retain it. Returning a
+// non-nil error stops the iteration.
+func (s *Store) Range(fn func(epoch int64, start time.Time, reports []Report) error) error {
+	for _, e := range s.Epochs() {
+		s.mu.RLock()
+		reports := s.epochs[e]
+		s.mu.RUnlock()
+		if err := fn(e, s.EpochStart(e), reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reporters returns the set of distinct addresses that reported during
+// the epoch — the paper's "stable peers" for that snapshot.
+func (s *Store) Reporters(epoch int64) map[isp.Addr]struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[isp.Addr]struct{})
+	for _, r := range s.epochs[epoch] {
+		out[r.Addr] = struct{}{}
+	}
+	return out
+}
+
+// LatestByPeer returns, for one epoch, each reporting peer's most recent
+// report. Duplicate reports (rare; only when a peer's timer drifts across
+// an epoch boundary) collapse to the last received.
+func (s *Store) LatestByPeer(epoch int64) map[isp.Addr]Report {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[isp.Addr]Report)
+	for _, r := range s.epochs[epoch] {
+		out[r.Addr] = r
+	}
+	return out
+}
+
+// DumpTo streams every stored report, epoch by epoch, into a sink —
+// typically a file Writer. It is how simulations persist traces.
+func (s *Store) DumpTo(sink Sink) error {
+	return s.Range(func(_ int64, _ time.Time, reports []Report) error {
+		for _, r := range reports {
+			if err := sink.Submit(r); err != nil {
+				return fmt.Errorf("dump: %w", err)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,286 @@
+// Package viz renders analysis results as standalone SVG figures —
+// line charts for the time-series panels and log-log scatter plots for
+// the degree distributions — using only the standard library. The
+// output opens in any browser, so a reproduction run ends with actual
+// figures, not just terminal tables.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+// Palette cycles through line/marker colors.
+var _palette = []string{"#1f6feb", "#d1242f", "#2da44e", "#bf8700", "#8250df", "#0b7285"}
+
+// Size of the drawing canvas and plot margins.
+const (
+	_width   = 840
+	_height  = 420
+	_marginL = 64
+	_marginR = 16
+	_marginT = 40
+	_marginB = 48
+)
+
+// Line is one named series of a line chart.
+type Line struct {
+	Name   string
+	Series *metrics.Series
+}
+
+// Plot describes chart framing.
+type Plot struct {
+	Title  string
+	YLabel string
+}
+
+// LineChart renders the series over time. Series may have different
+// sampling; the x-axis spans the union of their time ranges.
+func LineChart(w io.Writer, cfg Plot, lines []Line) error {
+	var t0, t1 time.Time
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, ln := range lines {
+		if ln.Series == nil || ln.Series.Len() == 0 {
+			continue
+		}
+		pts := ln.Series.Points()
+		if !any || pts[0].T.Before(t0) {
+			t0 = pts[0].T
+		}
+		if !any || pts[len(pts)-1].T.After(t1) {
+			t1 = pts[len(pts)-1].T
+		}
+		any = true
+		for _, p := range pts {
+			if p.V < yMin {
+				yMin = p.V
+			}
+			if p.V > yMax {
+				yMax = p.V
+			}
+		}
+	}
+	if !any {
+		return writeEmpty(w, cfg.Title)
+	}
+	if yMin > 0 && yMin < yMax*0.3 {
+		yMin = 0 // anchor fraction-like axes at zero when it reads better
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	span := t1.Sub(t0)
+	if span <= 0 {
+		span = time.Hour
+	}
+
+	sx := func(t time.Time) float64 {
+		return _marginL + float64(t.Sub(t0))/float64(span)*(_width-_marginL-_marginR)
+	}
+	sy := func(v float64) float64 {
+		return _height - _marginB - (v-yMin)/(yMax-yMin)*(_height-_marginT-_marginB)
+	}
+
+	var sb strings.Builder
+	header(&sb, cfg.Title)
+	axes(&sb, cfg.YLabel, yMin, yMax, sy)
+
+	// X ticks: one per day for multi-day spans, else hourly-ish.
+	tickStep := 24 * time.Hour
+	format := "01/02"
+	if span < 48*time.Hour {
+		tickStep = 6 * time.Hour
+		format = "15:04"
+	}
+	for tick := t0.Truncate(tickStep); !tick.After(t1); tick = tick.Add(tickStep) {
+		if tick.Before(t0) {
+			continue
+		}
+		x := sx(tick)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`,
+			x, _marginT, x, _height-_marginB)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#555">%s</text>`,
+			x, _height-_marginB+16, tick.Format(format))
+	}
+
+	for i, ln := range lines {
+		if ln.Series == nil || ln.Series.Len() == 0 {
+			continue
+		}
+		color := _palette[i%len(_palette)]
+		var path strings.Builder
+		for j, p := range ln.Series.Points() {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f", cmd, sx(p.T), sy(p.V))
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.4"/>`, path.String(), color)
+		// Legend entry.
+		lx := _marginL + 10 + i*150
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`, lx, _marginT-14, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" fill="#333">%s</text>`,
+			lx+16, _marginT-9, escape(ln.Name))
+	}
+	footer(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Scatter is one named point set of a log-log distribution plot.
+type Scatter struct {
+	Name   string
+	Points []metrics.Bin
+}
+
+// LogLogScatter renders degree-distribution points with both axes
+// logarithmic, the presentation of the paper's Fig. 4.
+func LogLogScatter(w io.Writer, cfg Plot, sets []Scatter) error {
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range sets {
+		for _, b := range s.Points {
+			if b.Value < 1 || b.Frac <= 0 {
+				continue
+			}
+			any = true
+			x, y := float64(b.Value), b.Frac
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
+			if y < yMin {
+				yMin = y
+			}
+			if y > yMax {
+				yMax = y
+			}
+		}
+	}
+	if !any {
+		return writeEmpty(w, cfg.Title)
+	}
+	lx := func(v float64) float64 { return math.Log10(v) }
+	if xMax == xMin {
+		xMax = xMin * 10
+	}
+	if yMax == yMin {
+		yMax = yMin * 10
+	}
+	sx := func(v float64) float64 {
+		return _marginL + (lx(v)-lx(xMin))/(lx(xMax)-lx(xMin))*(_width-_marginL-_marginR)
+	}
+	sy := func(v float64) float64 {
+		return _height - _marginB - (lx(v)-lx(yMin))/(lx(yMax)-lx(yMin))*(_height-_marginT-_marginB)
+	}
+
+	var sb strings.Builder
+	header(&sb, cfg.Title)
+	// Decade grid lines.
+	for ex := math.Floor(lx(xMin)); ex <= math.Ceil(lx(xMax)); ex++ {
+		v := math.Pow(10, ex)
+		if v < xMin || v > xMax {
+			continue
+		}
+		x := sx(v)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`,
+			x, _marginT, x, _height-_marginB)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#555">10^%d</text>`,
+			x, _height-_marginB+16, int(ex))
+	}
+	for ey := math.Floor(lx(yMin)); ey <= math.Ceil(lx(yMax)); ey++ {
+		v := math.Pow(10, ey)
+		if v < yMin || v > yMax {
+			continue
+		}
+		y := sy(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			_marginL, y, _width-_marginR, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#555">10^%d</text>`,
+			_marginL-6, y+4, int(ey))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" fill="#333" transform="rotate(-90 14 %d)">%s</text>`,
+		14, (_height)/2, (_height)/2, escape(cfg.YLabel))
+
+	for i, s := range sets {
+		color := _palette[i%len(_palette)]
+		for _, b := range s.Points {
+			if b.Value < 1 || b.Frac <= 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s" fill-opacity="0.75"/>`,
+				sx(float64(b.Value)), sy(b.Frac), color)
+		}
+		lxp := _marginL + 10 + i*170
+		fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="3" fill="%s"/>`, lxp, _marginT-10, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" fill="#333">%s</text>`,
+			lxp+8, _marginT-6, escape(s.Name))
+	}
+	footer(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		_width, _height, _width, _height)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`, _width, _height)
+	fmt.Fprintf(sb, `<text x="%d" y="20" font-size="15" font-weight="bold" fill="#111">%s</text>`,
+		_marginL, escape(title))
+}
+
+func axes(sb *strings.Builder, yLabel string, yMin, yMax float64, sy func(float64) float64) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		_marginL, _height-_marginB, _width-_marginR, _height-_marginB)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		_marginL, _marginT, _marginL, _height-_marginB)
+	for i := 0; i <= 4; i++ {
+		v := yMin + (yMax-yMin)*float64(i)/4
+		y := sy(v)
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`,
+			_marginL, y, _width-_marginR, y)
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#555">%s</text>`,
+			_marginL-6, y+4, formatTick(v))
+	}
+	fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12" fill="#333" transform="rotate(-90 14 %d)">%s</text>`,
+		14, _height/2, _height/2, escape(yLabel))
+}
+
+func footer(sb *strings.Builder) { sb.WriteString(`</svg>`) }
+
+func writeEmpty(w io.Writer, title string) error {
+	var sb strings.Builder
+	header(&sb, title)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="13" fill="#888">no data</text>`,
+		_width/2-30, _height/2)
+	footer(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatTick(v float64) string {
+	switch {
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,139 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/metrics"
+)
+
+var _t0 = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func lineSeries(vals ...float64) *metrics.Series {
+	s := metrics.NewSeries()
+	for i, v := range vals {
+		s.Add(_t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	return s
+}
+
+// assertWellFormed parses the SVG as XML, which catches unclosed tags
+// and unescaped content.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChart(t *testing.T) {
+	var sb strings.Builder
+	err := LineChart(&sb, Plot{Title: "peers <&> test", YLabel: "peers"}, []Line{
+		{Name: "total", Series: lineSeries(100, 150, 120, 200)},
+		{Name: "stable", Series: lineSeries(30, 50, 40, 70)},
+	})
+	if err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	out := sb.String()
+	assertWellFormed(t, out)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>") {
+		t.Error("missing svg envelope")
+	}
+	if strings.Count(out, "<path") != 2 {
+		t.Errorf("path count = %d, want 2", strings.Count(out, "<path"))
+	}
+	if !strings.Contains(out, "peers &lt;&amp;&gt; test") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "stable") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestLineChartEmptySeries(t *testing.T) {
+	var sb strings.Builder
+	if err := LineChart(&sb, Plot{Title: "empty"}, []Line{{Name: "x", Series: metrics.NewSeries()}}); err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	assertWellFormed(t, sb.String())
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart lacks placeholder")
+	}
+}
+
+func TestLineChartNilSeriesSkipped(t *testing.T) {
+	var sb strings.Builder
+	err := LineChart(&sb, Plot{Title: "mixed"}, []Line{
+		{Name: "real", Series: lineSeries(1, 2, 3)},
+		{Name: "nil", Series: nil},
+	})
+	if err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	assertWellFormed(t, sb.String())
+	if strings.Count(sb.String(), "<path") != 1 {
+		t.Error("nil series drew a path")
+	}
+}
+
+func TestLineChartFlatSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := LineChart(&sb, Plot{Title: "flat"}, []Line{{Name: "c", Series: lineSeries(5, 5, 5)}}); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+	assertWellFormed(t, sb.String())
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("flat series produced NaN coordinates")
+	}
+}
+
+func TestLogLogScatter(t *testing.T) {
+	h := metrics.NewHistogram([]int{1, 2, 2, 3, 3, 3, 10, 10, 50})
+	var sb strings.Builder
+	err := LogLogScatter(&sb, Plot{Title: "degrees", YLabel: "fraction"}, []Scatter{
+		{Name: "indegree", Points: h.PDF()},
+	})
+	if err != nil {
+		t.Fatalf("LogLogScatter: %v", err)
+	}
+	out := sb.String()
+	assertWellFormed(t, out)
+	// 5 distinct values + 1 legend marker.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("circle count = %d, want 6", got)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("scatter produced non-finite coordinates")
+	}
+}
+
+func TestLogLogScatterSkipsNonPositive(t *testing.T) {
+	var sb strings.Builder
+	err := LogLogScatter(&sb, Plot{Title: "deg"}, []Scatter{
+		{Name: "x", Points: []metrics.Bin{{Value: 0, Frac: 0.5}, {Value: 4, Frac: 0}}},
+	})
+	if err != nil {
+		t.Fatalf("LogLogScatter: %v", err)
+	}
+	assertWellFormed(t, sb.String())
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("all-invalid points should render the placeholder")
+	}
+}

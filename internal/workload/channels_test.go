@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewChannelSetValidation(t *testing.T) {
+	if _, err := NewChannelSet(nil); err == nil {
+		t.Error("empty channel set accepted")
+	}
+	if _, err := NewChannelSet([]Channel{{Name: "X", Weight: 0}}); err == nil {
+		t.Error("zero-weight channel accepted")
+	}
+	if _, err := NewChannelSet([]Channel{{Name: "X", Weight: -1}}); err == nil {
+		t.Error("negative-weight channel accepted")
+	}
+}
+
+func TestDefaultChannelsRatio(t *testing.T) {
+	cs := DefaultChannels(48)
+	cctv1, ok := cs.Lookup("CCTV1")
+	if !ok {
+		t.Fatal("CCTV1 missing")
+	}
+	cctv4, ok := cs.Lookup("CCTV4")
+	if !ok {
+		t.Fatal("CCTV4 missing")
+	}
+	// Footnote 2: CCTV1 concurrent viewers ≈ 5× CCTV4.
+	if r := cctv1.Weight / cctv4.Weight; math.Abs(r-5) > 0.01 {
+		t.Errorf("CCTV1/CCTV4 weight ratio = %.2f, want 5", r)
+	}
+	if len(cs.Channels()) != 50 {
+		t.Errorf("channel count = %d, want 50", len(cs.Channels()))
+	}
+}
+
+func TestDefaultChannelsNoExtras(t *testing.T) {
+	cs := DefaultChannels(0)
+	if len(cs.Channels()) != 2 {
+		t.Errorf("channel count = %d, want 2", len(cs.Channels()))
+	}
+}
+
+func TestSampleMatchesWeights(t *testing.T) {
+	cs := DefaultChannels(8)
+	rng := rand.New(rand.NewSource(4))
+	counts := make(map[string]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[cs.Sample(rng, nil).Name]++
+	}
+	var total float64
+	for _, c := range cs.Channels() {
+		total += c.Weight
+	}
+	for _, c := range cs.Channels() {
+		want := c.Weight / total
+		got := float64(counts[c.Name]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s sampled at %.4f, want %.4f ± 0.01", c.Name, got, want)
+		}
+	}
+}
+
+func TestSampleWithBoost(t *testing.T) {
+	cs := DefaultChannels(8)
+	rng := rand.New(rand.NewSource(5))
+	boost := func(name string) float64 {
+		if name == "CCTV4" {
+			return 25
+		}
+		return 1
+	}
+	counts := make(map[string]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[cs.Sample(rng, boost).Name]++
+	}
+	// Boosted CCTV4 (weight 6×25=150) must overtake CCTV1 (30).
+	if counts["CCTV4"] <= counts["CCTV1"] {
+		t.Errorf("boosted CCTV4 drew %d arrivals vs CCTV1 %d; boost ineffective",
+			counts["CCTV4"], counts["CCTV1"])
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	cs := DefaultChannels(0)
+	if _, ok := cs.Lookup("CH999"); ok {
+		t.Error("Lookup found a channel that does not exist")
+	}
+}
+
+func TestChannelRate(t *testing.T) {
+	for _, c := range DefaultChannels(4).Channels() {
+		if c.RateKbps != 400 {
+			t.Errorf("channel %s rate = %v, want 400 kbps", c.Name, c.RateKbps)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package workload generates the peer-arrival workload the paper's traces
+// exhibit: a diurnal pattern with a primary peak around 9 pm and a
+// secondary peak around 1 pm Beijing time (Sec. 4.1.1), a slight weekend
+// uplift, session lengths mixed so that roughly one third of concurrent
+// peers are "stable" (online ≥ 20 minutes and hence reporting), Zipf-like
+// channel popularity with CCTV1 ≈ 5× CCTV4, and flash-crowd surges such
+// as the 2006 mid-autumn-festival broadcast on Friday, October 6, 9 pm.
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// Beijing is the trace timezone (GMT+8). All diurnal structure in the
+// paper is expressed in this zone.
+var Beijing = time.FixedZone("GMT+8", 8*60*60)
+
+// TraceStart is midnight, Sunday October 1 2006, Beijing time — the start
+// of the two-week window all the paper's figures plot.
+func TraceStart() time.Time {
+	return time.Date(2006, 10, 1, 0, 0, 0, 0, Beijing)
+}
+
+// MidAutumnFlashCrowd returns the flash crowd the paper observed: a surge
+// around 9 pm on Friday October 6 2006, driven by a celebration TV show
+// broadcast on CCTV channels.
+func MidAutumnFlashCrowd() FlashCrowd {
+	return FlashCrowd{
+		Start:    time.Date(2006, 10, 6, 20, 0, 0, 0, Beijing),
+		Ramp:     time.Hour,
+		Hold:     90 * time.Minute,
+		Decay:    45 * time.Minute,
+		Peak:     3.0,
+		Channels: []string{"CCTV1", "CCTV4"},
+	}
+}
+
+// Profile shapes the time-of-day and day-of-week arrival-rate multiplier.
+type Profile struct {
+	// Base is the floor multiplier, reached in the small hours.
+	Base float64
+	// EveningPeak and NoonPeak are the amplitudes of the 9 pm and 1 pm
+	// Gaussian bumps; EveningSigma/NoonSigma their widths in hours.
+	EveningPeak  float64
+	EveningSigma float64
+	NoonPeak     float64
+	NoonSigma    float64
+	// WeekendBoost is the fractional uplift applied on Saturday and
+	// Sunday. The paper observes "only a slight number increase over the
+	// weekend".
+	WeekendBoost float64
+}
+
+// DefaultProfile returns the profile calibrated to Fig. 1(A): primary peak
+// 9 pm, secondary peak 1 pm, peak-to-trough ratio around 3.
+func DefaultProfile() Profile {
+	return Profile{
+		Base:         0.40,
+		EveningPeak:  1.10,
+		EveningSigma: 2.2,
+		NoonPeak:     0.55,
+		NoonSigma:    1.8,
+		WeekendBoost: 0.06,
+	}
+}
+
+// Multiplier returns the arrival-rate multiplier at instant t.
+func (p Profile) Multiplier(t time.Time) float64 {
+	local := t.In(Beijing)
+	h := float64(local.Hour()) + float64(local.Minute())/60 + float64(local.Second())/3600
+	m := p.Base +
+		p.EveningPeak*circularGauss(h, 21, p.EveningSigma) +
+		p.NoonPeak*circularGauss(h, 13, p.NoonSigma)
+	switch local.Weekday() {
+	case time.Saturday, time.Sunday:
+		m *= 1 + p.WeekendBoost
+	}
+	return m
+}
+
+// Max returns an upper bound on the multiplier, used for thinning.
+func (p Profile) Max() float64 {
+	max := 0.0
+	// The profile is smooth; scanning at 1-minute resolution over a week
+	// bounds it tightly, then a small safety margin covers interpolation.
+	start := TraceStart()
+	for i := 0; i < 7*24*60; i++ {
+		if m := p.Multiplier(start.Add(time.Duration(i) * time.Minute)); m > max {
+			max = m
+		}
+	}
+	return max * 1.001
+}
+
+// Mean returns the average multiplier over a week, used to calibrate the
+// base arrival rate against a target mean concurrency.
+func (p Profile) Mean() float64 {
+	sum := 0.0
+	start := TraceStart()
+	const samples = 7 * 24 * 12 // 5-minute resolution
+	for i := 0; i < samples; i++ {
+		sum += p.Multiplier(start.Add(time.Duration(i) * 5 * time.Minute))
+	}
+	return sum / samples
+}
+
+// circularGauss is a Gaussian bump on the 24-hour circle.
+func circularGauss(h, center, sigma float64) float64 {
+	d := math.Abs(h - center)
+	if d > 12 {
+		d = 24 - d
+	}
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
+// FlashCrowd is a transient surge in arrivals: the rate multiplier ramps
+// linearly from 1 to Peak over Ramp, holds for Hold, then decays
+// exponentially back toward 1 with time constant Decay. When Channels is
+// non-empty the surge also biases channel choice toward those channels
+// (viewers arrive *for* the broadcast).
+type FlashCrowd struct {
+	Start    time.Time
+	Ramp     time.Duration
+	Hold     time.Duration
+	Decay    time.Duration
+	Peak     float64
+	Channels []string
+}
+
+// Multiplier returns the crowd's rate multiplier at t (≥ 1).
+func (f FlashCrowd) Multiplier(t time.Time) float64 {
+	if f.Peak <= 1 || !t.After(f.Start) {
+		return 1
+	}
+	since := t.Sub(f.Start)
+	switch {
+	case since < f.Ramp:
+		return 1 + (f.Peak-1)*float64(since)/float64(f.Ramp)
+	case since < f.Ramp+f.Hold:
+		return f.Peak
+	default:
+		if f.Decay <= 0 {
+			return 1
+		}
+		dt := since - f.Ramp - f.Hold
+		return 1 + (f.Peak-1)*math.Exp(-float64(dt)/float64(f.Decay))
+	}
+}
+
+// Targets reports whether the crowd boosts the named channel. A crowd
+// with no channel list targets every channel.
+func (f FlashCrowd) Targets(channel string) bool {
+	if len(f.Channels) == 0 {
+		return true
+	}
+	for _, c := range f.Channels {
+		if c == channel {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilePeaksAtNinePM(t *testing.T) {
+	p := DefaultProfile()
+	day := TraceStart().AddDate(0, 0, 2) // a Tuesday
+	best, bestHour := 0.0, -1
+	for h := 0; h < 24; h++ {
+		m := p.Multiplier(day.Add(time.Duration(h) * time.Hour))
+		if m > best {
+			best, bestHour = m, h
+		}
+	}
+	if bestHour != 21 {
+		t.Errorf("daily maximum at hour %d, want 21", bestHour)
+	}
+}
+
+func TestProfileSecondaryPeakAtOnePM(t *testing.T) {
+	p := DefaultProfile()
+	day := TraceStart().AddDate(0, 0, 2)
+	at := func(h int) float64 { return p.Multiplier(day.Add(time.Duration(h) * time.Hour)) }
+	// 1 pm must be a local maximum and clearly above the morning.
+	if at(13) <= at(10) || at(13) <= at(16) {
+		t.Errorf("no secondary peak at 13h: 10h=%.3f 13h=%.3f 16h=%.3f", at(10), at(13), at(16))
+	}
+	// But the evening peak dominates.
+	if at(13) >= at(21) {
+		t.Errorf("13h peak %.3f not below 21h peak %.3f", at(13), at(21))
+	}
+}
+
+func TestProfilePeakToTroughRatio(t *testing.T) {
+	p := DefaultProfile()
+	day := TraceStart().AddDate(0, 0, 2)
+	min, max := 1e9, 0.0
+	for i := 0; i < 24*12; i++ {
+		m := p.Multiplier(day.Add(time.Duration(i) * 5 * time.Minute))
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	ratio := max / min
+	if ratio < 2 || ratio > 6 {
+		t.Errorf("peak/trough ratio %.2f outside plausible [2, 6] band", ratio)
+	}
+}
+
+func TestProfileWeekendBoost(t *testing.T) {
+	p := DefaultProfile()
+	sat := TraceStart().AddDate(0, 0, 6).Add(21 * time.Hour) // Saturday 9 pm
+	tue := TraceStart().AddDate(0, 0, 2).Add(21 * time.Hour) // Tuesday 9 pm
+	ratio := p.Multiplier(sat) / p.Multiplier(tue)
+	want := 1 + p.WeekendBoost
+	if ratio < want-0.001 || ratio > want+0.001 {
+		t.Errorf("weekend/weekday ratio = %.4f, want %.4f", ratio, want)
+	}
+}
+
+func TestProfileMaxBoundsAllSamples(t *testing.T) {
+	p := DefaultProfile()
+	max := p.Max()
+	start := TraceStart()
+	for i := 0; i < 14*24*4; i++ {
+		at := start.Add(time.Duration(i) * 15 * time.Minute)
+		if m := p.Multiplier(at); m > max {
+			t.Fatalf("Multiplier(%v) = %.4f exceeds Max() = %.4f", at, m, max)
+		}
+	}
+}
+
+func TestProfileMeanBetweenTroughAndPeak(t *testing.T) {
+	p := DefaultProfile()
+	mean := p.Mean()
+	if mean <= p.Base || mean >= p.Max() {
+		t.Errorf("Mean() = %.3f outside (Base=%.3f, Max=%.3f)", mean, p.Base, p.Max())
+	}
+}
+
+func TestTraceStartIsSunday(t *testing.T) {
+	// The paper's x-axes run Sun..Sat Sun..Sat starting October 1 2006.
+	if wd := TraceStart().Weekday(); wd != time.Sunday {
+		t.Errorf("TraceStart weekday = %v, want Sunday", wd)
+	}
+}
+
+func TestFlashCrowdEnvelope(t *testing.T) {
+	f := FlashCrowd{
+		Start: TraceStart(),
+		Ramp:  time.Hour,
+		Hold:  time.Hour,
+		Decay: 30 * time.Minute,
+		Peak:  3,
+	}
+	tests := []struct {
+		name string
+		at   time.Duration
+		lo   float64
+		hi   float64
+	}{
+		{name: "before start", at: -time.Hour, lo: 1, hi: 1},
+		{name: "at start", at: 0, lo: 1, hi: 1},
+		{name: "mid ramp", at: 30 * time.Minute, lo: 1.99, hi: 2.01},
+		{name: "peak hold", at: 90 * time.Minute, lo: 3, hi: 3},
+		{name: "one decay constant", at: 2*time.Hour + 30*time.Minute, lo: 1.5, hi: 2.0},
+		{name: "long after", at: 12 * time.Hour, lo: 1, hi: 1.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := f.Multiplier(f.Start.Add(tt.at))
+			if got < tt.lo || got > tt.hi {
+				t.Errorf("Multiplier = %.4f, want within [%v, %v]", got, tt.lo, tt.hi)
+			}
+		})
+	}
+}
+
+func TestFlashCrowdMonotoneRampAndDecay(t *testing.T) {
+	f := MidAutumnFlashCrowd()
+	prev := 0.0
+	for i := 0; i <= 60; i++ {
+		m := f.Multiplier(f.Start.Add(time.Duration(i) * time.Minute))
+		if m < prev {
+			t.Fatalf("ramp not monotone at minute %d: %.4f < %.4f", i, m, prev)
+		}
+		prev = m
+	}
+	decayStart := f.Start.Add(f.Ramp + f.Hold)
+	prev = f.Peak + 1
+	for i := 0; i <= 120; i += 5 {
+		m := f.Multiplier(decayStart.Add(time.Duration(i) * time.Minute))
+		if m > prev {
+			t.Fatalf("decay not monotone at minute %d: %.4f > %.4f", i, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestFlashCrowdTargets(t *testing.T) {
+	f := MidAutumnFlashCrowd()
+	if !f.Targets("CCTV1") || !f.Targets("CCTV4") {
+		t.Error("mid-autumn crowd does not target CCTV channels")
+	}
+	if f.Targets("CH001") {
+		t.Error("mid-autumn crowd targets a non-CCTV channel")
+	}
+	all := FlashCrowd{Peak: 2}
+	if !all.Targets("anything") {
+		t.Error("channel-less crowd should target all channels")
+	}
+}
+
+func TestFlashCrowdDegenerate(t *testing.T) {
+	f := FlashCrowd{Start: TraceStart(), Peak: 1}
+	if m := f.Multiplier(TraceStart().Add(time.Hour)); m != 1 {
+		t.Errorf("peak-1 crowd multiplier = %v, want 1", m)
+	}
+	zeroDecay := FlashCrowd{Start: TraceStart(), Ramp: time.Hour, Hold: time.Hour, Peak: 2}
+	if m := zeroDecay.Multiplier(TraceStart().Add(3 * time.Hour)); m != 1 {
+		t.Errorf("zero-decay crowd after hold = %v, want 1", m)
+	}
+}

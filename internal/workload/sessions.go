@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SessionModel samples how long a peer stays in a channel: a mixture of
+// channel zappers (exponential), ordinary viewers (lognormal), and a
+// heavy Pareto tail of long-lived peers. The paper's trace design makes
+// peers report only after 20 minutes online, and observes that these
+// stable peers make up roughly one third of the concurrent population;
+// the default mixture is calibrated so that, in steady state,
+// E[(S-20min)+]/E[S] ≈ 1/3.
+type SessionModel struct {
+	// Zappers: exponential with mean ZapMean.
+	ZapWeight float64
+	ZapMean   time.Duration
+	// Viewers: lognormal with median ViewMedian and shape ViewSigma.
+	ViewWeight float64
+	ViewMedian time.Duration
+	ViewSigma  float64
+	// Long tail: Pareto with minimum TailMin and exponent TailAlpha,
+	// truncated at TailCap.
+	TailWeight float64
+	TailMin    time.Duration
+	TailAlpha  float64
+	TailCap    time.Duration
+}
+
+// DefaultSessions returns the calibrated mixture (stable concurrent
+// fraction ≈ 1/3 with the 20-minute reporting threshold).
+func DefaultSessions() *SessionModel {
+	return &SessionModel{
+		ZapWeight:  0.78,
+		ZapMean:    4 * time.Minute,
+		ViewWeight: 0.18,
+		ViewMedian: 18 * time.Minute,
+		ViewSigma:  0.8,
+		TailWeight: 0.04,
+		TailMin:    35 * time.Minute,
+		TailAlpha:  1.8,
+		TailCap:    6 * time.Hour,
+	}
+}
+
+// Sample draws a session duration. All components are truncated at
+// TailCap: no session outlives the longest plausible viewing stretch.
+func (m *SessionModel) Sample(rng *rand.Rand) time.Duration {
+	var d time.Duration
+	u := rng.Float64() * (m.ZapWeight + m.ViewWeight + m.TailWeight)
+	switch {
+	case u < m.ZapWeight:
+		d = time.Duration(rng.ExpFloat64() * float64(m.ZapMean))
+	case u < m.ZapWeight+m.ViewWeight:
+		ln := rng.NormFloat64()*m.ViewSigma + math.Log(float64(m.ViewMedian))
+		d = time.Duration(math.Exp(ln))
+	default:
+		// Inverse-CDF Pareto.
+		d = time.Duration(float64(m.TailMin) / math.Pow(1-rng.Float64(), 1/m.TailAlpha))
+	}
+	if d > m.TailCap {
+		d = m.TailCap
+	}
+	return d
+}
+
+// Mean estimates the expected session length by deterministic Monte
+// Carlo. It is used to calibrate the arrival rate for a target mean
+// concurrency (Little's law: N = λ · E[S]).
+func (m *SessionModel) Mean() time.Duration {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(m.Sample(rng))
+	}
+	return time.Duration(sum / n)
+}
+
+// StableConcurrentFraction estimates the steady-state fraction of online
+// peers whose current age is at least threshold — exactly the paper's
+// "stable peers / total peers" ratio, since a peer starts reporting
+// threshold after joining. By renewal theory the fraction equals
+// E[(S-threshold)+] / E[S].
+func (m *SessionModel) StableConcurrentFraction(threshold time.Duration) float64 {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	var total, excess float64
+	for i := 0; i < n; i++ {
+		s := m.Sample(rng)
+		total += float64(s)
+		if s > threshold {
+			excess += float64(s - threshold)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return excess / total
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSessionSamplePositive(t *testing.T) {
+	m := DefaultSessions()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s := m.Sample(rng)
+		if s < 0 {
+			t.Fatalf("negative session duration %v", s)
+		}
+		if s > m.TailCap {
+			t.Fatalf("session %v exceeds tail cap %v", s, m.TailCap)
+		}
+	}
+}
+
+func TestStableFractionNearOneThird(t *testing.T) {
+	// Fig. 1(A): stable peers are "asymptotically 1/3" of concurrent
+	// peers. The calibrated default mixture must land near that.
+	frac := DefaultSessions().StableConcurrentFraction(20 * time.Minute)
+	if frac < 0.25 || frac > 0.45 {
+		t.Errorf("stable concurrent fraction = %.3f, want within [0.25, 0.45]", frac)
+	}
+}
+
+func TestStableFractionMonotoneInThreshold(t *testing.T) {
+	m := DefaultSessions()
+	prev := 1.1
+	for _, thr := range []time.Duration{0, 10 * time.Minute, 20 * time.Minute, time.Hour, 3 * time.Hour} {
+		f := m.StableConcurrentFraction(thr)
+		if f > prev {
+			t.Fatalf("fraction increased when threshold grew: %.3f > %.3f at %v", f, prev, thr)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %.3f outside [0,1]", f)
+		}
+		prev = f
+	}
+	if z := m.StableConcurrentFraction(0); z < 0.999 {
+		t.Errorf("zero-threshold fraction = %.4f, want 1", z)
+	}
+}
+
+func TestSessionMeanPlausible(t *testing.T) {
+	mean := DefaultSessions().Mean()
+	if mean < 5*time.Minute || mean > time.Hour {
+		t.Errorf("mean session %v outside plausible [5m, 1h]", mean)
+	}
+}
+
+func TestSessionMixtureHasShortAndLong(t *testing.T) {
+	m := DefaultSessions()
+	rng := rand.New(rand.NewSource(3))
+	short, long := 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := m.Sample(rng)
+		if s < 5*time.Minute {
+			short++
+		}
+		if s > time.Hour {
+			long++
+		}
+	}
+	if float64(short)/n < 0.3 {
+		t.Errorf("only %.1f%% sessions under 5m; zappers missing", 100*float64(short)/n)
+	}
+	if float64(long)/n < 0.01 {
+		t.Errorf("only %.2f%% sessions over 1h; heavy tail missing", 100*float64(long)/n)
+	}
+}
+
+func TestSessionDeterministicHelpers(t *testing.T) {
+	m := DefaultSessions()
+	if m.Mean() != m.Mean() {
+		t.Error("Mean not deterministic")
+	}
+	a := m.StableConcurrentFraction(20 * time.Minute)
+	b := m.StableConcurrentFraction(20 * time.Minute)
+	if a != b {
+		t.Error("StableConcurrentFraction not deterministic")
+	}
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestWorkload(t *testing.T, mean float64, crowds ...FlashCrowd) *Workload {
+	t.Helper()
+	w, err := New(Config{Seed: 1, MeanConcurrency: mean, Crowds: crowds})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return w
+}
+
+func TestNewRejectsBadConcurrency(t *testing.T) {
+	if _, err := New(Config{MeanConcurrency: 0}); err == nil {
+		t.Error("zero MeanConcurrency accepted")
+	}
+	if _, err := New(Config{MeanConcurrency: -5}); err == nil {
+		t.Error("negative MeanConcurrency accepted")
+	}
+}
+
+func TestArrivalsAreStrictlyIncreasing(t *testing.T) {
+	w := newTestWorkload(t, 500)
+	at := TraceStart()
+	for i := 0; i < 5000; i++ {
+		next := w.NextArrival(at)
+		if !next.After(at) {
+			t.Fatalf("arrival %d at %v not after previous %v", i, next, at)
+		}
+		at = next
+	}
+}
+
+// TestArrivalRateTracksProfile simulates arrival counting and checks the
+// realized hourly arrival counts correlate with the intended rate: the
+// 9 pm hour must see substantially more arrivals than the 4 am hour.
+func TestArrivalRateTracksProfile(t *testing.T) {
+	w := newTestWorkload(t, 2000)
+	day := TraceStart().AddDate(0, 0, 2)
+	count := func(from time.Time, d time.Duration) int {
+		n := 0
+		at := from
+		for {
+			at = w.NextArrival(at)
+			if at.After(from.Add(d)) {
+				return n
+			}
+			n++
+		}
+	}
+	night := count(day.Add(4*time.Hour), time.Hour)
+	peak := count(day.Add(21*time.Hour), time.Hour)
+	if peak < night*2 {
+		t.Errorf("9pm arrivals %d not at least 2x 4am arrivals %d", peak, night)
+	}
+}
+
+func TestLittlesLawCalibration(t *testing.T) {
+	const target = 800.0
+	w := newTestWorkload(t, target)
+	// Mean expected concurrency over a week should track the target.
+	var sum float64
+	const samples = 7 * 24
+	for i := 0; i < samples; i++ {
+		sum += w.ExpectedConcurrency(TraceStart().Add(time.Duration(i) * time.Hour))
+	}
+	mean := sum / samples
+	if mean < target*0.85 || mean > target*1.15 {
+		t.Errorf("mean expected concurrency %.0f, want %.0f ± 15%%", mean, target)
+	}
+}
+
+func TestFlashCrowdRaisesRate(t *testing.T) {
+	crowd := MidAutumnFlashCrowd()
+	w := newTestWorkload(t, 500, crowd)
+	calm := newTestWorkload(t, 500)
+	peakAt := crowd.Start.Add(crowd.Ramp + crowd.Hold/2)
+	withCrowd := w.Rate(peakAt)
+	without := calm.Rate(peakAt)
+	ratio := withCrowd / without
+	if ratio < crowd.Peak*0.95 || ratio > crowd.Peak*1.05 {
+		t.Errorf("crowd rate ratio = %.2f, want ≈ %.2f", ratio, crowd.Peak)
+	}
+}
+
+func TestFlashCrowdSkewsChannelChoice(t *testing.T) {
+	crowd := MidAutumnFlashCrowd()
+	w := newTestWorkload(t, 500, crowd)
+	peakAt := crowd.Start.Add(crowd.Ramp + crowd.Hold/2)
+	calmAt := crowd.Start.Add(-24 * time.Hour)
+
+	countCCTV := func(at time.Time) int {
+		n := 0
+		for i := 0; i < 20000; i++ {
+			c := w.SampleChannel(at)
+			if c.Name == "CCTV1" || c.Name == "CCTV4" {
+				n++
+			}
+		}
+		return n
+	}
+	calm := countCCTV(calmAt)
+	peak := countCCTV(peakAt)
+	if peak <= calm {
+		t.Errorf("CCTV share during crowd (%d) not above calm share (%d)", peak, calm)
+	}
+}
+
+func TestSampleChannelWithoutCrowds(t *testing.T) {
+	w := newTestWorkload(t, 100)
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		seen[w.SampleChannel(TraceStart()).Name] = true
+	}
+	if !seen["CCTV1"] || !seen["CCTV4"] {
+		t.Error("named channels never sampled")
+	}
+}
+
+func TestValidateCrowd(t *testing.T) {
+	good := MidAutumnFlashCrowd()
+	if err := ValidateCrowd(good); err != nil {
+		t.Errorf("valid crowd rejected: %v", err)
+	}
+	bad := []FlashCrowd{
+		{Peak: 0.5},
+		{Peak: 2, Ramp: -time.Hour},
+	}
+	for _, f := range bad {
+		if err := ValidateCrowd(f); err == nil {
+			t.Errorf("invalid crowd %+v accepted", f)
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	mk := func() []time.Time {
+		w := newTestWorkload(t, 300)
+		var out []time.Time
+		at := TraceStart()
+		for i := 0; i < 200; i++ {
+			at = w.NextArrival(at)
+			out = append(out, at)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("arrival %d differs across identical seeds: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStable20MinFractionExposed(t *testing.T) {
+	w := newTestWorkload(t, 100)
+	if f := w.Stable20MinFraction(); f < 0.2 || f > 0.5 {
+		t.Errorf("Stable20MinFraction = %.3f, want in [0.2, 0.5]", f)
+	}
+}
