@@ -92,12 +92,14 @@ func summarize(out io.Writer, rd *trace.Reader, topN int) error {
 		return fmt.Errorf("trace holds no reports")
 	}
 
-	fmt.Fprintf(out, "reports:        %d\n", count)
-	fmt.Fprintf(out, "span:           %s → %s (%v)\n",
-		first.Format(time.RFC3339), last.Format(time.RFC3339), last.Sub(first).Round(time.Minute))
-	fmt.Fprintf(out, "epochs (10m):   %d\n", len(epochs))
-	fmt.Fprintf(out, "distinct peers: %d\n", len(peers))
-	fmt.Fprintf(out, "mean partners:  %.1f per report\n\n", float64(partnerTotal)/float64(count))
+	_, err := fmt.Fprintf(out,
+		"reports:        %d\nspan:           %s → %s (%v)\nepochs (10m):   %d\ndistinct peers: %d\nmean partners:  %.1f per report\n\n",
+		count,
+		first.Format(time.RFC3339), last.Format(time.RFC3339), last.Sub(first).Round(time.Minute),
+		len(epochs), len(peers), float64(partnerTotal)/float64(count))
+	if err != nil {
+		return err
+	}
 
 	type chCount struct {
 		name string
@@ -144,13 +146,15 @@ func dumpPeer(out io.Writer, rd *trace.Reader, addr isp.Addr) error {
 				active++
 			}
 		}
-		fmt.Fprintf(out, "%s  ch=%s recv=%.0fkbps sent=%.0fkbps partners=%d active=%d buffer=%016x\n",
+		if _, err := fmt.Fprintf(out, "%s  ch=%s recv=%.0fkbps sent=%.0fkbps partners=%d active=%d buffer=%016x\n",
 			rep.Time.Format("2006-01-02 15:04"), rep.Channel,
-			rep.RecvKbps, rep.SentKbps, len(rep.Partners), active, rep.BufferMap)
+			rep.RecvKbps, rep.SentKbps, len(rep.Partners), active, rep.BufferMap); err != nil {
+			return err
+		}
 	}
 	if found == 0 {
 		return fmt.Errorf("peer %s never reported", addr)
 	}
-	fmt.Fprintf(out, "%d reports from %s\n", found, addr)
-	return nil
+	_, err := fmt.Fprintf(out, "%d reports from %s\n", found, addr)
+	return err
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -122,7 +123,7 @@ func (s *rotatingSink) rotateLocked(now time.Time) error {
 	}
 	w, err := trace.NewWriter(f)
 	if err != nil {
-		f.Close()
+		f.Close() //magellan:allow erridle — best-effort cleanup; the NewWriter error wins
 		return err
 	}
 	s.file, s.writer, s.opened = f, w, now
@@ -173,7 +174,7 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, 
 	}
 	udp, err := trace.NewServer(listen, sink)
 	if err != nil {
-		sink.Close()
+		sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
 		return nil, err
 	}
 	d := &daemon{udp: udp, sink: sink, started: time.Now()}
@@ -181,8 +182,8 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, 
 	if httpAddr != "" {
 		ln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
-			udp.Close()
-			sink.Close()
+			udp.Close()  //magellan:allow erridle — best-effort cleanup; the listen error wins
+			sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
 			return nil, err
 		}
 		mux := http.NewServeMux()
@@ -192,8 +193,10 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, 
 		go func() {
 			// Serve exits with ErrServerClosed on shutdown; any other
 			// error means the status endpoint died, which is
-			// non-fatal for ingestion.
-			_ = d.httpSrv.Serve(ln)
+			// non-fatal for ingestion but worth a diagnostic.
+			if err := d.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "magellan-serve: status endpoint:", err)
+			}
 		}()
 	}
 	return d, nil
@@ -201,12 +204,17 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, 
 
 func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	err := json.NewEncoder(w).Encode(map[string]any{
 		"received":      d.udp.Received(),
 		"dropped":       d.udp.Dropped(),
 		"currentFile":   d.sink.CurrentFile(),
 		"uptimeSeconds": int(time.Since(d.started).Seconds()),
 	})
+	if err != nil {
+		// The response is already partially written; all we can do is
+		// note that a monitoring poll lost its answer.
+		fmt.Fprintln(os.Stderr, "magellan-serve: status write:", err)
+	}
 }
 
 func (d *daemon) Close() error {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite over the repository itself: the
+// invariants magellan-vet enforces must hold here, always. This is the
+// same gate CI runs via `go run ./cmd/magellan-vet ./...`.
+func TestRepoIsClean(t *testing.T) {
+	chdirModuleRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("magellan-vet ./... = exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestListNamesAllAnalyzers pins the suite roster: removing an analyzer
+// should be a deliberate, test-visible act.
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list = exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "erridle", "floatcmp", "locksafe", "maporder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			t.Chdir(dir)
+			return
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

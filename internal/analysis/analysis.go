@@ -1,0 +1,186 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library so
+// the repository stays dependency-free. It exists to make Magellan's
+// reproduction invariants — seeded randomness, simulated time, sorted
+// map emission, handled errors, disciplined locking — machine-checked
+// instead of review-enforced.
+//
+// An Analyzer inspects one type-checked package (a load.Package) and
+// reports Diagnostics. The cmd/magellan-vet driver runs every analyzer
+// over every package and fails the build on findings.
+//
+// Findings can be suppressed line-by-line with a directive comment:
+//
+//	f.Close() //magellan:allow erridle — best-effort cleanup
+//
+// The directive names one analyzer (or "all") and applies to its own
+// line and to the line directly below it, so it can also sit above the
+// offending statement. Every suppression is visible in the diff, which
+// is the point: exceptions are reviewed, not silent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/load"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //magellan:allow
+	// directives. It must be a single lower-case word.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run inspects the package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *load.Package
+
+	report func(Diagnostic)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Syntax }
+
+// Path returns the package's import path.
+func (p *Pass) Path() string { return p.Pkg.ImportPath }
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by Run
+}
+
+// Position resolves the diagnostic against a file set.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics (suppressions already applied) sorted by file position.
+func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass.report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				if allowed.covers(pkg.Fset.Position(d.Pos), a.Name) {
+					return
+				}
+				out = append(out, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkgs[0].Fset.Position(out[i].Pos), pkgs[0].Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowDirective is the comment prefix that suppresses findings.
+const allowDirective = "//magellan:allow"
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) covers(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line and the line directly below, so it
+	// can trail the statement or sit on its own line above it.
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectAllows(pkg *load.Package) allowSet {
+	set := make(allowSet)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //magellan:allowed — not the directive
+				}
+				// Everything after the analyzer list (separated by
+				// " — " or " - ") is a free-form justification.
+				fields := strings.FieldsFunc(firstClause(rest), func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				})
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range fields {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// firstClause cuts the directive body at the first justification
+// separator ("—" or " - ") so trailing prose is not read as names.
+func firstClause(s string) string {
+	if i := strings.Index(s, "—"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, " - "); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory under <testdata>/src/<importpath>/ whose .go
+// files may import the standard library. Lines expected to be flagged
+// carry a trailing expectation comment:
+//
+//	rand.Intn(6) // want `math/rand`
+//
+// The backquoted (or quoted) string is a regexp that must match the
+// diagnostic message reported on that line. Diagnostics without a
+// matching expectation, and expectations without a diagnostic, both
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+	"github.com/magellan-p2p/magellan/internal/analysis/load"
+)
+
+// Run loads each fixture package and applies the analyzer, reporting
+// any mismatch between actual and expected diagnostics through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			pkg, err := load.Dir(testdata+"/src/"+path, path)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+			}
+			diags, err := analysis.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s: %v", a.Name, err)
+			}
+			checkExpectations(t, pkg, diags)
+		})
+	}
+}
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkExpectations(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				lit := strings.TrimSpace(text[idx+len("// want "):])
+				pattern, err := unquote(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want comment %q: %v", pkg.Fset.Position(c.Pos()), lit, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// unquote accepts a double-quoted or backquoted Go string literal.
+func unquote(lit string) (string, error) {
+	if len(lit) < 2 {
+		return "", fmt.Errorf("not a string literal")
+	}
+	return strconv.Unquote(lit)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the static callee of a call, or nil when the call is
+// through a function value, a type conversion, or a builtin.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// ReceiverNamed returns the named type of fn's receiver, following one
+// level of pointer indirection, or nil for package-level functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// NamedFrom reports whether named is the type pkgPath.name.
+func NamedFrom(named *types.Named, pkgPath, name string) bool {
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// InInternalSegment reports whether pkgPath contains an
+// "internal/<name>" path segment for any of the given names. It is how
+// analyzers scope themselves to the simulator core: fixture packages
+// under any module can opt in by echoing the segment in their path.
+func InInternalSegment(pkgPath string, names []string) bool {
+	segs := strings.Split(pkgPath, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] != "internal" {
+			continue
+		}
+		for _, name := range names {
+			if segs[i+1] == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContainsErrorResult reports whether t (a single type or a tuple)
+// includes the built-in error type.
+func ContainsErrorResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

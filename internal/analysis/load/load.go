@@ -1,0 +1,248 @@
+// Package load parses and type-checks Go packages using only the
+// standard library. It is the substrate for the magellan-vet analyzers:
+// a miniature replacement for golang.org/x/tools/go/packages, which this
+// repository deliberately does not depend on.
+//
+// Dependency type information comes from gc export data: `go list
+// -export -deps -json` compiles (or reuses from the build cache) every
+// dependency and reports the export file each produced; go/importer's
+// lookup mode then reads those files. Only the packages under analysis
+// are parsed from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds any type-checking problems. Analyzers still run
+	// on partially-checked packages; the driver reports these first.
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads the packages matching patterns (as understood by `go
+// list`) rooted at dir, returning one Package per matched package.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("load: %s uses cgo, which this loader does not support", lp.ImportPath)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Name = lp.Name
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Dir loads a single package from the .go files directly under dir,
+// type-checked under the given import path. It exists for analysistest
+// fixtures, which live in testdata (invisible to `go list`) but may
+// import standard-library packages; those are resolved through the
+// export data of the surrounding toolchain.
+func Dir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	// Parse first so we know which imports need export data.
+	syntax, firstErr := parseFiles(fset, files)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range syntax {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		listed, err := goList(dir, imports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	pkg, err := checkParsed(fset, imp, importPath, dir, files, syntax)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns in dir
+// and decodes the JSON stream. -deps pulls in transitive dependencies so
+// every import resolves to an export file.
+func goList(dir string, patterns ...string) ([]*listPackage, error) {
+	cmdArgs := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w\n%s", err, stderr.String())
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// newExportImporter returns a types.Importer that resolves import paths
+// through the export files recorded by `go list -export`.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	return syntax, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	syntax, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(fset, imp, importPath, dir, files, syntax)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string, syntax []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		GoFiles:    files,
+		Fset:       fset,
+		Syntax:     syntax,
+		TypesInfo:  info,
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	pkg.Types = tpkg
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		return nil, fmt.Errorf("load: %s: %w", importPath, err)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPackagesTypechecks loads a real repo package and verifies full
+// type information is available, including types imported via export
+// data (stdlib and intra-module).
+func TestPackagesTypechecks(t *testing.T) {
+	pkgs, err := Packages(moduleRoot(t), "./internal/trace")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "trace" {
+		t.Fatalf("bad types package: %v", pkg.Types)
+	}
+	// The Store.mu field must resolve to sync.RWMutex through export data.
+	obj := pkg.Types.Scope().Lookup("Store")
+	if obj == nil {
+		t.Fatal("Store not found in package scope")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Store is %T, want struct", obj.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "mu" && f.Type().String() == "sync.RWMutex" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Store.mu did not resolve to sync.RWMutex")
+	}
+}
+
+// TestDirLoadsFixtureStyle type-checks an ad-hoc directory under a
+// chosen import path, the mode analysistest uses for testdata fixtures.
+func TestDirLoadsFixtureStyle(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fx
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter(r *rand.Rand) time.Duration {
+	return time.Duration(r.Intn(1000)) * time.Millisecond
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fx.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Dir(dir, "example.com/internal/sim/fx")
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if pkg.ImportPath != "example.com/internal/sim/fx" {
+		t.Fatalf("import path = %q", pkg.ImportPath)
+	}
+	// r.Intn must resolve to (*math/rand.Rand).Intn.
+	var intn types.Object
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Intn" {
+				intn = pkg.TypesInfo.Uses[sel.Sel]
+			}
+			return true
+		})
+	}
+	if intn == nil || intn.Pkg().Path() != "math/rand" {
+		t.Fatalf("Intn resolved to %v, want math/rand method", intn)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

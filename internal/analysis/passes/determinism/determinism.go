@@ -1,0 +1,98 @@
+// Package determinism forbids ambient nondeterminism — global
+// math/rand, wall-clock time, process environment — inside the
+// simulator core. Magellan's claim is that every topology snapshot and
+// every figure is bit-for-bit derivable from a seed; that only holds if
+// randomness flows through an injected *rand.Rand and time through the
+// simulated DES clock.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid math/rand package-level functions, time.Now/Since/Until " +
+		"and friends, and os environment reads inside the simulator core " +
+		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella})",
+	Run: run,
+}
+
+// Restricted names the internal/<segment> packages the invariant covers.
+// Everything else (cmd, report, trace, viz) may read the wall clock.
+var Restricted = []string{
+	"sim", "des", "protocol", "stream", "workload",
+	"graph", "isp", "netsim", "core", "gnutella",
+}
+
+// forbidden maps package path → function name → the fix to suggest.
+// Constructors (rand.New, rand.NewSource, …) stay legal: they are how
+// the injected generator is built in the first place.
+var forbidden = map[string]map[string]string{
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "",
+		"Seed": "", "Read": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint32": "", "Uint32N": "", "Uint64": "", "Uint64N": "", "UintN": "", "Uint": "",
+		"Float32": "", "Float64": "", "ExpFloat64": "", "NormFloat64": "",
+		"Perm": "", "Shuffle": "", "N": "",
+	},
+	"time": {
+		"Now": "", "Since": "", "Until": "", "After": "", "Tick": "",
+		"NewTimer": "", "NewTicker": "", "Sleep": "", "AfterFunc": "",
+	},
+	"os": {
+		"Getenv": "", "LookupEnv": "", "Environ": "",
+	},
+}
+
+// remedy describes, per package, how the code should get the value
+// instead.
+var remedy = map[string]string{
+	"math/rand":    "thread the run's seeded *rand.Rand through instead",
+	"math/rand/v2": "thread the run's seeded *rand.Rand through instead",
+	"time":         "use the simulated clock (des.Simulator time) instead",
+	"os":           "pass configuration explicitly through the config struct",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InInternalSegment(pass.Path(), Restricted) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the fix, not the bug
+			}
+			path := fn.Pkg().Path()
+			names, ok := forbidden[path]
+			if !ok {
+				return true
+			}
+			if _, bad := names[fn.Name()]; !bad {
+				return true
+			}
+			pass.Reportf(ident.Pos(), "%s.%s is nondeterministic inside the simulator core; %s",
+				path, fn.Name(), remedy[path])
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../../testdata", determinism.Analyzer,
+		"example.com/internal/sim/detfx", // restricted: flags expected
+		"example.com/internal/viz/detfx", // unrestricted: must stay silent
+	)
+}

@@ -1,0 +1,186 @@
+// Package erridle flags discarded error returns: bare call statements
+// whose result set includes an error, assignments that send every
+// result to the blank identifier, and deferred error-returning calls.
+// A measurement pipeline that drops errors silently under-counts — the
+// one thing Magellan's ingest path must never do.
+//
+// A small allowlist covers calls that cannot fail or are best-effort by
+// convention: hash.Hash writes, strings.Builder/bytes.Buffer methods,
+// fmt printing to stdout/stderr or to an infallible builder, and
+// `defer Close()`. Everything else needs handling or an explicit
+// //magellan:allow erridle directive.
+package erridle
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+)
+
+// Analyzer is the discarded-error checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "erridle",
+	Doc: "flag bare calls and all-blank assignments that discard an error " +
+		"result, outside a small infallible/best-effort allowlist",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkCall(pass, info, call, false)
+				}
+			case *ast.DeferStmt:
+				checkCall(pass, info, n.Call, true)
+			case *ast.AssignStmt:
+				checkAssign(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall reports a call statement that discards an error result.
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, deferred bool) {
+	if !analysis.ContainsErrorResult(resultType(info, call)) {
+		return
+	}
+	if allowed(info, call, deferred) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s returns an error that is silently discarded; "+
+		"handle it or annotate with //magellan:allow erridle", calleeName(info, call))
+}
+
+// checkAssign reports assignments whose left side is entirely blank and
+// whose right side produces at least one error.
+func checkAssign(pass *analysis.Pass, info *types.Info, assign *ast.AssignStmt) {
+	for _, lhs := range assign.Lhs {
+		ident, ok := lhs.(*ast.Ident)
+		if !ok || ident.Name != "_" {
+			return
+		}
+	}
+	for _, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !analysis.ContainsErrorResult(resultType(info, call)) {
+			continue
+		}
+		if allowed(info, call, false) {
+			continue
+		}
+		pass.Reportf(assign.Pos(), "error result of %s is discarded into the blank "+
+			"identifier; handle it or annotate with //magellan:allow erridle",
+			calleeName(info, call))
+	}
+}
+
+func resultType(info *types.Info, call *ast.CallExpr) types.Type {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// allowed implements the infallible/best-effort allowlist.
+func allowed(info *types.Info, call *ast.CallExpr, deferred bool) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return true // dynamic call through a func value: out of scope
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		if deferred && fn.Name() == "Close" {
+			return true // defer f.Close() on a read path is idiomatic
+		}
+		// Judge by the receiver expression's static type, not the
+		// method's declaring type: h.Write on a hash.Hash64 resolves to
+		// (io.Writer).Write through embedding, but what matters is that
+		// the receiver is a hash.
+		recv := receiverNamed(info, call)
+		if recv == nil {
+			return false
+		}
+		if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "hash" {
+			return true // hash.Hash writes are documented never to fail
+		}
+		return analysis.NamedFrom(recv, "strings", "Builder") ||
+			analysis.NamedFrom(recv, "bytes", "Buffer") // infallible in-memory writers
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	if strings.HasPrefix(name, "Print") {
+		return true // stdout diagnostics are best-effort
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return infallibleWriter(info, call.Args[0])
+	}
+	return false
+}
+
+// receiverNamed resolves the static named type of a method call's
+// receiver expression, following one pointer indirection.
+func receiverNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return nil
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// infallibleWriter reports whether the fmt.Fprint* destination is an
+// in-memory builder/buffer or the process's stdout/stderr.
+func infallibleWriter(info *types.Info, dst ast.Expr) bool {
+	if sel, ok := ast.Unparen(dst).(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := info.Types[dst]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return analysis.NamedFrom(named, "strings", "Builder") ||
+		analysis.NamedFrom(named, "bytes", "Buffer")
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return "call"
+	}
+	if recv := analysis.ReceiverNamed(fn); recv != nil {
+		return recv.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

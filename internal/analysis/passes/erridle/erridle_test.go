@@ -1,0 +1,12 @@
+package erridle_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/erridle"
+)
+
+func TestErrIdle(t *testing.T) {
+	analysistest.Run(t, "../../testdata", erridle.Analyzer, "erridlefx")
+}

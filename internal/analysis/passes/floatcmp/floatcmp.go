@@ -1,0 +1,65 @@
+// Package floatcmp flags == and != between floating-point expressions
+// in the metric packages (internal/graph, internal/metrics), where
+// clustering-coefficient and reciprocity math lives. Two runs of the
+// same seed stay bit-identical only until someone reassociates a sum;
+// equality tests on computed floats are how that fragility becomes a
+// wrong branch instead of a tiny residual.
+//
+// Comparisons against a constant (x == 0, x != 1) are deliberately
+// exempt: exact sentinel checks against literals are well-defined and
+// pervasive in guard clauses.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+)
+
+// Analyzer is the float-equality checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= between non-constant floating-point expressions in " +
+		"internal/{graph,metrics}; use an epsilon tolerance instead",
+	Run: run,
+}
+
+// Restricted names the internal/<segment> packages the invariant covers.
+var Restricted = []string{"graph", "metrics"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InInternalSegment(pass.Path(), Restricted) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			lhs, lok := info.Types[bin.X]
+			rhs, rok := info.Types[bin.Y]
+			if !lok || !rok || (!isFloat(lhs.Type) && !isFloat(rhs.Type)) {
+				return true
+			}
+			if lhs.Value != nil || rhs.Value != nil {
+				return true // sentinel comparison against a constant
+			}
+			pass.Reportf(bin.OpPos, "%s between floating-point expressions is "+
+				"seed-fragile; compare within an epsilon tolerance", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "../../testdata", floatcmp.Analyzer,
+		"example.com/internal/metrics/floatfx", // restricted: flags expected
+		"example.com/internal/report/floatfx",  // unrestricted: must stay silent
+	)
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "../../testdata", locksafe.Analyzer, "locksafefx")
+}

@@ -1,0 +1,64 @@
+// Package erridlefx exercises the erridle analyzer: bare calls and
+// all-blank assignments that drop errors are flagged; handled errors,
+// the infallible-writer allowlist, defer Close, and the
+// //magellan:allow directive stay clean.
+package erridlefx
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func fallibleVal() (int, error) { return 0, nil }
+
+// Bare discards the call's only result: flagged.
+func Bare() {
+	fallible() // want `fallible returns an error that is silently discarded`
+}
+
+// Blank discards results into the blank identifier: flagged.
+func Blank() {
+	_ = fallible()       // want `error result of erridlefx\.fallible is discarded`
+	_, _ = fallibleVal() // want `error result of erridlefx\.fallibleVal is discarded`
+}
+
+// Handled is the sanctioned pattern: clean.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := fallibleVal()
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return err
+}
+
+// Allowlisted calls cannot fail (or are best-effort diagnostics): clean.
+func Allowlisted() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(&sb, "%d", 1)
+	fmt.Fprintln(os.Stderr, "diagnostic")
+	fmt.Println("diagnostic")
+	h := fnv.New64a()
+	h.Write([]byte("payload"))
+	_, _ = h.Write([]byte("payload"))
+	return sb.String()
+}
+
+// DeferPatterns: defer Close is idiomatic and clean; deferring any other
+// error-returning call is flagged.
+func DeferPatterns(f *os.File) {
+	defer f.Close()
+	defer fallible() // want `fallible returns an error that is silently discarded`
+}
+
+// Directive shows the visible, reviewable escape hatch: clean.
+func Directive() {
+	fallible() //magellan:allow erridle — best-effort in this fixture
+}

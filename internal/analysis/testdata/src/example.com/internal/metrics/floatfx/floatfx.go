@@ -1,0 +1,44 @@
+// Package floatfx exercises the floatcmp analyzer inside a restricted
+// package path (…/internal/metrics/…): equality between computed floats
+// is flagged; sentinel comparisons against constants, ordered
+// comparisons, and integer equality stay clean.
+package floatfx
+
+// Equal compares computed floats exactly: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want `== between floating-point expressions`
+}
+
+// NotEqual is the negated form: flagged.
+func NotEqual(a, b float64) bool {
+	return a != b // want `!= between floating-point expressions`
+}
+
+// Narrow compares float32s: flagged.
+func Narrow(a, b float32) bool {
+	return a == b // want `== between floating-point expressions`
+}
+
+// Guard tests against a literal sentinel: exempt by design (exact-zero
+// guards before division are well-defined).
+func Guard(sum float64) float64 {
+	if sum == 0 {
+		return 0
+	}
+	return 1 / sum
+}
+
+// Tolerance is the sanctioned pattern: clean.
+func Tolerance(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// Ints compare exactly without hazard: clean.
+func Ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,9 @@
+// Package floatfx (report flavor) exercises the floatcmp analyzer's
+// scoping: internal/report is not a restricted segment, so float
+// equality is legal here. No diagnostics expected.
+package floatfx
+
+// Equal is allowed outside internal/{graph,metrics}.
+func Equal(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,51 @@
+// Package detfx exercises the determinism analyzer inside a restricted
+// package path (…/internal/sim/…): ambient randomness, wall-clock time,
+// and environment reads must all be flagged; the injected-generator
+// pattern must stay clean.
+package detfx
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Jitter draws from the global generator: forbidden here.
+func Jitter() int {
+	return rand.Intn(100) // want `math/rand\.Intn is nondeterministic`
+}
+
+// Stamp reads the wall clock: forbidden here.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is nondeterministic`
+}
+
+// Elapsed measures wall-clock durations: forbidden here.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is nondeterministic`
+}
+
+// Debug reads the process environment: forbidden here.
+func Debug() bool {
+	return os.Getenv("MAGELLAN_DEBUG") != "" // want `os\.Getenv is nondeterministic`
+}
+
+// AsValue references a forbidden function without calling it: the
+// reference alone is enough to smuggle nondeterminism, so it is flagged.
+var AsValue = rand.Float64 // want `math/rand\.Float64 is nondeterministic`
+
+// Seeded is the sanctioned pattern: constructors stay legal because they
+// are how the injected generator is built.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw consumes the injected generator: clean.
+func Draw(r *rand.Rand) int {
+	return r.Intn(100)
+}
+
+// Widen does arithmetic on time values without reading the clock: clean.
+func Widen(t time.Time, d time.Duration) time.Time {
+	return t.Add(2 * d)
+}

@@ -1,0 +1,20 @@
+// Package detfx (viz flavor) exercises the determinism analyzer's
+// scoping: internal/viz is not a restricted segment, so the very calls
+// flagged in internal/sim are legal here. No diagnostics expected.
+package detfx
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp may read the wall clock outside the simulator core.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Jitter may use the global generator outside the simulator core.
+func Jitter() int {
+	return rand.Intn(100) + len(os.Getenv("HOME"))
+}

@@ -1,0 +1,117 @@
+// Package locksafefx exercises the locksafe analyzer: lock-bearing
+// values copied as parameters, receivers, assignments, range values, or
+// call arguments are flagged, as are mutexes held across blocking
+// channel/network operations. Pointer passing and short critical
+// sections stay clean.
+package locksafefx
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Guarded is a typical mutex-bearing aggregate.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the mutex into the callee: flagged.
+func ByValue(mu sync.Mutex) { // want `parameter copies sync\.Mutex`
+	mu.Lock()
+}
+
+// ValueReceiver copies the whole aggregate on every call: flagged.
+func (g Guarded) ValueReceiver() int { // want `receiver copies`
+	return g.n
+}
+
+// CopyStruct copies a lock-bearing struct out of a pointer: flagged.
+func CopyStruct(g *Guarded) int {
+	cp := *g // want `assignment copies`
+	return cp.n
+}
+
+// RangeCopies iterates lock-bearing values by value: flagged.
+func RangeCopies(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies`
+		total += g.n
+	}
+	return total
+}
+
+func sink(g Guarded) int { // want `parameter copies`
+	return g.n
+}
+
+// CallByValue passes the aggregate by value at the call site: flagged.
+func CallByValue(g *Guarded) int {
+	return sink(*g) // want `call passes .* by value`
+}
+
+// ByPointer is the sanctioned form: clean.
+func ByPointer(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// SendWhileLocked holds the mutex across a channel send: flagged.
+func SendWhileLocked(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want `g\.mu is held across a channel send`
+	g.mu.Unlock()
+}
+
+// ReceiveWhileLocked holds the mutex across a channel receive: flagged.
+func ReceiveWhileLocked(g *Guarded, ch chan int) int {
+	g.mu.Lock()
+	v := <-ch // want `g\.mu is held across a channel receive`
+	g.mu.Unlock()
+	return v
+}
+
+// UDPWhileLocked holds the mutex across a UDP read, the exact shape
+// that stalls a trace-server ingest loop: flagged.
+func UDPWhileLocked(g *Guarded, conn *net.UDPConn, buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, _, err := conn.ReadFromUDP(buf); err != nil { // want `g\.mu is held across network I/O \(ReadFromUDP\)`
+		return
+	}
+	g.n++
+}
+
+// SleepWhileLocked holds the mutex across time.Sleep: flagged.
+func SleepWhileLocked(g *Guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `g\.mu is held across time\.Sleep`
+	g.mu.Unlock()
+}
+
+// UnlockFirst shrinks the critical section before blocking: clean.
+func UnlockFirst(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// LockedCompute does plain work under the lock: clean.
+func LockedCompute(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n * 2
+}
+
+// InnerBlock takes and releases a lock inside a nested block; the send
+// after the block runs with no lock held: clean.
+func InnerBlock(g *Guarded, ch chan int) {
+	if g != nil {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+	ch <- 1
+}

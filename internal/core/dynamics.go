@@ -60,7 +60,7 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 		delete(liveEdges, e)
 	}
 
-	for idx, ep := range epochs {
+	for _, ep := range epochs {
 		v := NewEpochView(store, ep)
 
 		// Partner-list retention against each reporter's previous list.
@@ -119,7 +119,6 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 				finish(e, life)
 			}
 		}
-		_ = idx
 	}
 	// Censored edges at trace end still count with their observed life.
 	for e, life := range liveEdges {

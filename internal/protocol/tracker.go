@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"math/rand"
+	"sort"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 )
@@ -160,7 +161,8 @@ func (t *Tracker) AvailableCount(channel string) int {
 	return t.channel(channel).available.len()
 }
 
-// Channels returns the names of channels with at least one member.
+// Channels returns the names of channels with at least one member,
+// sorted so the listing is stable across runs of the same seed.
 func (t *Tracker) Channels() []string {
 	var out []string
 	for name, cs := range t.channels {
@@ -168,6 +170,7 @@ func (t *Tracker) Channels() []string {
 			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

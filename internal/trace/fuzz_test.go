@@ -2,11 +2,44 @@ package trace
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 )
+
+// FuzzDecodeReport is the native fuzz target for the wire decoder. CI
+// runs it in smoke mode (`go test -run Fuzz ./internal/trace`, seed
+// corpus only); `go test -fuzz=FuzzDecodeReport ./internal/trace`
+// explores from there. Beyond not panicking, any accepted input must
+// survive a re-encode/re-decode round trip unchanged — the property the
+// epoch store relies on when it rewrites trace files.
+func FuzzDecodeReport(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		r := randomReport(rng)
+		f.Add(AppendReport(nil, &r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		if len(rep.Partners) > MaxPartnersPerReport {
+			t.Fatalf("decode accepted %d partners (max %d)", len(rep.Partners), MaxPartnersPerReport)
+		}
+		again, err := DecodeReport(AppendReport(nil, &rep))
+		if err != nil {
+			t.Fatalf("re-encode of accepted report does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Fatalf("round trip changed the report:\n first: %+v\nsecond: %+v", rep, again)
+		}
+	})
+}
 
 // TestDecodeReportNeverPanics feeds arbitrary bytes to the decoder — a
 // trace server ingests datagrams from the open Internet, so the decoder

@@ -3,6 +3,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -36,8 +37,11 @@ func NewServer(addr string, sink Sink) (*Server, error) {
 	}
 	// A trace server absorbs synchronized report bursts (clients share
 	// the 10-minute cadence); a deep receive buffer is what keeps the
-	// kernel from shedding them. Best effort: some platforms clamp it.
-	_ = conn.SetReadBuffer(4 << 20)
+	// kernel from shedding them. Best effort: some platforms clamp or
+	// refuse it, which is worth knowing about but not fatal.
+	if err := conn.SetReadBuffer(4 << 20); err != nil {
+		log.Printf("trace server: set read buffer: %v", err)
+	}
 	s := &Server{conn: conn, sink: sink}
 	s.wg.Add(1)
 	go s.loop()
