@@ -118,7 +118,7 @@ func BenchmarkFig1BDailyDistinct(b *testing.B) {
 				set = make(map[isp.Addr]struct{})
 				days[day] = set
 			}
-			for a := range v.AllPeers() {
+			for _, a := range v.AllPeers() {
 				set[a] = struct{}{}
 			}
 		}
@@ -137,7 +137,7 @@ func BenchmarkFig2ISPShares(b *testing.B) {
 		counts := make(map[isp.ISP]int, isp.NumISPs)
 		for _, ep := range epochs {
 			v := core.NewEpochView(e.store, ep)
-			for a := range v.AllPeers() {
+			for _, a := range v.AllPeers() {
 				counts[e.db.Lookup(a)]++
 			}
 		}
@@ -154,8 +154,8 @@ func BenchmarkFig3StreamQuality(b *testing.B) {
 		for _, ep := range epochs {
 			v := core.NewEpochView(e.store, ep)
 			served := 0
-			for _, addr := range v.Reporters() {
-				if v.Reports[addr].RecvKbps >= 0.9*400 {
+			for _, rep := range v.Reports() {
+				if rep.RecvKbps >= 0.9*400 {
 					served++
 				}
 			}
@@ -175,9 +175,9 @@ func BenchmarkFig4DegreeDistributions(b *testing.B) {
 		partners := metrics.NewHistogram(nil)
 		in := metrics.NewHistogram(nil)
 		out := metrics.NewHistogram(nil)
-		for _, addr := range v.Reporters() {
-			rep := v.Reports[addr]
-			d := core.Degrees(&rep, core.DefaultActiveThreshold)
+		reports := v.Reports()
+		for j := range reports {
+			d := core.Degrees(&reports[j], core.DefaultActiveThreshold)
 			partners.Add(d.Partners)
 			in.Add(d.In)
 			out.Add(d.Out)
@@ -201,9 +201,9 @@ func BenchmarkFig5DegreeEvolution(b *testing.B) {
 		for _, ep := range epochs {
 			v := core.NewEpochView(e.store, ep)
 			var sumIn float64
-			for _, addr := range v.Reporters() {
-				rep := v.Reports[addr]
-				sumIn += float64(core.Degrees(&rep, core.DefaultActiveThreshold).In)
+			reports := v.Reports()
+			for j := range reports {
+				sumIn += float64(core.Degrees(&reports[j], core.DefaultActiveThreshold).In)
 			}
 			_ = sumIn
 		}
@@ -221,9 +221,8 @@ func BenchmarkFig6IntraISPDegree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var frac float64
 		n := 0
-		for _, addr := range v.Reporters() {
-			rep := v.Reports[addr]
-			self := e.db.Lookup(addr)
+		for _, rep := range v.Reports() {
+			self := e.db.Lookup(rep.Addr)
 			in, intra := 0, 0
 			for _, p := range rep.Partners {
 				if p.RecvSeg > core.DefaultActiveThreshold {

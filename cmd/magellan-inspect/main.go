@@ -8,12 +8,13 @@
 package main
 
 import (
+	"cmp"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
@@ -109,11 +110,11 @@ func summarize(out io.Writer, rd *trace.Reader, topN int) error {
 	for ch, n := range channels {
 		ranked = append(ranked, chCount{name: ch, n: n})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].n != ranked[j].n {
-			return ranked[i].n > ranked[j].n
+	slices.SortFunc(ranked, func(a, b chCount) int {
+		if a.n != b.n {
+			return b.n - a.n
 		}
-		return ranked[i].name < ranked[j].name
+		return cmp.Compare(a.name, b.name)
 	})
 	if len(ranked) > topN {
 		ranked = ranked[:topN]

@@ -20,10 +20,11 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/magellan-p2p/magellan/internal/analysis/load"
@@ -99,15 +100,15 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := pkgs[0].Fset.Position(out[i].Pos), pkgs[0].Fset.Position(out[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+	slices.SortFunc(out, func(a, b Diagnostic) int {
+		pa, pb := pkgs[0].Fset.Position(a.Pos), pkgs[0].Fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return cmp.Compare(pa.Filename, pb.Filename)
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
+		if pa.Line != pb.Line {
+			return pa.Line - pb.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		return cmp.Compare(a.Analyzer, b.Analyzer)
 	})
 	return out, nil
 }

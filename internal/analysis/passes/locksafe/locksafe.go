@@ -18,7 +18,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/magellan-p2p/magellan/internal/analysis"
@@ -294,7 +294,7 @@ func reportHeld(pass *analysis.Pass, pos token.Pos, held map[string]bool, what s
 	for name := range held {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	pass.Reportf(pos, "%s is held across %s; shrink the critical section",
 		strings.Join(names, ", "), what)
 }

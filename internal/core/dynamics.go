@@ -65,9 +65,11 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 
 		// Partner-list retention against each reporter's previous list.
 		var retained, transitions float64
-		curPartners := make(map[isp.Addr]map[isp.Addr]struct{}, len(v.Reports))
-		for _, addr := range v.Reporters() {
-			rep := v.Reports[addr]
+		reports := v.Reports()
+		curPartners := make(map[isp.Addr]map[isp.Addr]struct{}, len(reports))
+		for i := range reports {
+			rep := &reports[i]
+			addr := rep.Addr
 			set := make(map[isp.Addr]struct{}, len(rep.Partners))
 			for _, p := range rep.Partners {
 				set[p.Addr] = struct{}{}
@@ -94,14 +96,14 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 		if prevReporters != nil && len(prevReporters) > 0 {
 			still := 0
 			for addr := range prevReporters {
-				if _, ok := v.Reports[addr]; ok {
+				if v.IsStable(addr) {
 					still++
 				}
 			}
 			res.PeerPersistence.Add(v.Start, float64(still)/float64(len(prevReporters)))
 		}
-		prevReporters = make(map[isp.Addr]struct{}, len(v.Reports))
-		for addr := range v.Reports {
+		prevReporters = make(map[isp.Addr]struct{}, v.StableCount())
+		for _, addr := range v.Reporters() {
 			prevReporters[addr] = struct{}{}
 		}
 		prevPartners = curPartners
@@ -181,12 +183,13 @@ func AnalyzeSnapshotBias(store *trace.Store, threshold uint32, windows []int) ([
 		merged := make(map[isp.Addr]map[isp.Addr]uint32) // peer → partner → max recv
 		for i := lo; i <= anchor; i++ {
 			v := NewEpochView(store, epochs[i])
-			for _, addr := range v.Reporters() {
-				rep := v.Reports[addr]
-				set, ok := merged[addr]
+			reports := v.Reports()
+			for j := range reports {
+				rep := &reports[j]
+				set, ok := merged[rep.Addr]
 				if !ok {
 					set = make(map[isp.Addr]uint32)
-					merged[addr] = set
+					merged[rep.Addr] = set
 				}
 				for _, p := range rep.Partners {
 					if p.RecvSeg > set[p.Addr] {

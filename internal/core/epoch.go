@@ -9,7 +9,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/graph"
@@ -23,67 +23,114 @@ import (
 const DefaultActiveThreshold = 10
 
 // EpochView is one topology snapshot assembled from an epoch's reports:
-// the paper's unit of analysis.
+// the paper's unit of analysis. Views over a sealed store are columnar
+// slices shared with the trace.Index — assembling one allocates nothing
+// and re-sorts nothing, so analyzers can open views per epoch (or per
+// figure) for free. All returned slices are read-only.
 type EpochView struct {
 	Epoch int64
 	Start time.Time
-	// Reports holds each stable peer's latest report of the epoch.
-	Reports map[isp.Addr]trace.Report
+
+	reports []trace.Report // latest report per stable peer, sorted by Addr
+	addrs   []isp.Addr     // addrs[i] == reports[i].Addr
+	all     []isp.Addr     // every visible peer, sorted
 }
 
-// NewEpochView assembles the view for one epoch of a store.
-func NewEpochView(store *trace.Store, epoch int64) *EpochView {
-	return &EpochView{
+// NewEpochView assembles the view for one epoch of a store, sealing the
+// store first (a cached O(1) operation when the store has not changed
+// since the last seal).
+func NewEpochView(store *trace.Store, epoch int64) EpochView {
+	return NewIndexedEpochView(store.Seal(), epoch)
+}
+
+// NewIndexedEpochView assembles the view for one epoch of a sealed
+// index. It performs no allocation: the view's columns alias the index.
+func NewIndexedEpochView(ix *trace.Index, epoch int64) EpochView {
+	return EpochView{
 		Epoch:   epoch,
-		Start:   store.EpochStart(epoch),
-		Reports: store.LatestByPeer(epoch),
+		Start:   ix.EpochStart(epoch),
+		reports: ix.Reports(epoch),
+		addrs:   ix.Reporters(epoch),
+		all:     ix.AllPeers(epoch),
 	}
+}
+
+// legacyEpochView assembles the view straight from the store's epoch
+// buckets, the pre-index O(n log n) path: dedup into a map, then sort.
+// It exists so the pipeline-equivalence tests can prove the sealed index
+// changes nothing; it will be deleted once the index is the only path.
+func legacyEpochView(store *trace.Store, epoch int64) EpochView {
+	latest := store.LatestByPeer(epoch)
+	v := EpochView{
+		Epoch: epoch,
+		Start: store.EpochStart(epoch),
+	}
+	v.addrs = make([]isp.Addr, 0, len(latest))
+	for a := range latest {
+		v.addrs = append(v.addrs, a)
+	}
+	slices.Sort(v.addrs)
+	v.reports = make([]trace.Report, len(v.addrs))
+	all := make([]isp.Addr, 0, len(latest)*4)
+	for i, a := range v.addrs {
+		v.reports[i] = latest[a]
+		all = append(all, a)
+		for _, p := range latest[a].Partners {
+			all = append(all, p.Addr)
+		}
+	}
+	slices.Sort(all)
+	v.all = slices.Compact(all)
+	return v
 }
 
 // StableCount returns the number of stable (reporting) peers.
-func (v *EpochView) StableCount() int { return len(v.Reports) }
+func (v EpochView) StableCount() int { return len(v.reports) }
 
-// Reporters returns the reporting addresses in ascending order. All
-// pipeline iteration goes through this so that floating-point
-// accumulation and graph node numbering are deterministic regardless of
-// map layout.
-func (v *EpochView) Reporters() []isp.Addr {
-	out := make([]isp.Addr, 0, len(v.Reports))
-	for a := range v.Reports {
-		out = append(out, a)
+// Reporters returns the reporting addresses in ascending order, aligned
+// with Reports. All pipeline iteration goes through this so that
+// floating-point accumulation and graph node numbering are deterministic.
+func (v EpochView) Reporters() []isp.Addr { return v.addrs }
+
+// Reports returns each stable peer's latest report of the epoch, sorted
+// by address (aligned with Reporters).
+func (v EpochView) Reports() []trace.Report { return v.reports }
+
+// Report returns the latest report of one peer, if it reported.
+func (v EpochView) Report(a isp.Addr) (trace.Report, bool) {
+	i, ok := slices.BinarySearch(v.addrs, a)
+	if !ok {
+		return trace.Report{}, false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return v.reports[i], true
 }
 
-// AllPeers returns every address visible in the snapshot: reporters plus
-// everyone on their partner lists. This is the paper's "total peers"
-// population — transient peers appear in the partner lists of reporters
-// with high probability.
-func (v *EpochView) AllPeers() map[isp.Addr]struct{} {
-	out := make(map[isp.Addr]struct{}, len(v.Reports)*4)
-	for addr, rep := range v.Reports {
-		out[addr] = struct{}{}
-		for _, p := range rep.Partners {
-			out[p.Addr] = struct{}{}
-		}
-	}
-	return out
+// IsStable reports whether the address reported during the epoch.
+func (v EpochView) IsStable(a isp.Addr) bool {
+	_, ok := slices.BinarySearch(v.addrs, a)
+	return ok
 }
+
+// AllPeers returns every address visible in the snapshot, sorted:
+// reporters plus everyone on their partner lists. This is the paper's
+// "total peers" population — transient peers appear in the partner lists
+// of reporters with high probability.
+func (v EpochView) AllPeers() []isp.Addr { return v.all }
 
 // ActiveEdges invokes add for every directed active edge the snapshot
 // witnesses: supplier → consumer for every partner transfer above the
 // threshold. Both endpoints of an edge may be transient; at least one is
-// a reporter.
-func (v *EpochView) ActiveEdges(threshold uint32, add func(from, to isp.Addr)) {
-	for _, addr := range v.Reporters() {
-		rep := v.Reports[addr]
+// a reporter. Edges are visited in reporter order, so graph construction
+// is deterministic.
+func (v EpochView) ActiveEdges(threshold uint32, add func(from, to isp.Addr)) {
+	for i := range v.reports {
+		rep := &v.reports[i]
 		for _, p := range rep.Partners {
 			if p.RecvSeg > threshold {
-				add(p.Addr, addr) // partner supplied this peer
+				add(p.Addr, rep.Addr) // partner supplied this peer
 			}
 			if p.SentSeg > threshold {
-				add(addr, p.Addr) // this peer supplied the partner
+				add(rep.Addr, p.Addr) // this peer supplied the partner
 			}
 		}
 	}
@@ -93,11 +140,14 @@ func (v *EpochView) ActiveEdges(threshold uint32, add func(from, to isp.Addr)) {
 // witnesses, over all peers (reporters and transients). Every reporter is
 // present even when isolated. This is the graph of the reciprocity
 // analysis (Sec. 4.4).
-func (v *EpochView) ActiveGraph(threshold uint32) *graph.Digraph {
-	b := graph.NewBuilder()
-	for _, addr := range v.Reporters() {
-		b.AddNode(addr)
-	}
+func (v EpochView) ActiveGraph(threshold uint32) *graph.Digraph {
+	return v.ActiveGraphInto(graph.NewCSRBuilder(), threshold)
+}
+
+// ActiveGraphInto is ActiveGraph through a caller-provided builder whose
+// scratch buffers are reused across epochs.
+func (v EpochView) ActiveGraphInto(b *graph.CSRBuilder, threshold uint32) *graph.Digraph {
+	b.Reset(v.addrs)
 	v.ActiveEdges(threshold, func(from, to isp.Addr) { b.AddEdge(from, to) })
 	return b.Build()
 }
@@ -105,19 +155,21 @@ func (v *EpochView) ActiveGraph(threshold uint32) *graph.Digraph {
 // StableGraph builds the directed graph induced on stable peers: "only
 // including the stable peers and the active links among them"
 // (Sec. 4.3). This is the graph of the small-world analysis.
-func (v *EpochView) StableGraph(threshold uint32) *graph.Digraph {
-	b := graph.NewBuilder()
-	for _, addr := range v.Reporters() {
-		b.AddNode(addr)
-	}
+func (v EpochView) StableGraph(threshold uint32) *graph.Digraph {
+	return v.StableGraphInto(graph.NewCSRBuilder(), threshold)
+}
+
+// StableGraphInto is StableGraph through a caller-provided builder whose
+// scratch buffers are reused across epochs.
+func (v EpochView) StableGraphInto(b *graph.CSRBuilder, threshold uint32) *graph.Digraph {
+	b.Reset(v.addrs)
+	// After Reset the builder contains exactly the stable peers, and
+	// edges between two stable peers never register new nodes, so
+	// membership doubles as the stable-peer filter.
 	v.ActiveEdges(threshold, func(from, to isp.Addr) {
-		if _, ok := v.Reports[from]; !ok {
-			return
+		if b.Contains(from) && b.Contains(to) {
+			b.AddEdge(from, to)
 		}
-		if _, ok := v.Reports[to]; !ok {
-			return
-		}
-		b.AddEdge(from, to)
 	})
 	return b.Build()
 }

@@ -33,9 +33,10 @@ func AnalyzeTrafficLocality(store *trace.Store, db *isp.Database) (*LocalityResu
 	for _, e := range epochs {
 		v := NewEpochView(store, e)
 		var intra, all float64
-		for _, addr := range v.Reporters() {
-			self := db.Lookup(addr)
-			for _, p := range v.Reports[addr].Partners {
+		reports := v.Reports()
+		for i := range reports {
+			self := db.Lookup(reports[i].Addr)
+			for _, p := range reports[i].Partners {
 				// Count received segments only: every transfer has one
 				// receiver, so summing receive counts over reporters
 				// counts each witnessed transfer once.

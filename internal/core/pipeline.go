@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -101,10 +101,15 @@ func (c Config) sanitize(epochCount int) Config {
 	return c
 }
 
+// epochStartOf returns the instant an epoch begins, in UTC.
+func epochStartOf(interval time.Duration, epoch int64) time.Time {
+	return time.Unix(0, epoch*int64(interval)).UTC()
+}
+
 // fallbackSnapshots picks four spread-out epochs (≈ 20/40/60/95 % through
 // the trace) and labels them by their local time, so short traces still
 // produce Fig. 4 panels.
-func fallbackSnapshots(store *trace.Store, epochs []int64) []SnapshotSpec {
+func fallbackSnapshots(interval time.Duration, epochs []int64) []SnapshotSpec {
 	if len(epochs) == 0 {
 		return nil
 	}
@@ -118,7 +123,7 @@ func fallbackSnapshots(store *trace.Store, epochs []int64) []SnapshotSpec {
 			continue
 		}
 		seen[e] = struct{}{}
-		start := store.EpochStart(e)
+		start := epochStartOf(interval, e)
 		out = append(out, SnapshotSpec{
 			Label: start.In(workload.Beijing).Format("15:04 01/02"),
 			Time:  start,
@@ -155,10 +160,45 @@ type epochOut struct {
 	snapshot *DegreeSnapshot
 }
 
+// epochScratch is the per-worker reusable state: the graph builders
+// whose index maps and edge arrays survive from epoch to epoch, and the
+// worker's shard of the Fig. 1B day-distinct fold (merged after the
+// pool drains, so no lock serializes the hot loop).
+type epochScratch struct {
+	active *graph.CSRBuilder
+	stable *graph.CSRBuilder
+	days   map[int64]*daySets
+}
+
+func newEpochScratch() *epochScratch {
+	return &epochScratch{
+		active: graph.NewCSRBuilder(),
+		stable: graph.NewCSRBuilder(),
+		days:   make(map[int64]*daySets),
+	}
+}
+
 // Analyze runs the full pipeline over a trace store. The returned Results
-// are deterministic for a given (store, db, cfg).
+// are deterministic for a given (store, db, cfg): neither the worker
+// count nor map iteration order can influence any output bit.
 func Analyze(store *trace.Store, db *isp.Database, cfg Config) (*Results, error) {
-	epochs := store.Epochs()
+	ix := store.Seal()
+	view := func(epoch int64) EpochView { return NewIndexedEpochView(ix, epoch) }
+	return analyzeViews(ix.Interval(), ix.Epochs(), view, db, cfg)
+}
+
+// analyzeLegacy is Analyze over the pre-index epoch assembly (maps
+// rebuilt per epoch). It exists only to back the pipeline-equivalence
+// tests while both paths are alive.
+func analyzeLegacy(store *trace.Store, db *isp.Database, cfg Config) (*Results, error) {
+	view := func(epoch int64) EpochView { return legacyEpochView(store, epoch) }
+	return analyzeViews(store.Interval(), store.Epochs(), view, db, cfg)
+}
+
+// analyzeViews is the pipeline body, parameterized over epoch-view
+// assembly so the sealed-index and legacy paths share every downstream
+// instruction.
+func analyzeViews(interval time.Duration, epochs []int64, view func(int64) EpochView, db *isp.Database, cfg Config) (*Results, error) {
 	if len(epochs) == 0 {
 		return nil, fmt.Errorf("core: trace store is empty")
 	}
@@ -175,58 +215,37 @@ func Analyze(store *trace.Store, db *isp.Database, cfg Config) (*Results, error)
 	specs := cfg.Snapshots
 	matched := false
 	for _, spec := range specs {
-		if _, ok := present[store.EpochOf(spec.Time)]; ok {
+		if _, ok := present[spec.Time.UnixNano()/int64(interval)]; ok {
 			matched = true
 			break
 		}
 	}
 	if !matched {
-		specs = fallbackSnapshots(store, epochs)
+		specs = fallbackSnapshots(interval, epochs)
 	}
 	snapLabels := make(map[int64]string, len(specs))
 	for _, spec := range specs {
-		snapLabels[store.EpochOf(spec.Time)] = spec.Label
+		snapLabels[spec.Time.UnixNano()/int64(interval)] = spec.Label
 	}
 
-	days := make(map[int64]*daySets)
-	var dayMu sync.Mutex
-
 	outs := make([]*epochOut, len(epochs))
+	scratches := make([]*epochScratch, cfg.Workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
+		sc := newEpochScratch()
+		scratches[w] = sc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				e := epochs[i]
 				heavy := i%cfg.HeavyEveryN == 0
-				out := analyzeEpoch(store, db, cfg, e, heavy, snapLabels[e])
-				outs[i] = out
-
-				// Fold this epoch's addresses into its day's distinct
-				// sets (Fig. 1B).
-				v := NewEpochView(store, e)
-				local := v.Start.In(workload.Beijing)
-				day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, workload.Beijing)
-				key := day.Unix()
-				all := v.AllPeers()
-				dayMu.Lock()
-				ds, ok := days[key]
-				if !ok {
-					ds = &daySets{
-						total:  make(map[isp.Addr]struct{}),
-						stable: make(map[isp.Addr]struct{}),
-					}
-					days[key] = ds
-				}
-				for a := range all {
-					ds.total[a] = struct{}{}
-				}
-				for a := range v.Reports {
-					ds.stable[a] = struct{}{}
-				}
-				dayMu.Unlock()
+				v := view(e)
+				outs[i] = analyzeEpoch(v, db, cfg, heavy, snapLabels[e], sc)
+				// Fold this epoch's addresses into the worker's shard of
+				// the day-distinct sets (Fig. 1B).
+				foldDay(sc.days, v)
 			}
 		}()
 	}
@@ -236,15 +255,54 @@ func Analyze(store *trace.Store, db *isp.Database, cfg Config) (*Results, error)
 	close(jobs)
 	wg.Wait()
 
-	return assemble(store.Interval(), cfg, specs, outs, days)
+	// Merge the worker shards. Set union commutes, so shard and map
+	// iteration order cannot leak into the merged counts.
+	days := make(map[int64]*daySets)
+	for _, sc := range scratches {
+		for k, ds := range sc.days {
+			dst, ok := days[k]
+			if !ok {
+				days[k] = ds
+				continue
+			}
+			for a := range ds.total {
+				dst.total[a] = struct{}{}
+			}
+			for a := range ds.stable {
+				dst.stable[a] = struct{}{}
+			}
+		}
+	}
+
+	return assemble(interval, cfg, specs, outs, days)
+}
+
+// foldDay adds one epoch's populations to its trace day's distinct sets.
+func foldDay(days map[int64]*daySets, v EpochView) {
+	local := v.Start.In(workload.Beijing)
+	day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, workload.Beijing)
+	key := day.Unix()
+	ds, ok := days[key]
+	if !ok {
+		ds = &daySets{
+			total:  make(map[isp.Addr]struct{}),
+			stable: make(map[isp.Addr]struct{}),
+		}
+		days[key] = ds
+	}
+	for _, a := range v.AllPeers() {
+		ds.total[a] = struct{}{}
+	}
+	for _, a := range v.Reporters() {
+		ds.stable[a] = struct{}{}
+	}
 }
 
 // analyzeEpoch computes everything the figures need from one snapshot.
-func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64, heavy bool, snapLabel string) *epochOut {
-	v := NewEpochView(store, epoch)
-	rng := rand.New(rand.NewSource(cfg.Seed ^ epoch*2654435761))
+func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLabel string, sc *epochScratch) *epochOut {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ v.Epoch*2654435761))
 	out := &epochOut{
-		epoch:     epoch,
+		epoch:     v.Epoch,
 		start:     v.Start,
 		stable:    v.StableCount(),
 		ispCounts: make(map[isp.ISP]int, isp.NumISPs),
@@ -254,7 +312,7 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 	// Population and ISP mix over all visible peers.
 	all := v.AllPeers()
 	out.total = len(all)
-	for a := range all {
+	for _, a := range all {
 		p := db.Lookup(a)
 		if p == isp.Unknown {
 			out.unknown++
@@ -268,9 +326,9 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 	for _, ch := range cfg.QualityChannels {
 		wanted[ch] = true
 	}
-	reporters := v.Reporters()
-	for _, addr := range reporters {
-		rep := v.Reports[addr]
+	reports := v.Reports()
+	for i := range reports {
+		rep := &reports[i]
 		if !wanted[rep.Channel] {
 			continue
 		}
@@ -286,14 +344,14 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 	var sumP, sumIn, sumOut float64
 	var fracIn, fracOut float64
 	nIn, nOut := 0, 0
-	for _, addr := range reporters {
-		rep := v.Reports[addr]
-		d := Degrees(&rep, cfg.ActiveThreshold)
+	for i := range reports {
+		rep := &reports[i]
+		d := Degrees(rep, cfg.ActiveThreshold)
 		sumP += float64(d.Partners)
 		sumIn += float64(d.In)
 		sumOut += float64(d.Out)
 
-		self := db.Lookup(addr)
+		self := db.Lookup(rep.Addr)
 		if self == isp.Unknown {
 			continue
 		}
@@ -328,21 +386,22 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 		out.intraOut = fracOut / float64(nOut)
 	}
 
-	// Reciprocity over all active links (Fig. 8).
-	ag := v.ActiveGraph(cfg.ActiveThreshold)
+	// Reciprocity over all active links (Fig. 8). The intra- and
+	// inter-ISP split needs only node, edge, and bilateral counts, so it
+	// is computed straight off the active graph in one traversal — no
+	// subgraph is materialized.
+	ag := v.ActiveGraphInto(sc.active, cfg.ActiveThreshold)
 	out.rawR = ag.Reciprocity()
 	out.rhoAll = ag.GarlaschelliLoffredo()
-	sameISP := func(a, b isp.Addr) bool {
+	intra, inter := ag.PartitionReciprocity(func(a, b isp.Addr) bool {
 		pa, pb := db.Lookup(a), db.Lookup(b)
 		return pa != isp.Unknown && pa == pb
-	}
-	intra := ag.EdgeSubgraph(sameISP)
-	inter := ag.EdgeSubgraph(func(a, b isp.Addr) bool { return !sameISP(a, b) })
+	})
 	out.rhoIntra, out.rhoInter = math.NaN(), math.NaN()
-	if intra.M() > 0 {
+	if intra.M > 0 {
 		out.rhoIntra = intra.GarlaschelliLoffredo()
 	}
-	if inter.M() > 0 {
+	if inter.M > 0 {
 		out.rhoInter = inter.GarlaschelliLoffredo()
 	}
 
@@ -350,7 +409,7 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 	// heavy cadence only.
 	if heavy {
 		out.heavy = true
-		sg := v.StableGraph(cfg.ActiveThreshold)
+		sg := v.StableGraphInto(sc.stable, cfg.ActiveThreshold)
 		out.c = sg.ClusteringCoefficient()
 		out.l = sg.AveragePathLength(rng, cfg.PathSamples)
 		out.cRand, out.lRand = graph.RandomBaseline(sg, rng, cfg.PathSamples)
@@ -373,9 +432,8 @@ func analyzeEpoch(store *trace.Store, db *isp.Database, cfg Config, epoch int64,
 			In:       metrics.NewHistogram(nil),
 			Out:      metrics.NewHistogram(nil),
 		}
-		for _, addr := range reporters {
-			rep := v.Reports[addr]
-			d := Degrees(&rep, cfg.ActiveThreshold)
+		for i := range reports {
+			d := Degrees(&reports[i], cfg.ActiveThreshold)
 			snap.Partners.Add(d.Partners)
 			snap.In.Add(d.In)
 			snap.Out.Add(d.Out)
@@ -419,7 +477,7 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 	for k := range days {
 		dayKeys = append(dayKeys, k)
 	}
-	sort.Slice(dayKeys, func(i, j int) bool { return dayKeys[i] < dayKeys[j] })
+	slices.Sort(dayKeys)
 	for _, k := range dayKeys {
 		pc.Days = append(pc.Days, DayCount{
 			Day:    time.Unix(k, 0).In(workload.Beijing),
@@ -512,7 +570,10 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 			ii.OutFrac.Add(o.start, o.intraOut)
 		}
 	}
-	for _, s := range shares {
+	// Iterate ISPs in enum order: summing squares in map order would let
+	// float association leak map layout into the output.
+	for _, p := range isp.All() {
+		s := shares[p]
 		ii.RandomMixing += s * s
 	}
 	res.IntraISP = ii

@@ -4,12 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/trace"
-	"github.com/magellan-p2p/magellan/internal/workload"
 )
 
 // ReportSource yields reports one at a time; *trace.Reader and
@@ -55,6 +54,7 @@ func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time
 		days      = make(map[int64]*daySets)
 		dropped   int
 		index     int
+		scratch   = newEpochScratch()
 	)
 
 	flush := func(epoch int64) error {
@@ -72,27 +72,12 @@ func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time
 			}
 		}
 		heavy := index%cfg.HeavyEveryN == 0
-		out := analyzeEpoch(one, db, cfg, epoch, heavy, snapLabels[epoch])
+		v := NewEpochView(one, epoch)
+		out := analyzeEpoch(v, db, cfg, heavy, snapLabels[epoch], scratch)
 		outs = append(outs, out)
 		index++
 
-		v := NewEpochView(one, epoch)
-		local := v.Start.In(workload.Beijing)
-		day := time.Date(local.Year(), local.Month(), local.Day(), 0, 0, 0, 0, workload.Beijing)
-		ds, ok := days[day.Unix()]
-		if !ok {
-			ds = &daySets{
-				total:  make(map[isp.Addr]struct{}),
-				stable: make(map[isp.Addr]struct{}),
-			}
-			days[day.Unix()] = ds
-		}
-		for a := range v.AllPeers() {
-			ds.total[a] = struct{}{}
-		}
-		for a := range v.Reports {
-			ds.stable[a] = struct{}{}
-		}
+		foldDay(days, v)
 		return nil
 	}
 
@@ -120,7 +105,7 @@ func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time
 					ready = append(ready, e)
 				}
 			}
-			sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+			slices.Sort(ready)
 			for _, e := range ready {
 				if err := flush(e); err != nil {
 					return nil, dropped, err
@@ -133,7 +118,7 @@ func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time
 	for e := range pending {
 		rest = append(rest, e)
 	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	slices.Sort(rest)
 	for _, e := range rest {
 		if err := flush(e); err != nil {
 			return nil, dropped, err

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// sameDigraph asserts two graphs are identical: same node numbering,
+// same adjacency in the same order. The CSR fast path must be
+// bit-equivalent to the map-based Builder, not merely isomorphic —
+// downstream float accumulation follows index order.
+func sameDigraph(t *testing.T, got, want *Digraph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("shape (%d nodes, %d edges), want (%d, %d)", got.N(), got.M(), want.N(), want.M())
+	}
+	for i := int32(0); i < int32(want.N()); i++ {
+		if got.Addr(i) != want.Addr(i) {
+			t.Fatalf("node %d is %v, want %v", i, got.Addr(i), want.Addr(i))
+		}
+		if !slices.Equal(got.Out(i), want.Out(i)) {
+			t.Fatalf("out[%d] = %v, want %v", i, got.Out(i), want.Out(i))
+		}
+		if !slices.Equal(got.In(i), want.In(i)) {
+			t.Fatalf("in[%d] = %v, want %v", i, got.In(i), want.In(i))
+		}
+	}
+}
+
+// randomEdges yields a deterministic pseudo-random edge stream with
+// duplicates and self-loops mixed in.
+func randomEdges(seed int64, n, m int) [][2]isp.Addr {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]isp.Addr, 0, m)
+	for i := 0; i < m; i++ {
+		u := isp.Addr(rng.Intn(n) + 1)
+		v := isp.Addr(rng.Intn(n) + 1)
+		edges = append(edges, [2]isp.Addr{u, v})
+		if rng.Intn(4) == 0 { // sprinkle exact duplicates
+			edges = append(edges, [2]isp.Addr{u, v})
+		}
+	}
+	return edges
+}
+
+func TestCSRBuilderMatchesBuilder(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		edges := randomEdges(seed, 50, 400)
+		pre := []isp.Addr{5, 17, 23, 99} // pre-registered (possibly isolated) nodes
+
+		legacy := NewBuilder()
+		for _, a := range pre {
+			legacy.AddNode(a)
+		}
+		for _, e := range edges {
+			legacy.AddEdge(e[0], e[1])
+		}
+
+		csr := NewCSRBuilder()
+		csr.Reset(pre)
+		for _, e := range edges {
+			csr.AddEdge(e[0], e[1])
+		}
+
+		sameDigraph(t, csr.Build(), legacy.Build())
+	}
+}
+
+func TestCSRBuilderReuseAcrossBuilds(t *testing.T) {
+	csr := NewCSRBuilder()
+	var prev *Digraph
+	for _, seed := range []int64{10, 11, 12} {
+		edges := randomEdges(seed, 30, 150)
+		legacy := NewBuilder()
+		for _, e := range edges {
+			legacy.AddEdge(e[0], e[1])
+		}
+		csr.Reset(nil)
+		for _, e := range edges {
+			csr.AddEdge(e[0], e[1])
+		}
+		g := csr.Build()
+		sameDigraph(t, g, legacy.Build())
+		if prev != nil && prev.N() > 0 {
+			// Built graphs own their arrays: a later Reset+Build must not
+			// scribble over an earlier result.
+			_ = prev.Out(0)
+		}
+		prev = g
+	}
+}
+
+func TestCSRContains(t *testing.T) {
+	b := NewCSRBuilder()
+	b.Reset([]isp.Addr{3, 1, 9})
+	for _, a := range []isp.Addr{1, 3, 9} {
+		if !b.Contains(a) {
+			t.Errorf("Contains(%v) = false after Reset", a)
+		}
+	}
+	if b.Contains(5) {
+		t.Error("Contains(5) = true, never registered")
+	}
+	b.AddEdge(5, 1)
+	if !b.Contains(5) {
+		t.Error("Contains(5) = false after AddEdge registered it")
+	}
+}
+
+func TestPartitionEdgeSubgraphsMatchesTwoPasses(t *testing.T) {
+	edges := randomEdges(7, 40, 300)
+	b := NewBuilder()
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+
+	pred := func(from, to isp.Addr) bool { return (from+to)%3 == 0 }
+	yes, no := g.PartitionEdgeSubgraphs(pred)
+	wantYes := g.EdgeSubgraph(pred)
+	wantNo := g.EdgeSubgraph(func(from, to isp.Addr) bool { return !pred(from, to) })
+	sameDigraph(t, yes, wantYes)
+	sameDigraph(t, no, wantNo)
+	if yes.M()+no.M() != g.M() {
+		t.Errorf("partition loses edges: %d + %d != %d", yes.M(), no.M(), g.M())
+	}
+}
+
+func TestPartitionReciprocityMatchesSubgraphs(t *testing.T) {
+	// Include a NON-symmetric predicate: an edge can satisfy pred while
+	// its reverse does not, which exercises the bilateral membership rule
+	// (both directions must land in the same partition to count).
+	preds := map[string]func(from, to isp.Addr) bool{
+		"symmetric":  func(from, to isp.Addr) bool { return (from+to)%3 == 0 },
+		"asymmetric": func(from, to isp.Addr) bool { return from < to },
+		"all-yes":    func(from, to isp.Addr) bool { return true },
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			edges := randomEdges(13, 40, 300)
+			b := NewBuilder()
+			for _, e := range edges {
+				b.AddEdge(e[0], e[1])
+			}
+			g := b.Build()
+
+			yes, no := g.PartitionReciprocity(pred)
+			wantYes, wantNo := g.PartitionEdgeSubgraphs(pred)
+			for _, c := range []struct {
+				got  SubgraphStats
+				want *Digraph
+			}{{yes, wantYes}, {no, wantNo}} {
+				if c.got.N != c.want.N() || c.got.M != c.want.M() {
+					t.Fatalf("stats (%d nodes, %d edges), want (%d, %d)",
+						c.got.N, c.got.M, c.want.N(), c.want.M())
+				}
+				if got, want := c.got.GarlaschelliLoffredo(), c.want.GarlaschelliLoffredo(); got != want {
+					t.Errorf("rho = %v, want %v (bilateral=%d)", got, want, c.got.Bilateral)
+				}
+			}
+		})
+	}
+}
+
+func TestUndirectedMMemoized(t *testing.T) {
+	g := buildGraph([][2]uint32{{1, 2}, {2, 1}, {2, 3}, {4, 1}})
+	// {1,2} mutual collapses to one undirected edge: 1-2, 2-3, 1-4.
+	if m := g.UndirectedM(); m != 3 {
+		t.Fatalf("UndirectedM = %d, want 3", m)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if g.UndirectedM() != 3 {
+			t.Fatal("memoized value changed")
+		}
+	}); allocs != 0 {
+		t.Errorf("UndirectedM allocates %.0f per call after first, want 0", allocs)
+	}
+}

@@ -9,21 +9,26 @@
 package graph
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 )
 
 // Digraph is an immutable directed graph over peer addresses, stored as
 // sorted adjacency lists.
+//
+// The address→index map and the undirected adjacency are built lazily on
+// first use (from a single goroutine; concurrent readers must touch them
+// once before sharing the graph, as the analysis pipeline does).
 type Digraph struct {
 	ids []isp.Addr
-	idx map[isp.Addr]int32
+	idx map[isp.Addr]int32 // lazily built by ensureIdx when nil
 	out [][]int32
 	in  [][]int32
 	m   int
 
-	und [][]int32 // lazily built undirected adjacency (union of in/out)
+	und  [][]int32 // lazily built undirected adjacency (union of in/out)
+	undM int       // undirected edge count, memoized with und
 }
 
 // Builder accumulates nodes and edges for a Digraph. Duplicate edges and
@@ -37,6 +42,17 @@ type Builder struct {
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
 	return &Builder{idx: make(map[isp.Addr]int32)}
+}
+
+// NewBuilderSized returns an empty builder with capacity for the given
+// node and edge counts, so subgraph extraction from a parent of known
+// size does not re-grow its backing arrays.
+func NewBuilderSized(nodes, edges int) *Builder {
+	return &Builder{
+		idx:   make(map[isp.Addr]int32, nodes),
+		ids:   make([]isp.Addr, 0, nodes),
+		edges: make([][2]int32, 0, edges),
+	}
 }
 
 // AddNode registers an isolated node (a peer with no active links still
@@ -69,11 +85,11 @@ func (b *Builder) Build() *Digraph {
 		out: make([][]int32, len(b.ids)),
 		in:  make([][]int32, len(b.ids)),
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	slices.SortFunc(b.edges, func(x, y [2]int32) int {
+		if x[0] != y[0] {
+			return int(x[0]) - int(y[0])
 		}
-		return b.edges[i][1] < b.edges[j][1]
+		return int(x[1]) - int(y[1])
 	})
 	var prev [2]int32 = [2]int32{-1, -1}
 	for _, e := range b.edges {
@@ -86,7 +102,7 @@ func (b *Builder) Build() *Digraph {
 		g.m++
 	}
 	for i := range g.in {
-		sort.Slice(g.in[i], func(a, b int) bool { return g.in[i][a] < g.in[i][b] })
+		slices.Sort(g.in[i])
 	}
 	return g
 }
@@ -102,8 +118,21 @@ func (g *Digraph) Addr(i int32) isp.Addr { return g.ids[i] }
 
 // Index returns the node index of an address.
 func (g *Digraph) Index(a isp.Addr) (int32, bool) {
+	g.ensureIdx()
 	i, ok := g.idx[a]
 	return i, ok
+}
+
+// ensureIdx builds the address→index map on demand. Graphs from the
+// CSRBuilder fast path skip it entirely unless an address lookup is
+// actually needed.
+func (g *Digraph) ensureIdx() {
+	if g.idx == nil {
+		g.idx = make(map[isp.Addr]int32, len(g.ids))
+		for i, a := range g.ids {
+			g.idx[a] = int32(i)
+		}
+	}
 }
 
 // Out returns node i's out-neighbours (sorted; not to be mutated).
@@ -120,9 +149,8 @@ func (g *Digraph) InDegree(i int32) int { return len(g.in[i]) }
 
 // HasEdge reports whether the directed edge u → v exists.
 func (g *Digraph) HasEdge(u, v int32) bool {
-	adj := g.out[u]
-	k := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return k < len(adj) && adj[k] == v
+	_, ok := slices.BinarySearch(g.out[u], v)
+	return ok
 }
 
 // Undirected returns node i's neighbours ignoring direction (sorted,
@@ -139,20 +167,18 @@ func (g *Digraph) UndirectedDegree(i int32) int {
 }
 
 // UndirectedM returns the number of undirected edges (each reciprocal
-// pair counts once).
+// pair counts once). The count is memoized alongside the undirected
+// adjacency.
 func (g *Digraph) UndirectedM() int {
 	g.buildUndirected()
-	total := 0
-	for _, adj := range g.und {
-		total += len(adj)
-	}
-	return total / 2
+	return g.undM
 }
 
 func (g *Digraph) buildUndirected() {
 	if g.und != nil {
 		return
 	}
+	total := 0
 	g.und = make([][]int32, len(g.ids))
 	for i := range g.ids {
 		a, b := g.out[i], g.in[i]
@@ -175,17 +201,25 @@ func (g *Digraph) buildUndirected() {
 		merged = append(merged, a[x:]...)
 		merged = append(merged, b[y:]...)
 		g.und[int32(i)] = merged
+		total += len(merged)
 	}
+	g.undM = total / 2
 }
 
 // InducedSubgraph keeps the nodes for which keep returns true and every
 // edge between two kept nodes — e.g. the stable peers of one ISP.
 func (g *Digraph) InducedSubgraph(keep func(isp.Addr) bool) *Digraph {
-	b := NewBuilder()
 	kept := make([]bool, g.N())
+	nKept := 0
 	for i, a := range g.ids {
 		if keep(a) {
 			kept[i] = true
+			nKept++
+		}
+	}
+	b := NewBuilderSized(nKept, g.m)
+	for i, a := range g.ids {
+		if kept[i] {
 			b.AddNode(a)
 		}
 	}
@@ -206,7 +240,7 @@ func (g *Digraph) InducedSubgraph(keep func(isp.Addr) bool) *Digraph {
 // incident nodes — e.g. "links among peers in the same ISP and their
 // incident peers" (Sec. 4.4).
 func (g *Digraph) EdgeSubgraph(keep func(from, to isp.Addr) bool) *Digraph {
-	b := NewBuilder()
+	b := NewBuilderSized(g.N(), g.m)
 	for u := range g.out {
 		for _, v := range g.out[u] {
 			if keep(g.ids[u], g.ids[v]) {
@@ -215,6 +249,35 @@ func (g *Digraph) EdgeSubgraph(keep func(from, to isp.Addr) bool) *Digraph {
 		}
 	}
 	return b.Build()
+}
+
+// PartitionEdgeSubgraphs splits the graph's edges by pred in a single
+// traversal: the first returned subgraph holds the edges (and incident
+// nodes) for which pred is true, the second the rest. It is equivalent
+// to — and replaces — two complementary EdgeSubgraph passes, evaluating
+// pred once per edge instead of twice.
+func (g *Digraph) PartitionEdgeSubgraphs(pred func(from, to isp.Addr) bool) (yes, no *Digraph) {
+	yb := NewCSRBuilder()
+	nb := NewCSRBuilder()
+	return g.PartitionEdgeSubgraphsInto(yb, nb, pred)
+}
+
+// PartitionEdgeSubgraphsInto is PartitionEdgeSubgraphs through caller-
+// provided builders, so a per-worker pipeline can reuse their scratch.
+// Both builders are Reset first.
+func (g *Digraph) PartitionEdgeSubgraphsInto(yb, nb *CSRBuilder, pred func(from, to isp.Addr) bool) (yes, no *Digraph) {
+	yb.Reset(nil)
+	nb.Reset(nil)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if pred(g.ids[u], g.ids[v]) {
+				yb.AddEdge(g.ids[u], g.ids[v])
+			} else {
+				nb.AddEdge(g.ids[u], g.ids[v])
+			}
+		}
+	}
+	return yb.Build(), nb.Build()
 }
 
 // LargestComponent returns the subgraph induced by the largest
@@ -251,6 +314,7 @@ func (g *Digraph) LargestComponent() *Digraph {
 			best, bestSize = id, size
 		}
 	}
+	g.ensureIdx()
 	return g.InducedSubgraph(func(a isp.Addr) bool {
 		i := g.idx[a]
 		return comp[i] == best

@@ -2,7 +2,8 @@ package graph
 
 import (
 	"math/rand"
-	"sort"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
 )
 
 // InDegrees returns the active indegree of every node.
@@ -40,6 +41,15 @@ func (g *Digraph) UndirectedDegrees() []int {
 // on.
 func (g *Digraph) ClusteringCoefficient() float64 {
 	g.buildUndirected()
+	// Count each node's neighbourhood edges by stamping its neighbours
+	// and scanning their adjacency lists: O(Σ d(v)²) total instead of
+	// O(Σ k² log d) pairwise binary searches. links is an exact integer
+	// either way, so the per-node float terms — and their accumulation
+	// order — are unchanged.
+	stamp := make([]int32, len(g.und))
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	var sum float64
 	counted := 0
 	for i := range g.und {
@@ -48,14 +58,20 @@ func (g *Digraph) ClusteringCoefficient() float64 {
 		if k < 2 {
 			continue
 		}
+		mark := int32(i)
+		for _, v := range adj {
+			stamp[v] = mark
+		}
 		links := 0
-		for ai := 0; ai < k; ai++ {
-			for bi := ai + 1; bi < k; bi++ {
-				if g.hasUndirected(adj[ai], adj[bi]) {
+		for _, v := range adj {
+			for _, w := range g.und[v] {
+				if stamp[w] == mark {
 					links++
 				}
 			}
 		}
+		// Every neighbourhood edge v–w was seen from both endpoints.
+		links /= 2
 		sum += 2 * float64(links) / float64(k*(k-1))
 		counted++
 	}
@@ -63,17 +79,6 @@ func (g *Digraph) ClusteringCoefficient() float64 {
 		return 0
 	}
 	return sum / float64(counted)
-}
-
-func (g *Digraph) hasUndirected(u, v int32) bool {
-	a := g.und[u]
-	b := g.und[v]
-	if len(b) < len(a) {
-		a = b
-		u, v = v, u
-	}
-	k := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return k < len(a) && a[k] == v
 }
 
 // AveragePathLength estimates the mean pairwise shortest-path length over
@@ -109,17 +114,17 @@ func (g *Digraph) AveragePathLength(rng *rand.Rand, samples int) float64 {
 		queue = append(queue[:0], s)
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
+			du := dist[u] + 1
 			for _, v := range g.Undirected(u) {
 				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
+					dist[v] = du
+					// Distances are small integers, so float64 addition is
+					// exact and summing in discovery order instead of a
+					// final index-order scan changes no output bit.
+					sum += float64(du)
+					pairs++
 					queue = append(queue, v)
 				}
-			}
-		}
-		for i, d := range dist {
-			if d > 0 && int32(i) != s {
-				sum += float64(d)
-				pairs++
 			}
 		}
 	}
@@ -136,15 +141,98 @@ func (g *Digraph) Reciprocity() float64 {
 	if g.m == 0 {
 		return 0
 	}
+	// An edge u→v is bilateral iff v→u exists, i.e. v is in both u's out-
+	// and in-list; both lists are sorted, so a linear merge counts the
+	// intersection without per-edge binary searches.
 	bilateral := 0
 	for u := range g.out {
-		for _, v := range g.out[u] {
-			if g.HasEdge(v, int32(u)) {
+		o, in := g.out[u], g.in[u]
+		i, j := 0, 0
+		for i < len(o) && j < len(in) {
+			switch {
+			case o[i] == in[j]:
 				bilateral++
+				i++
+				j++
+			case o[i] < in[j]:
+				i++
+			default:
+				j++
 			}
 		}
 	}
 	return float64(bilateral) / float64(g.m)
+}
+
+// SubgraphStats carries the three integers GarlaschelliLoffredo
+// reciprocity needs — nodes, directed edges, and bilateral edges — for
+// an edge subgraph that was never materialized.
+type SubgraphStats struct {
+	N, M, Bilateral int
+}
+
+// GarlaschelliLoffredo computes ρ from the counts, with the exact guards
+// and operation order of Digraph.GarlaschelliLoffredo, so a stats-based
+// and a subgraph-based computation produce identical bits.
+func (s SubgraphStats) GarlaschelliLoffredo() float64 {
+	n := int64(s.N)
+	if n < 2 || s.M == 0 {
+		return 0
+	}
+	abar := float64(s.M) / float64(n*(n-1))
+	if abar >= 1 {
+		return 0
+	}
+	r := float64(s.Bilateral) / float64(s.M)
+	return (r - abar) / (1 - abar)
+}
+
+// PartitionReciprocity computes the SubgraphStats of the two edge
+// subgraphs PartitionEdgeSubgraphs would build — pred-true edges and
+// their incident nodes, pred-false edges and theirs — without building
+// either graph: one pred call per edge, a sorted merge for bilaterals,
+// and two incidence bitmaps. This is all the Fig. 8 intra-/inter-ISP
+// reciprocity needs per epoch.
+func (g *Digraph) PartitionReciprocity(pred func(from, to isp.Addr) bool) (yes, no SubgraphStats) {
+	inYes := make([]bool, g.N())
+	inNo := make([]bool, g.N())
+	for u := range g.out {
+		o, in := g.out[u], g.in[u]
+		j := 0
+		for _, v := range o {
+			keep := pred(g.ids[u], g.ids[v])
+			if keep {
+				yes.M++
+				inYes[u], inYes[v] = true, true
+			} else {
+				no.M++
+				inNo[u], inNo[v] = true, true
+			}
+			// v ∈ in[u] too means v→u also exists; the subgraph counts
+			// u→v as bilateral only when both directions land in it.
+			for j < len(in) && in[j] < v {
+				j++
+			}
+			if j < len(in) && in[j] == v {
+				if keep == pred(g.ids[v], g.ids[u]) {
+					if keep {
+						yes.Bilateral++
+					} else {
+						no.Bilateral++
+					}
+				}
+			}
+		}
+	}
+	for i := range inYes {
+		if inYes[i] {
+			yes.N++
+		}
+		if inNo[i] {
+			no.N++
+		}
+	}
+	return yes, no
 }
 
 // GarlaschelliLoffredo returns the edge reciprocity ρ of Eq. (2):

@@ -3,7 +3,7 @@ package graph
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 )
@@ -13,31 +13,34 @@ import (
 // "corresponding random graph" the paper compares every topology against:
 // same number of vertices and edges, no structure.
 func ErdosRenyiGM(n, m int, rng *rand.Rand) *Digraph {
-	b := NewBuilder()
-	for i := 0; i < n; i++ {
-		// Synthetic addresses 1..n keep node identity simple.
-		b.AddNode(isp.Addr(i + 1))
+	// Synthetic addresses 1..n keep node identity simple; node i's index
+	// is i−1, so drawn index pairs are final and the CSR arrays can be
+	// assembled directly — no per-edge map registration.
+	ids := make([]isp.Addr, n)
+	for i := range ids {
+		ids[i] = isp.Addr(i + 1)
 	}
 	maxEdges := int64(n) * int64(n-1)
 	if int64(m) > maxEdges {
 		m = int(maxEdges)
 	}
-	type edge struct{ u, v int32 }
-	seen := make(map[edge]struct{}, m)
+	seen := make(map[uint64]struct{}, m)
+	edges := make([]uint64, 0, m)
 	for len(seen) < m {
 		u := int32(rng.Intn(n))
 		v := int32(rng.Intn(n))
 		if u == v {
 			continue
 		}
-		e := edge{u, v}
+		e := packEdge(u, v)
 		if _, dup := seen[e]; dup {
 			continue
 		}
 		seen[e] = struct{}{}
-		b.AddEdge(isp.Addr(u+1), isp.Addr(v+1))
+		edges = append(edges, e)
 	}
-	return b.Build()
+	b := new(CSRBuilder)
+	return buildCSR(ids, b.sortEdges(edges), b)
 }
 
 // RandomBaseline measures the clustering coefficient and average path
@@ -114,7 +117,7 @@ func FitPowerLaw(degrees []int, xmin int) PowerLawFit {
 func ksDistance(tail []int, alpha float64, xmin int) float64 {
 	sorted := make([]int, len(tail))
 	copy(sorted, tail)
-	sort.Ints(sorted)
+	slices.Sort(sorted)
 
 	// Hurwitz-zeta-normalized fit is overkill here; the continuous
 	// approximation CCDF(x) = (x / xmin)^(1−α) is the standard shortcut

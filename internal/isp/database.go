@@ -2,10 +2,11 @@ package isp
 
 import (
 	"bufio"
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -48,7 +49,7 @@ var (
 func NewDatabase(ranges []Range) (*Database, error) {
 	rs := make([]Range, len(ranges))
 	copy(rs, ranges)
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	slices.SortFunc(rs, func(a, b Range) int { return cmp.Compare(a.Lo, b.Lo) })
 	for i, r := range rs {
 		if r.Hi < r.Lo {
 			return nil, fmt.Errorf("%w: %v-%v", ErrBadRange, r.Lo, r.Hi)
@@ -66,9 +67,21 @@ func NewDatabase(ranges []Range) (*Database, error) {
 // UUSee's database did for out-of-China addresses, but the distinction is
 // preserved so tests can detect coverage gaps.
 func (db *Database) Lookup(a Addr) ISP {
-	i := sort.Search(len(db.ranges), func(i int) bool { return db.ranges[i].Hi >= a })
-	if i < len(db.ranges) && db.ranges[i].Contains(a) {
-		return db.ranges[i].ISP
+	// Open-coded binary search: Lookup runs once per visible peer per
+	// epoch, and the closure indirection of sort.Search is measurable
+	// there.
+	rs := db.ranges
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rs[mid].Hi < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rs) && rs[lo].Contains(a) {
+		return rs[lo].ISP
 	}
 	return Unknown
 }

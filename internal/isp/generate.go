@@ -1,8 +1,10 @@
 package isp
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -73,11 +75,11 @@ func Generate(rng *rand.Rand, cfg GenConfig) (*Database, error) {
 	for _, q := range quotas {
 		assigned += q.n
 	}
-	sort.Slice(quotas, func(i, j int) bool {
-		if quotas[i].frac != quotas[j].frac {
-			return quotas[i].frac > quotas[j].frac
+	slices.SortFunc(quotas, func(a, b quota) int {
+		if a.frac != b.frac {
+			return cmp.Compare(b.frac, a.frac)
 		}
-		return quotas[i].isp < quotas[j].isp
+		return cmp.Compare(a.isp, b.isp)
 	})
 	for i := 0; assigned < blocks; i++ {
 		quotas[i%len(quotas)].n++

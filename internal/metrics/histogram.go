@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Bin is one point of a discrete distribution: a value and the fraction
@@ -81,7 +81,7 @@ func (h *Histogram) PDF() []Bin {
 	for v, c := range h.counts {
 		out = append(out, Bin{Value: v, Frac: float64(c) / float64(h.n)})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	slices.SortFunc(out, func(a, b Bin) int { return a.Value - b.Value })
 	return out
 }
 
@@ -105,7 +105,7 @@ func (h *Histogram) Values() []int {
 	for v := range h.counts {
 		keys = append(keys, v)
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	for _, v := range keys {
 		for i := 0; i < h.counts[v]; i++ {
 			out = append(out, v)

@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -47,7 +47,7 @@ func (s *Series) Points() []Point {
 
 // Sort orders samples by time.
 func (s *Series) Sort() {
-	sort.Slice(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
+	slices.SortFunc(s.points, func(a, b Point) int { return a.T.Compare(b.T) })
 }
 
 // Mean returns the average value, or 0 for an empty series.
@@ -179,7 +179,7 @@ func Quantile(values []float64, p float64) float64 {
 	}
 	sorted := make([]float64, len(values))
 	copy(sorted, values)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}

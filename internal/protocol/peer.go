@@ -1,8 +1,9 @@
 package protocol
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
@@ -113,7 +114,7 @@ func (p *Peer) PartnerIDs() []isp.Addr {
 		for id := range p.partners {
 			p.ids = append(p.ids, id)
 		}
-		sort.Slice(p.ids, func(i, j int) bool { return p.ids[i] < p.ids[j] })
+		slices.Sort(p.ids)
 		p.idsDirty = false
 	}
 	return p.ids
@@ -183,12 +184,12 @@ func (p *Peer) TopSuppliers(k int) []*Partner {
 		}
 		return s
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		si, sj := score(ranked[i]), score(ranked[j])
-		if si != sj {
-			return si > sj
+	slices.SortFunc(ranked, func(a, b *Partner) int {
+		sa, sb := score(a), score(b)
+		if sa != sb {
+			return cmp.Compare(sb, sa)
 		}
-		return ranked[i].ID < ranked[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(ranked) > k {
 		ranked = ranked[:k]

@@ -2,7 +2,7 @@ package protocol
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 )
@@ -170,7 +170,7 @@ func (t *Tracker) Channels() []string {
 			out = append(out, name)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -5,7 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/core"
@@ -74,7 +74,7 @@ func WriteCSVs(dir string, res *core.Results) error {
 		for ch := range res.Quality.ByChannel {
 			names = append(names, ch)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, ch := range names {
 			series = append(series, namedSeries{ch, res.Quality.ByChannel[ch]})
 		}
@@ -198,7 +198,7 @@ func multiSeriesCSV(w io.Writer, series []namedSeries) error {
 	for k := range times {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	for _, k := range keys {
 		if _, err := fmt.Fprint(w, times[k].UTC().Format(time.RFC3339)); err != nil {
 			return err

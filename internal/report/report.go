@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/magellan-p2p/magellan/internal/core"
@@ -185,7 +185,7 @@ func RenderAll(w io.Writer, res *core.Results) error {
 	for ch := range res.Quality.ByChannel {
 		channels = append(channels, ch)
 	}
-	sort.Strings(channels)
+	slices.Sort(channels)
 	rows = rows[:0]
 	qRows := make([][]string, 0, len(channels))
 	for _, ch := range channels {

@@ -5,7 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"github.com/magellan-p2p/magellan/internal/core"
 	"github.com/magellan-p2p/magellan/internal/viz"
@@ -44,7 +44,7 @@ func WriteSVGs(dir string, res *core.Results) error {
 		for ch := range res.Quality.ByChannel {
 			names = append(names, ch)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, ch := range names {
 			lines = append(lines, viz.Line{Name: ch, Series: res.Quality.ByChannel[ch]})
 		}

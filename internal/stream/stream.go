@@ -15,8 +15,9 @@
 package stream
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
@@ -231,11 +232,11 @@ func (e *Exchange) grant(s *protocol.Peer, dt time.Duration) {
 		return
 	}
 	budget := SegOf(s.Host.Cap.UpKbps, dt)
-	sort.Slice(reqs, func(i, j int) bool {
-		if reqs[i].seg != reqs[j].seg {
-			return reqs[i].seg < reqs[j].seg
+	slices.SortFunc(reqs, func(a, b grantReq) int {
+		if a.seg != b.seg {
+			return cmp.Compare(a.seg, b.seg)
 		}
-		return reqs[i].recv.ID() < reqs[j].recv.ID()
+		return cmp.Compare(a.recv.ID(), b.recv.ID())
 	})
 	remaining := budget
 	for i, r := range reqs {

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"cmp"
+	"slices"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+)
+
+// Index is an immutable, columnar view of a Store's epochs, built once
+// by Store.Seal. For every epoch it precomputes the deduplicated
+// latest-by-peer report list sorted by address, the matching address
+// column, and the sorted set of all visible peers (reporters plus their
+// partners). Analyzers consume these as shared sub-slices, so assembling
+// a per-epoch view costs no allocation and no re-sorting — the
+// zero-rebuild contract behind core.Analyze's hot path.
+//
+// All slices returned by Index methods alias the index's backing arrays
+// and must be treated as read-only.
+type Index struct {
+	interval time.Duration
+	epochs   []int64       // ascending
+	pos      map[int64]int // epoch → position in epochs
+
+	reports []Report   // latest-by-peer, grouped by epoch, sorted by Addr
+	addrs   []isp.Addr // addrs[i] == reports[i].Addr
+	offsets []int      // epoch i's reports are reports[offsets[i]:offsets[i+1]]
+
+	all    []isp.Addr // distinct visible peers per epoch, sorted
+	allOff []int      // epoch i's peers are all[allOff[i]:allOff[i+1]]
+}
+
+// Seal builds (or returns the cached) Index over the store's current
+// contents. The index is a consistent snapshot: reports submitted after
+// Seal returns are not reflected in it, but the next Seal call detects
+// the change and builds a fresh index. Sealing an unchanged store is
+// O(1), which lets every analyzer call Seal independently and share one
+// index.
+func (s *Store) Seal() *Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.idx != nil && s.idxCount == s.count {
+		return s.idx
+	}
+	s.idx = buildIndex(s.interval, s.epochs)
+	s.idxCount = s.count
+	return s.idx
+}
+
+// buildIndex does the one-time columnar precompute. Dedup keeps the
+// last-submitted report per peer, matching Store.LatestByPeer.
+func buildIndex(interval time.Duration, epochs map[int64][]Report) *Index {
+	keys := make([]int64, 0, len(epochs))
+	total := 0
+	for e, reports := range epochs {
+		keys = append(keys, e)
+		total += len(reports)
+	}
+	slices.Sort(keys)
+
+	ix := &Index{
+		interval: interval,
+		epochs:   keys,
+		pos:      make(map[int64]int, len(keys)),
+		reports:  make([]Report, 0, total),
+		addrs:    make([]isp.Addr, 0, total),
+		offsets:  make([]int, len(keys)+1),
+		allOff:   make([]int, len(keys)+1),
+	}
+
+	slot := make(map[isp.Addr]int32)
+	var latest []Report
+	var all []isp.Addr
+	for i, e := range keys {
+		ix.pos[e] = i
+
+		// Latest-by-peer dedup in arrival order, then sort by address.
+		clear(slot)
+		latest = latest[:0]
+		for _, r := range epochs[e] {
+			if j, ok := slot[r.Addr]; ok {
+				latest[j] = r
+			} else {
+				slot[r.Addr] = int32(len(latest))
+				latest = append(latest, r)
+			}
+		}
+		slices.SortFunc(latest, func(a, b Report) int { return cmp.Compare(a.Addr, b.Addr) })
+		ix.reports = append(ix.reports, latest...)
+		for j := range latest {
+			ix.addrs = append(ix.addrs, latest[j].Addr)
+		}
+		ix.offsets[i+1] = len(ix.reports)
+
+		// All visible peers: reporters plus everyone on their partner
+		// lists, sorted and deduplicated.
+		all = all[:0]
+		for j := range latest {
+			all = append(all, latest[j].Addr)
+			for _, p := range latest[j].Partners {
+				all = append(all, p.Addr)
+			}
+		}
+		slices.Sort(all)
+		ix.all = append(ix.all, slices.Compact(all)...)
+		ix.allOff[i+1] = len(ix.all)
+	}
+	return ix
+}
+
+// Interval returns the epoch width.
+func (ix *Index) Interval() time.Duration { return ix.interval }
+
+// NumEpochs returns the number of non-empty epochs.
+func (ix *Index) NumEpochs() int { return len(ix.epochs) }
+
+// Epochs returns the indexes of all non-empty epochs, ascending. The
+// slice is a copy; callers may keep it.
+func (ix *Index) Epochs() []int64 {
+	return slices.Clone(ix.epochs)
+}
+
+// EpochStart returns the instant an epoch begins, in UTC.
+func (ix *Index) EpochStart(epoch int64) time.Time {
+	return time.Unix(0, epoch*int64(ix.interval)).UTC()
+}
+
+// Reports returns the epoch's latest-by-peer reports sorted by address
+// (a shared sub-slice; read-only). Empty for unknown epochs.
+func (ix *Index) Reports(epoch int64) []Report {
+	i, ok := ix.pos[epoch]
+	if !ok {
+		return nil
+	}
+	return ix.reports[ix.offsets[i]:ix.offsets[i+1]]
+}
+
+// Reporters returns the epoch's reporting addresses in ascending order,
+// aligned with Reports (a shared sub-slice; read-only).
+func (ix *Index) Reporters(epoch int64) []isp.Addr {
+	i, ok := ix.pos[epoch]
+	if !ok {
+		return nil
+	}
+	return ix.addrs[ix.offsets[i]:ix.offsets[i+1]]
+}
+
+// AllPeers returns every address visible in the epoch — reporters plus
+// everyone on their partner lists — sorted ascending (a shared
+// sub-slice; read-only).
+func (ix *Index) AllPeers(epoch int64) []isp.Addr {
+	i, ok := ix.pos[epoch]
+	if !ok {
+		return nil
+	}
+	return ix.all[ix.allOff[i]:ix.allOff[i+1]]
+}

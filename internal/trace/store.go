@@ -2,7 +2,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -21,6 +21,11 @@ type Store struct {
 	interval time.Duration
 	epochs   map[int64][]Report
 	count    int
+
+	// Seal cache: idx is valid while idxCount == count (count increases
+	// monotonically with every Submit).
+	idx      *Index
+	idxCount int
 }
 
 // NewStore builds a store with the given epoch interval (0 means
@@ -78,7 +83,7 @@ func (s *Store) Epochs() []int64 {
 	for e := range s.epochs {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
