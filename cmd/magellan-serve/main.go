@@ -42,17 +42,22 @@ func run(args []string, stop <-chan struct{}) error {
 		outDir   = fs.String("out", "traces", "directory for rotated binary trace files")
 		httpAddr = fs.String("http", "", "HTTP status address (empty: disabled)")
 		rotate   = fs.Duration("rotate", time.Hour, "trace-file rotation period")
+		queue    = fs.Int("queue", 0, "ingest queue depth (0: default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	d, err := newDaemon(*listen, *outDir, *httpAddr, *rotate)
+	d, err := newDaemon(*listen, *outDir, *httpAddr, *rotate, *queue)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trace server on udp://%s, writing %s, rotating every %v\n",
 		d.udp.Addr(), *outDir, *rotate)
+	if d.recoveredFiles > 0 {
+		fmt.Printf("recovered %d torn trace file(s), truncated %d byte(s)\n",
+			d.recoveredFiles, d.truncatedBytes)
+	}
 	if d.httpLn != nil {
 		fmt.Printf("status on http://%s/status\n", d.httpLn.Addr())
 	}
@@ -114,12 +119,24 @@ func (s *rotatingSink) rotateLocked(now time.Time) error {
 	if err := s.closeCurrentLocked(); err != nil {
 		return err
 	}
-	s.seq++
-	name := filepath.Join(s.dir,
-		fmt.Sprintf("uusee-%s-%04d.trace", now.UTC().Format("20060102T150405"), s.seq))
-	f, err := os.Create(name)
-	if err != nil {
-		return err
+	// The name is timestamp+sequence, but the sequence restarts with the
+	// process: after a crash-restart within the same second the obvious
+	// name may already exist and hold a predecessor's (just-recovered)
+	// reports. O_EXCL makes that a collision to skip past, never a
+	// truncation.
+	var f *os.File
+	for {
+		s.seq++
+		name := filepath.Join(s.dir,
+			fmt.Sprintf("uusee-%s-%04d.trace", now.UTC().Format("20060102T150405"), s.seq))
+		var err error
+		f, err = os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return err
+		}
 	}
 	w, err := trace.NewWriter(f)
 	if err != nil {
@@ -165,19 +182,51 @@ type daemon struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 	started time.Time
+
+	// Startup torn-tail recovery accounting (see recoverTraces).
+	recoveredFiles int
+	truncatedBytes int64
 }
 
-func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, error) {
+// recoverTraces repairs torn trace files a crashed predecessor left in
+// dir, so a restart picks up a directory of uniformly valid traces. Only
+// *.trace files are touched; anything else in the directory is not ours.
+func recoverTraces(dir string) (files int, bytes int64, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, path := range matches {
+		res, err := trace.RecoverFile(path)
+		if err != nil {
+			return files, bytes, fmt.Errorf("recover %s: %w", path, err)
+		}
+		if res.Recovered {
+			files++
+			bytes += res.TruncatedBytes
+		}
+	}
+	return files, bytes, nil
+}
+
+func newDaemon(listen, outDir, httpAddr string, rotate time.Duration, queue int) (*daemon, error) {
+	recovered, truncated, err := recoverTraces(outDir)
+	if err != nil {
+		return nil, err
+	}
 	sink, err := newRotatingSink(outDir, rotate)
 	if err != nil {
 		return nil, err
 	}
-	udp, err := trace.NewServer(listen, sink)
+	udp, err := trace.NewServerWithConfig(listen, sink, trace.ServerConfig{QueueDepth: queue})
 	if err != nil {
 		sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
 		return nil, err
 	}
-	d := &daemon{udp: udp, sink: sink, started: time.Now()}
+	d := &daemon{
+		udp: udp, sink: sink, started: time.Now(),
+		recoveredFiles: recovered, truncatedBytes: truncated,
+	}
 
 	if httpAddr != "" {
 		ln, err := net.Listen("tcp", httpAddr)
@@ -204,11 +253,17 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration) (*daemon, 
 
 func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	st := d.udp.Stats()
 	err := json.NewEncoder(w).Encode(map[string]any{
-		"received":      d.udp.Received(),
-		"dropped":       d.udp.Dropped(),
-		"currentFile":   d.sink.CurrentFile(),
-		"uptimeSeconds": int(time.Since(d.started).Seconds()),
+		"received":       st.Received,
+		"dropped":        st.Dropped(),
+		"rejected":       st.Rejected,
+		"queueDrops":     st.QueueDrops,
+		"sinkErrors":     st.SinkErrors,
+		"recoveredFiles": d.recoveredFiles,
+		"truncatedBytes": d.truncatedBytes,
+		"currentFile":    d.sink.CurrentFile(),
+		"uptimeSeconds":  int(time.Since(d.started).Seconds()),
 	})
 	if err != nil {
 		// The response is already partially written; all we can do is

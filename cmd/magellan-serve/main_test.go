@@ -1,16 +1,33 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/trace"
 )
+
+// sendRaw ships an arbitrary datagram to addr, bypassing the trace
+// client's encoding — the test's stand-in for a faulty network.
+func sendRaw(t *testing.T, addr string, data []byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func sampleReport(addr uint32) trace.Report {
 	return trace.Report{
@@ -27,7 +44,7 @@ func sampleReport(addr uint32) trace.Report {
 
 func TestDaemonEndToEnd(t *testing.T) {
 	dir := t.TempDir()
-	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour)
+	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
 	if err != nil {
 		t.Fatalf("newDaemon: %v", err)
 	}
@@ -117,8 +134,246 @@ func TestRotation(t *testing.T) {
 	if len(entries) < 2 {
 		t.Errorf("rotation produced %d files, want ≥ 2", len(entries))
 	}
+	// Every rotated file is a complete stream on its own: rotation at the
+	// period boundary must re-emit the header, not split records.
+	total := 0
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := trace.LoadStore(f, 10*time.Minute)
+		f.Close()
+		if err != nil {
+			t.Fatalf("rotated file %s does not load: %v", e.Name(), err)
+		}
+		total += store.Len()
+	}
+	if total != 2 {
+		t.Errorf("rotated files hold %d reports in total, want 2", total)
+	}
 	if err := sink.Submit(sampleReport(3)); err == nil {
 		t.Error("closed sink accepted a report")
+	}
+}
+
+// TestDaemonStatusShape pins the /status contract: monitoring dashboards
+// key on these field names, so a rename is a breaking change.
+func TestDaemonStatusShape(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.httpLn.Addr().String() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		key     string
+		numeric bool
+	}{
+		{"received", true},
+		{"dropped", true},
+		{"rejected", true},
+		{"queueDrops", true},
+		{"sinkErrors", true},
+		{"recoveredFiles", true},
+		{"truncatedBytes", true},
+		{"uptimeSeconds", true},
+		{"currentFile", false},
+	} {
+		v, ok := status[tc.key]
+		if !ok {
+			t.Errorf("status missing %q", tc.key)
+			continue
+		}
+		if _, isNum := v.(float64); isNum != tc.numeric {
+			t.Errorf("status[%q] = %T (%v), numeric=%v expected", tc.key, v, v, tc.numeric)
+		}
+	}
+	if f, _ := status["currentFile"].(string); f == "" {
+		t.Error("currentFile empty")
+	}
+}
+
+// TestDaemonRejectedCounter feeds the daemon fault-shaped datagrams and
+// checks they surface as rejections on /status, not as received reports.
+func TestDaemonRejectedCounter(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	client, err := trace.Dial(d.udp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// A valid report, then a torn copy of it (strict prefix), then raw
+	// noise: the mix a lossy measurement network actually delivers.
+	good := sampleReport(7)
+	if err := client.Submit(good); err != nil {
+		t.Fatal(err)
+	}
+	payload := trace.AppendReport(nil, &good)
+	sendRaw(t, d.udp.Addr().String(), payload[:len(payload)/2])
+	sendRaw(t, d.udp.Addr().String(), []byte{0xde, 0xad})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := d.udp.Stats()
+		if st.Received == 1 && st.Rejected == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := d.udp.Stats()
+	if st.Received != 1 || st.Rejected != 2 || st.SinkErrors != 0 {
+		t.Errorf("stats = %+v, want 1 received / 2 rejected", st)
+	}
+
+	resp, err := http.Get("http://" + d.httpLn.Addr().String() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := status["rejected"].(float64); int(got) != 2 {
+		t.Errorf("status rejected = %v, want 2", status["rejected"])
+	}
+}
+
+// TestRecoveryDaemonRestart simulates the crash-restart cycle: a
+// predecessor dies mid-record, the next daemon start repairs the torn
+// file and reports the repair on /status.
+func TestRecoveryDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First life: a sink writes reports, then the "crash" leaves a torn
+	// tail by appending half a record to the closed file.
+	sink, err := newRotatingSink(dir, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sink.Submit(sampleReport(uint32(10 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	torn := sink.CurrentFile()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := sampleReport(99)
+	payload := trace.AppendReport(nil, &rep)
+	f, err := os.OpenFile(torn, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload[:len(payload)/2]...)
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: startup recovery truncates the tail.
+	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer d.Close()
+	if d.recoveredFiles != 1 || d.truncatedBytes == 0 {
+		t.Errorf("recovery: files=%d bytes=%d, want 1 file and nonzero bytes", d.recoveredFiles, d.truncatedBytes)
+	}
+
+	resp, err := http.Get("http://" + d.httpLn.Addr().String() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := status["recoveredFiles"].(float64); int(got) != 1 {
+		t.Errorf("status recoveredFiles = %v, want 1", status["recoveredFiles"])
+	}
+
+	// The repaired file loads and holds exactly the intact records.
+	tf, err := os.Open(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	store, err := trace.LoadStore(tf, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("LoadStore after recovery: %v", err)
+	}
+	if store.Len() != 3 {
+		t.Errorf("recovered file holds %d reports, want 3", store.Len())
+	}
+}
+
+// TestDaemonSIGTERM exercises the real shutdown path: the signal handler
+// flushes and closes the current trace file before run returns.
+func TestDaemonSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-out", dir}, nil)
+	}()
+	// Give run time to install its signal handler and open the sink.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon ignored SIGTERM")
+	}
+	// The flushed file is complete: it scans clean.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("trace files = %d, want 1", len(entries))
+	}
+	f, err := os.Open(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := trace.ScanStream(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Errorf("SIGTERM left a torn trace file: %v", res.TailErr)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/sim"
 	"github.com/magellan-p2p/magellan/internal/stream"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -42,6 +43,16 @@ func run(args []string) error {
 		tracePath   = fs.String("trace", "uusee.trace", "output trace file (binary format)")
 		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
 		verbose     = fs.Bool("v", false, "print hourly progress")
+
+		loss     = fs.Float64("loss", 0, "report datagram loss probability [0,1]")
+		dup      = fs.Float64("dup", 0, "report datagram duplication probability [0,1]")
+		reorder  = fs.Float64("reorder", 0, "report datagram reordering probability [0,1]")
+		jitter   = fs.Duration("jitter", 0, "max extra report delivery delay (0: none)")
+		truncate = fs.Float64("truncate", 0, "report datagram truncation probability [0,1]")
+
+		massDepartAt   = fs.Duration("massdepart-at", 0, "churn: mass-departure offset from start (0: disabled)")
+		massDepartFrac = fs.Float64("massdepart-frac", 0.5, "churn: mass-departure per-peer probability")
+		flapFrac       = fs.Float64("flap-frac", 0, "churn: fraction of arrivals that flap (0: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +78,17 @@ func run(args []string) error {
 	if *flashcrowd {
 		cfg.Crowds = []workload.FlashCrowd{workload.MidAutumnFlashCrowd()}
 	}
+	cfg.Faults = faults.Config{
+		Loss:      *loss,
+		Duplicate: *dup,
+		Reorder:   *reorder,
+		JitterMax: *jitter,
+		Truncate:  *truncate,
+	}
+	if *massDepartAt > 0 {
+		cfg.Churn.MassDepartures = []sim.MassDeparture{{Offset: *massDepartAt, Fraction: *massDepartFrac}}
+	}
+	cfg.Churn.Flapping.Fraction = *flapFrac
 
 	traceFile, err := os.Create(*tracePath)
 	if err != nil {
@@ -116,5 +138,11 @@ func run(args []string) error {
 	st := s.Stats()
 	fmt.Printf("simulated %v in %v: %d joins, %d reports → %s (+ %s)\n",
 		*duration, time.Since(start).Round(time.Millisecond), st.Joins, st.Reports, *tracePath, *ispdbPath)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("faults: %s torn-rejected=%d\n", st.Faults, st.TornReports)
+	}
+	if st.Flaps > 0 || st.MassDeparted > 0 {
+		fmt.Printf("churn: flaps=%d massdeparted=%d\n", st.Flaps, st.MassDeparted)
+	}
 	return nil
 }

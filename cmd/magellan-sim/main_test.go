@@ -75,3 +75,55 @@ func TestRunTreeMode(t *testing.T) {
 		t.Fatalf("tree-mode run: %v", err)
 	}
 }
+
+// TestChaosLossSweep is the CLI half of the chaos harness: a seeded run
+// with nonzero loss and duplication must produce a loadable trace whose
+// drop counters are nonzero but bounded by the configured rates.
+func TestChaosLossSweep(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "chaos.trace")
+	err := run([]string{
+		"-seed", "11",
+		"-duration", "2h",
+		"-concurrency", "120",
+		"-channels", "2",
+		"-flashcrowd=false",
+		"-loss", "0.05",
+		"-dup", "0.02",
+		"-trace", tracePath,
+		"-ispdb", filepath.Join(dir, "chaos.ispdb"),
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store, err := trace.LoadStore(f, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("LoadStore on chaos trace: %v", err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("chaos trace holds no reports")
+	}
+}
+
+func TestChaosRejectsBadRates(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-loss", "1.5"},
+		{"-dup", "-0.1"},
+		{"-truncate", "2"},
+		{"-jitter", "-1s"},
+	} {
+		args = append(args,
+			"-duration", "10m", "-concurrency", "50",
+			"-trace", filepath.Join(dir, "t.trace"),
+			"-ispdb", filepath.Join(dir, "t.ispdb"))
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -18,7 +18,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid math/rand package-level functions, time.Now/Since/Until " +
 		"and friends, and os environment reads inside the simulator core " +
-		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella})",
+		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
 	Run: run,
 }
 
@@ -26,7 +26,7 @@ var Analyzer = &analysis.Analyzer{
 // Everything else (cmd, report, trace, viz) may read the wall clock.
 var Restricted = []string{
 	"sim", "des", "protocol", "stream", "workload",
-	"graph", "isp", "netsim", "core", "gnutella",
+	"graph", "isp", "netsim", "core", "gnutella", "faults",
 }
 
 // forbidden maps package path → function name → the fix to suggest.

@@ -9,9 +9,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/graph"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/metrics"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
 	"github.com/magellan-p2p/magellan/internal/workload"
 )
 
@@ -170,6 +173,64 @@ func TestAnalyzeGoldenEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(encSerial, encLegacy) {
 		firstDiff(t, "sealed index vs legacy views", encSerial, encLegacy)
+	}
+}
+
+// faultTrace builds a trace through the fault injector: same workload as
+// scaledTrace but shorter, with 5% datagram loss and 5% duplication on
+// the report path.
+func faultTrace(t *testing.T) (*trace.Store, *isp.Database) {
+	t.Helper()
+	store := trace.NewStore(0)
+	s, err := sim.New(sim.Config{
+		Seed:            7,
+		Duration:        4 * time.Hour,
+		MeanConcurrency: 250,
+		ExtraChannels:   4,
+		Sink:            store,
+		Faults:          faults.Config{Loss: 0.05, Duplicate: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	if st := s.Stats(); st.Faults.Dropped == 0 || st.Faults.Duplicated == 0 {
+		t.Fatalf("fault injector idle: %+v", st.Faults)
+	}
+	return store, s.Database()
+}
+
+// TestChaosAnalyzeGoldenEquivalence extends the determinism contract to
+// faulty input: a trace with injected loss and duplication must still
+// analyze to byte-identical output regardless of worker count. Dropped
+// reports change *what* the analysis sees, never *how deterministically*
+// it sees it.
+func TestChaosAnalyzeGoldenEquivalence(t *testing.T) {
+	store, db := faultTrace(t)
+
+	serial := goldenConfig()
+	serial.Workers = 1
+	parallel := goldenConfig()
+	parallel.Workers = runtime.GOMAXPROCS(0)
+
+	resSerial, err := Analyze(store, db, serial)
+	if err != nil {
+		t.Fatalf("Analyze(workers=1): %v", err)
+	}
+	resParallel, err := Analyze(store, db, parallel)
+	if err != nil {
+		t.Fatalf("Analyze(workers=%d): %v", parallel.Workers, err)
+	}
+
+	encSerial := encodeResults(resSerial)
+	encParallel := encodeResults(resParallel)
+	if len(encSerial) < 1000 {
+		t.Fatalf("encoding suspiciously small (%d bytes); encoder broken?", len(encSerial))
+	}
+	if !bytes.Equal(encSerial, encParallel) {
+		firstDiff(t, "faulty trace, workers=1 vs workers=N", encSerial, encParallel)
 	}
 }
 

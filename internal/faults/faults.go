@@ -1,0 +1,121 @@
+// Package faults is the seeded, deterministic fault-injection subsystem
+// for the measurement plane. The paper's trace path is inherently lossy —
+// peers report over UDP every 10 minutes (Sec. 3.2), so the real UUSee
+// snapshots were assembled from dropped, duplicated, reordered, and
+// truncated reports — and this package lets a simulation reproduce that
+// hostility bit-for-bit from a seed.
+//
+// The package is deliberately a leaf: it imports only the standard
+// library, so every other layer (netsim's datagram path, the sim's report
+// emission, the trace codec's fuzz corpus) can build on it without import
+// cycles. All randomness flows through an injected *rand.Rand; the
+// determinism analyzer in magellan-vet enforces that no ambient entropy
+// sneaks in.
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config sets the per-datagram fault rates of an injected path. The zero
+// value injects nothing: a pipeline run with a zero Config is
+// byte-identical to one with no injector at all.
+type Config struct {
+	// Loss is the probability a datagram vanishes in flight.
+	Loss float64
+	// Duplicate is the probability a datagram is delivered twice, as
+	// happens when a retransmitting NAT or a flaky access link replays a
+	// packet.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back and delivered
+	// after ReorderSpan subsequent datagrams have passed it.
+	Reorder float64
+	// ReorderSpan is how many later datagrams overtake a held one before
+	// it is released; 0 means DefaultReorderSpan.
+	ReorderSpan int
+	// JitterMax bounds the extra one-way delay added to a delivered
+	// datagram, drawn uniformly from [0, JitterMax). Zero disables
+	// jitter.
+	JitterMax time.Duration
+	// Truncate is the probability a datagram arrives torn: the receiver
+	// sees only a strict prefix of the payload and must reject it.
+	Truncate float64
+}
+
+// DefaultReorderSpan is how many datagrams overtake a reordered one when
+// ReorderSpan is left zero.
+const DefaultReorderSpan = 4
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.Loss > 0 || c.Duplicate > 0 || c.Reorder > 0 ||
+		c.JitterMax > 0 || c.Truncate > 0
+}
+
+// Validate rejects rates outside [0, 1] and negative knobs.
+func (c Config) Validate() error {
+	rate := func(name string, v float64) error {
+		if v < 0 || v > 1 || v != v {
+			return fmt.Errorf("faults: %s rate %v outside [0, 1]", name, v)
+		}
+		return nil
+	}
+	if err := rate("loss", c.Loss); err != nil {
+		return err
+	}
+	if err := rate("duplicate", c.Duplicate); err != nil {
+		return err
+	}
+	if err := rate("reorder", c.Reorder); err != nil {
+		return err
+	}
+	if err := rate("truncate", c.Truncate); err != nil {
+		return err
+	}
+	if c.ReorderSpan < 0 {
+		return fmt.Errorf("faults: negative reorder span %d", c.ReorderSpan)
+	}
+	if c.JitterMax < 0 {
+		return fmt.Errorf("faults: negative jitter bound %v", c.JitterMax)
+	}
+	return nil
+}
+
+// span returns the effective reorder span.
+func (c Config) span() int {
+	if c.ReorderSpan > 0 {
+		return c.ReorderSpan
+	}
+	return DefaultReorderSpan
+}
+
+// Tally counts fate decisions. All counters are per-datagram (a
+// duplicated datagram counts one Datagram and one Duplicated), so rates
+// can be checked against the configured probabilities.
+type Tally struct {
+	// Datagrams is the total number judged.
+	Datagrams uint64
+	// Dropped datagrams vanished entirely.
+	Dropped uint64
+	// Duplicated datagrams were delivered twice.
+	Duplicated uint64
+	// Reordered datagrams were held back behind later traffic.
+	Reordered uint64
+	// Jittered datagrams were delayed by a nonzero jitter draw.
+	Jittered uint64
+	// Truncated datagrams arrived as a strict prefix (receiver rejects).
+	Truncated uint64
+}
+
+// Delivered returns how many datagrams arrived intact at least once.
+func (t Tally) Delivered() uint64 {
+	return t.Datagrams - t.Dropped - t.Truncated
+}
+
+// String renders the tally in the stable key=value form the CLI and the
+// chaos CI step grep for.
+func (t Tally) String() string {
+	return fmt.Sprintf("datagrams=%d dropped=%d duplicated=%d reordered=%d jittered=%d truncated=%d",
+		t.Datagrams, t.Dropped, t.Duplicated, t.Reordered, t.Jittered, t.Truncated)
+}

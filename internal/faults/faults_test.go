@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"typical", Config{Loss: 0.05, Duplicate: 0.02, Reorder: 0.01, JitterMax: time.Second, Truncate: 0.01}, true},
+		{"full loss", Config{Loss: 1}, true},
+		{"negative loss", Config{Loss: -0.1}, false},
+		{"loss above one", Config{Loss: 1.01}, false},
+		{"nan rate", Config{Duplicate: math.NaN()}, false},
+		{"negative span", Config{Reorder: 0.1, ReorderSpan: -1}, false},
+		{"negative jitter", Config{JitterMax: -time.Second}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate(%+v) = %v, want ok=%v", tc.cfg, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	for _, cfg := range []Config{
+		{Loss: 0.01}, {Duplicate: 0.01}, {Reorder: 0.01},
+		{JitterMax: time.Millisecond}, {Truncate: 0.01},
+	} {
+		if !cfg.Enabled() {
+			t.Errorf("%+v reports disabled", cfg)
+		}
+	}
+	// ReorderSpan alone injects nothing.
+	if (Config{ReorderSpan: 5}).Enabled() {
+		t.Error("span-only config reports enabled")
+	}
+}
+
+// TestJudgeDeterministic pins the core contract: same config, same seed,
+// same fate sequence.
+func TestJudgeDeterministic(t *testing.T) {
+	cfg := Config{Loss: 0.1, Duplicate: 0.05, Reorder: 0.05, JitterMax: 2 * time.Second, Truncate: 0.02}
+	run := func() []Fate {
+		in := New(cfg, rand.New(rand.NewSource(42)))
+		out := make([]Fate, 5000)
+		for i := range out {
+			out[i] = in.Judge()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestJudgeRates checks each counter lands near its configured rate.
+func TestJudgeRates(t *testing.T) {
+	cfg := Config{Loss: 0.10, Duplicate: 0.05, Reorder: 0.08, Truncate: 0.03}
+	in := New(cfg, rand.New(rand.NewSource(7)))
+	const n = 50000
+	for i := 0; i < n; i++ {
+		in.Judge()
+	}
+	ta := in.Tally()
+	if ta.Datagrams != n {
+		t.Fatalf("judged %d datagrams, want %d", ta.Datagrams, n)
+	}
+	check := func(name string, got uint64, want float64) {
+		frac := float64(got) / n
+		if frac < want*0.7 || frac > want*1.3 {
+			t.Errorf("%s rate %.4f far from configured %.4f", name, frac, want)
+		}
+	}
+	check("loss", ta.Dropped, cfg.Loss)
+	// Survivor-conditional rates: duplicate/reorder/truncate are only
+	// drawn for datagrams that were not dropped.
+	surv := 1 - cfg.Loss
+	check("duplicate", ta.Duplicated, cfg.Duplicate*surv)
+	check("reorder", ta.Reordered, cfg.Reorder*surv)
+	check("truncate", ta.Truncated, cfg.Truncate*surv)
+	if got, want := ta.Delivered(), ta.Datagrams-ta.Dropped-ta.Truncated; got != want {
+		t.Errorf("Delivered() = %d, want %d", got, want)
+	}
+}
+
+// TestJudgeZeroRatesDrawNothing pins the byte-identity guarantee: a
+// zero-rate injector consumes no entropy, so a generator shared with it
+// is untouched.
+func TestJudgeZeroRatesDrawNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := New(Config{}, rng)
+	for i := 0; i < 100; i++ {
+		f := in.Judge()
+		if f.Drop || f.Truncated || f.Copies != 1 || f.HoldSpan != 0 || f.Jitter != 0 {
+			t.Fatalf("zero config produced non-trivial fate %+v", f)
+		}
+	}
+	want := rand.New(rand.NewSource(3)).Uint64()
+	if got := rng.Uint64(); got != want {
+		t.Errorf("zero-rate injector consumed entropy: next draw %d, want %d", got, want)
+	}
+}
+
+func TestTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := []byte("0123456789abcdef")
+	for i := 0; i < 200; i++ {
+		torn := TornTail(rng, data)
+		if len(torn) >= len(data) {
+			t.Fatalf("torn tail kept %d of %d bytes", len(torn), len(data))
+		}
+		if !bytes.HasPrefix(data, torn) {
+			t.Fatalf("torn tail %q is not a prefix of %q", torn, data)
+		}
+	}
+	if TornTail(rng, nil) != nil {
+		t.Error("torn nil input is non-nil")
+	}
+}
+
+func TestDuplicateHead(t *testing.T) {
+	data := []byte("headbody")
+	got := DuplicateHead(data, 4)
+	if want := []byte("headheadbody"); !bytes.Equal(got, want) {
+		t.Errorf("DuplicateHead = %q, want %q", got, want)
+	}
+	if got := DuplicateHead(data, 100); !bytes.Equal(got, append([]byte("headbody"), data...)) {
+		t.Errorf("clamped DuplicateHead = %q", got)
+	}
+	if !bytes.Equal(data, []byte("headbody")) {
+		t.Error("DuplicateHead modified its input")
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := bytes.Repeat([]byte{0}, 64)
+	got := FlipBits(rng, data, 3)
+	if bytes.Equal(got, data) {
+		t.Error("FlipBits changed nothing")
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("FlipBits modified its input")
+		}
+	}
+	if out := FlipBits(rng, nil, 3); len(out) != 0 {
+		t.Errorf("FlipBits(nil) = %v", out)
+	}
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Fate is the injector's verdict on one datagram.
+type Fate struct {
+	// Drop: the datagram never arrives. All other fields are zero.
+	Drop bool
+	// Truncated: the datagram arrives as a strict prefix and the receiver
+	// must reject it.
+	Truncated bool
+	// Copies is how many times the datagram is delivered (1 normally, 2
+	// when duplicated, 0 when dropped).
+	Copies int
+	// HoldSpan, when positive, holds the datagram until that many
+	// subsequent datagrams have been sent past it.
+	HoldSpan int
+	// Jitter is the extra one-way delay on delivery.
+	Jitter time.Duration
+}
+
+// Injector draws per-datagram fates from a seeded generator. The draw
+// order is fixed per enabled knob, so two injectors with the same config
+// and the same seed judge an identical datagram stream identically.
+//
+// Injector is not safe for concurrent use; the simulator drives it from
+// its single event loop.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	tally Tally
+}
+
+// New builds an injector. The generator must be dedicated to this
+// injector: sharing it with other consumers couples their draw sequences
+// and breaks reproducibility the moment either side changes.
+func New(cfg Config, rng *rand.Rand) *Injector {
+	return &Injector{cfg: cfg, rng: rng}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Tally returns a copy of the running counters.
+func (in *Injector) Tally() Tally { return in.tally }
+
+// Judge decides the fate of the next datagram. Disabled knobs (zero
+// rates) draw nothing from the generator, so a zero-rate config consumes
+// no entropy and a partially enabled one is unaffected by the knobs left
+// off.
+func (in *Injector) Judge() Fate {
+	in.tally.Datagrams++
+	var f Fate
+	if in.cfg.Loss > 0 && in.rng.Float64() < in.cfg.Loss {
+		in.tally.Dropped++
+		f.Drop = true
+		return f
+	}
+	f.Copies = 1
+	if in.cfg.Truncate > 0 && in.rng.Float64() < in.cfg.Truncate {
+		in.tally.Truncated++
+		f.Truncated = true
+	}
+	if in.cfg.Duplicate > 0 && in.rng.Float64() < in.cfg.Duplicate {
+		in.tally.Duplicated++
+		f.Copies = 2
+	}
+	if in.cfg.Reorder > 0 && in.rng.Float64() < in.cfg.Reorder {
+		in.tally.Reordered++
+		f.HoldSpan = in.cfg.span()
+	}
+	if in.cfg.JitterMax > 0 {
+		if j := time.Duration(in.rng.Int63n(int64(in.cfg.JitterMax))); j > 0 {
+			in.tally.Jittered++
+			f.Jitter = j
+		}
+	}
+	return f
+}

@@ -1,0 +1,48 @@
+package faults
+
+import "math/rand"
+
+// Byte-level manglers produce the fault shapes a UDP receiver actually
+// sees: torn tails from fragmented or clipped datagrams, and replayed
+// leading bytes from buggy middleboxes. They are format-agnostic — the
+// trace package composes them with encoded reports to seed its fuzz
+// corpus — and pure: the input slice is never modified.
+
+// TornTail returns a strict prefix of data, cutting at a point drawn from
+// rng. At least one byte is removed; nil input stays nil.
+func TornTail(rng *rand.Rand, data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	cut := rng.Intn(len(data))
+	out := make([]byte, cut)
+	copy(out, data[:cut])
+	return out
+}
+
+// DuplicateHead replays the first n bytes of data in front of it, the
+// shape a datagram takes when a middlebox re-emits a partially sent
+// header. n is clamped to len(data).
+func DuplicateHead(data []byte, n int) []byte {
+	if n > len(data) {
+		n = len(data)
+	}
+	out := make([]byte, 0, n+len(data))
+	out = append(out, data[:n]...)
+	out = append(out, data...)
+	return out
+}
+
+// FlipBits flips k random bits of a copy of data, modeling line
+// corruption that slips past the (optional) UDP checksum.
+func FlipBits(rng *rand.Rand, data []byte, k int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if len(out) == 0 {
+		return out
+	}
+	for i := 0; i < k; i++ {
+		out[rng.Intn(len(out))] ^= byte(1) << uint(rng.Intn(8))
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+)
+
+// Pipe models the lossy UDP path the measurement reports travel from
+// peers to the trace server: datagrams can vanish, arrive twice, arrive
+// late (jitter), fall behind later traffic (reorder), or arrive torn.
+// Fates come from a seeded faults.Injector, so the same seed replays the
+// same hostile network bit-for-bit.
+//
+// Delivery is by callback: the caller hands Send the delivery closure for
+// one datagram, and the pipe invokes it zero or more times with the
+// arrival instant and whether the datagram arrived torn (a torn datagram
+// still "arrives" — the receiver is the one that must reject it).
+//
+// Pipe is not safe for concurrent use; the simulator drives it from its
+// single event loop.
+type Pipe struct {
+	inj  *faults.Injector
+	held []heldDatagram
+}
+
+// heldDatagram is a reordered datagram waiting for later traffic to pass
+// it.
+type heldDatagram struct {
+	countdown int // released when this reaches zero
+	torn      bool
+	copies    int
+	jitter    time.Duration
+	deliver   func(at time.Time, torn bool)
+}
+
+// NewPipe builds a pipe with the given fault config and a generator
+// dedicated to it.
+func NewPipe(cfg faults.Config, rng *rand.Rand) *Pipe {
+	return &Pipe{inj: faults.New(cfg, rng)}
+}
+
+// Tally returns the running fault counters.
+func (p *Pipe) Tally() faults.Tally { return p.inj.Tally() }
+
+// Send transmits one datagram at instant now. The deliver callback runs
+// synchronously for everything except reordered datagrams, which are
+// released by subsequent Sends (or Flush) so they genuinely arrive after
+// later traffic. Every Send — delivered, dropped, or itself held —
+// advances the countdowns of previously held datagrams.
+func (p *Pipe) Send(now time.Time, deliver func(at time.Time, torn bool)) {
+	f := p.inj.Judge()
+	heldBack := !f.Drop && f.HoldSpan > 0
+	if !f.Drop && !heldBack {
+		for i := 0; i < f.Copies; i++ {
+			deliver(now.Add(f.Jitter), f.Truncated)
+		}
+	}
+	p.release(now)
+	if heldBack {
+		p.held = append(p.held, heldDatagram{
+			countdown: f.HoldSpan,
+			torn:      f.Truncated,
+			copies:    f.Copies,
+			jitter:    f.Jitter,
+			deliver:   deliver,
+		})
+	}
+}
+
+// release advances every held datagram's countdown and delivers the ones
+// whose span has elapsed, in hold order.
+func (p *Pipe) release(now time.Time) {
+	kept := p.held[:0]
+	for _, h := range p.held {
+		h.countdown--
+		if h.countdown > 0 {
+			kept = append(kept, h)
+			continue
+		}
+		for i := 0; i < h.copies; i++ {
+			h.deliver(now.Add(h.jitter), h.torn)
+		}
+	}
+	// Nil out the tail so released closures are not retained.
+	for i := len(kept); i < len(p.held); i++ {
+		p.held[i] = heldDatagram{}
+	}
+	p.held = kept
+}
+
+// Flush delivers every still-held datagram at instant now. Call it when
+// the traffic stream ends so reordered datagrams are not lost with it.
+func (p *Pipe) Flush(now time.Time) {
+	for _, h := range p.held {
+		for i := 0; i < h.copies; i++ {
+			h.deliver(now.Add(h.jitter), h.torn)
+		}
+	}
+	p.held = p.held[:0]
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+)
+
+// arrival is one observed delivery, for asserting on order and timing.
+type arrival struct {
+	id   int
+	at   time.Time
+	torn bool
+}
+
+// drive sends n datagrams through a pipe and collects every arrival.
+func drive(pipe *Pipe, n int, start time.Time) []arrival {
+	var got []arrival
+	for i := 0; i < n; i++ {
+		i := i
+		now := start.Add(time.Duration(i) * time.Second)
+		pipe.Send(now, func(at time.Time, torn bool) {
+			got = append(got, arrival{id: i, at: at, torn: torn})
+		})
+	}
+	pipe.Flush(start.Add(time.Duration(n) * time.Second))
+	return got
+}
+
+func TestPipePerfectPathDeliversInOrder(t *testing.T) {
+	pipe := NewPipe(faults.Config{}, rand.New(rand.NewSource(1)))
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	got := drive(pipe, 100, start)
+	if len(got) != 100 {
+		t.Fatalf("perfect path delivered %d of 100", len(got))
+	}
+	for i, a := range got {
+		if a.id != i || a.torn {
+			t.Fatalf("arrival %d = %+v, want id=%d torn=false", i, a, i)
+		}
+		if want := start.Add(time.Duration(i) * time.Second); !a.at.Equal(want) {
+			t.Fatalf("arrival %d at %v, want %v", i, a.at, want)
+		}
+	}
+	if ta := pipe.Tally(); ta.Datagrams != 100 || ta.Dropped != 0 || ta.Truncated != 0 {
+		t.Errorf("perfect path tally %v", ta)
+	}
+}
+
+func TestPipeDeterministic(t *testing.T) {
+	cfg := faults.Config{Loss: 0.1, Duplicate: 0.05, Reorder: 0.1, JitterMax: 3 * time.Second, Truncate: 0.05}
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	run := func() []arrival {
+		return drive(NewPipe(cfg, rand.New(rand.NewSource(9))), 2000, start)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d datagrams", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPipeLossAndDuplication(t *testing.T) {
+	cfg := faults.Config{Loss: 0.2, Duplicate: 0.1}
+	pipe := NewPipe(cfg, rand.New(rand.NewSource(5)))
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	const n = 10000
+	got := drive(pipe, n, start)
+	ta := pipe.Tally()
+	if want := ta.Datagrams - ta.Dropped + ta.Duplicated; uint64(len(got)) != want {
+		t.Errorf("delivered %d arrivals, tally implies %d", len(got), want)
+	}
+	if ta.Dropped == 0 || ta.Duplicated == 0 {
+		t.Errorf("expected both losses and duplicates: %v", ta)
+	}
+	frac := float64(ta.Dropped) / float64(n)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("loss fraction %.3f far from 0.2", frac)
+	}
+}
+
+func TestPipeReorderFallsBehind(t *testing.T) {
+	// Reorder every datagram: each one is released only after span
+	// subsequent sends, so arrival order shifts by the span.
+	cfg := faults.Config{Reorder: 1, ReorderSpan: 3}
+	pipe := NewPipe(cfg, rand.New(rand.NewSource(2)))
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	got := drive(pipe, 10, start)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+	// Datagram 0 is held until datagram 3's send releases it, at t=3s.
+	if got[0].id != 0 || !got[0].at.Equal(start.Add(3*time.Second)) {
+		t.Errorf("first arrival %+v, want id=0 at +3s", got[0])
+	}
+	for _, a := range got {
+		sent := start.Add(time.Duration(a.id) * time.Second)
+		if a.at.Before(sent) {
+			t.Errorf("datagram %d arrived at %v before it was sent at %v", a.id, a.at, sent)
+		}
+	}
+}
+
+func TestPipeTruncationFlagged(t *testing.T) {
+	cfg := faults.Config{Truncate: 1}
+	pipe := NewPipe(cfg, rand.New(rand.NewSource(4)))
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	got := drive(pipe, 50, start)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50", len(got))
+	}
+	for _, a := range got {
+		if !a.torn {
+			t.Fatalf("datagram %d arrived intact under Truncate=1", a.id)
+		}
+	}
+	if ta := pipe.Tally(); ta.Truncated != 50 || ta.Delivered() != 0 {
+		t.Errorf("tally %v, want 50 truncated / 0 delivered", ta)
+	}
+}
+
+// TestPipeFlushReleasesHeld pins that reordered datagrams survive the end
+// of the traffic stream.
+func TestPipeFlushReleasesHeld(t *testing.T) {
+	cfg := faults.Config{Reorder: 1, ReorderSpan: 100}
+	pipe := NewPipe(cfg, rand.New(rand.NewSource(6)))
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	var got []arrival
+	pipe.Send(start, func(at time.Time, torn bool) {
+		got = append(got, arrival{at: at, torn: torn})
+	})
+	if len(got) != 0 {
+		t.Fatalf("held datagram delivered early")
+	}
+	end := start.Add(time.Minute)
+	pipe.Flush(end)
+	if len(got) != 1 || !got[0].at.Equal(end) {
+		t.Fatalf("flush delivered %+v, want one arrival at %v", got, end)
+	}
+	pipe.Flush(end) // idempotent
+	if len(got) != 1 {
+		t.Fatal("second flush re-delivered")
+	}
+}

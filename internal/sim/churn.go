@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ChurnConfig groups the reproducible churn scenarios a run can inject on
+// top of the arrival process. Flash-crowd joins are the third scenario of
+// the set; they predate this struct and stay configured via Config.Crowds.
+// The zero value injects nothing: churn-free runs draw no extra entropy
+// and produce byte-identical traces to builds without this feature.
+type ChurnConfig struct {
+	// MassDepartures are correlated departure events — a broadcast
+	// ending, a regional outage — at fixed offsets from the run start.
+	MassDepartures []MassDeparture
+	// Flapping makes a share of arrivals bounce: short sessions followed
+	// by quick rejoins with the same address, the failure mode flaky
+	// last-mile links impose on an overlay.
+	Flapping Flapping
+}
+
+// MassDeparture makes every live non-server peer depart with the given
+// probability at one instant.
+type MassDeparture struct {
+	// Offset is when the event fires, measured from the run start.
+	Offset time.Duration
+	// Fraction is each peer's independent departure probability.
+	Fraction float64
+}
+
+// Flapping configures flapping peers.
+type Flapping struct {
+	// Fraction of arrivals that flap instead of holding a normal session.
+	Fraction float64
+	// OnMean and OffMean are the mean online/offline stretch lengths of a
+	// flapper's duty cycle; zero values default to 5 and 2 minutes.
+	OnMean  time.Duration
+	OffMean time.Duration
+	// Cycles is how many times a flapper rejoins after its first
+	// departure; zero defaults to 4.
+	Cycles int
+}
+
+// Default flapping duty cycle: mostly-on bounces short enough that a
+// flapper rarely survives to reporting age, stressing the overlay rather
+// than the trace volume.
+const (
+	_defaultFlapOnMean  = 5 * time.Minute
+	_defaultFlapOffMean = 2 * time.Minute
+	_defaultFlapCycles  = 4
+)
+
+func (c ChurnConfig) validate() error {
+	for i, md := range c.MassDepartures {
+		if md.Offset < 0 {
+			return fmt.Errorf("sim: mass departure %d at negative offset %v", i, md.Offset)
+		}
+		if md.Fraction < 0 || md.Fraction > 1 || md.Fraction != md.Fraction {
+			return fmt.Errorf("sim: mass departure %d fraction %v outside [0, 1]", i, md.Fraction)
+		}
+	}
+	f := c.Flapping
+	if f.Fraction < 0 || f.Fraction > 1 || f.Fraction != f.Fraction {
+		return fmt.Errorf("sim: flapping fraction %v outside [0, 1]", f.Fraction)
+	}
+	if f.OnMean < 0 || f.OffMean < 0 {
+		return fmt.Errorf("sim: negative flapping duty cycle (on %v, off %v)", f.OnMean, f.OffMean)
+	}
+	if f.Cycles < 0 {
+		return fmt.Errorf("sim: negative flapping cycle count %d", f.Cycles)
+	}
+	return nil
+}
+
+// withDefaults fills the flapping duty cycle when flapping is enabled.
+func (f Flapping) withDefaults() Flapping {
+	if f.Fraction <= 0 {
+		return f
+	}
+	if f.OnMean <= 0 {
+		f.OnMean = _defaultFlapOnMean
+	}
+	if f.OffMean <= 0 {
+		f.OffMean = _defaultFlapOffMean
+	}
+	if f.Cycles <= 0 {
+		f.Cycles = _defaultFlapCycles
+	}
+	return f
+}
+
+// onTime draws one online stretch: exponential around OnMean, floored at
+// a second (a zero-length session would join and depart in the same
+// event) and capped at six means to keep flappers flapping.
+func (f Flapping) onTime(rng *rand.Rand) time.Duration {
+	return expDuration(rng, f.OnMean)
+}
+
+// offTime draws one offline stretch on the same shape.
+func (f Flapping) offTime(rng *rand.Rand) time.Duration {
+	return expDuration(rng, f.OffMean)
+}
+
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d < time.Second {
+		return time.Second
+	}
+	if max := 6 * mean; d > max {
+		return max
+	}
+	return d
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/protocol"
 	"github.com/magellan-p2p/magellan/internal/stream"
@@ -45,6 +46,18 @@ type Config struct {
 	Protocol protocol.Config
 	// Mode selects mesh pull (default) or the tree-push ablation.
 	Mode stream.Mode
+	// Faults injects deterministic datagram-level faults on the report
+	// path (peer → trace server): loss, duplication, reordering, jitter,
+	// and truncation, matching what the paper's UDP measurement plane
+	// endured. The zero value injects nothing and leaves the trace
+	// byte-identical to a run without injection. Fates draw from a
+	// dedicated generator (Seed+7), so enabling injection perturbs only
+	// what the trace server sees — never the overlay's evolution.
+	Faults faults.Config
+	// Churn adds reproducible churn scenarios on top of the arrival
+	// process: mass departures and flapping peers. (Flash-crowd joins,
+	// the third scenario, are configured via Crowds.)
+	Churn ChurnConfig
 	// ISPBlind erases the intra-/inter-ISP link-quality asymmetry
 	// (ablation).
 	ISPBlind bool
@@ -138,6 +151,13 @@ func (c Config) sanitize() (Config, error) {
 			return c, err
 		}
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Churn.validate(); err != nil {
+		return c, err
+	}
+	c.Churn.Flapping = c.Churn.Flapping.withDefaults()
 	return c, nil
 }
 
@@ -181,8 +201,18 @@ type Stats struct {
 	Online  int // live peers, servers excluded
 	Stable  int // live peers online at least InitialReportDelay
 	Servers int
-	Joins   uint64 // cumulative arrivals
+	Joins   uint64 // cumulative joins, flapper rejoins included
 	Reports uint64 // cumulative reports submitted
+
+	// Flaps counts flapper departures that scheduled a rejoin;
+	// MassDeparted counts peers torn down by mass-departure events.
+	Flaps        uint64
+	MassDeparted uint64
+	// TornReports counts report datagrams that arrived truncated and
+	// were rejected before reaching the sink. Faults is the injector's
+	// full tally; both stay zero with injection disabled.
+	TornReports uint64
+	Faults      faults.Tally
 }
 
 // ISPShares returns the population shares used for peer placement (the

@@ -31,15 +31,26 @@ type Simulation struct {
 	index map[isp.Addr]*protocol.Peer
 	run   map[isp.Addr]*peerRuntime
 
-	servers int
-	joins   uint64
-	reports uint64
+	// pipe is the fault-injected report path; nil when injection is
+	// disabled, in which case reports go straight to the sink.
+	pipe *netsim.Pipe
+
+	servers      int
+	joins        uint64
+	reports      uint64
+	flaps        uint64
+	massDeparted uint64
+	torn         uint64
 }
 
 type peerRuntime struct {
 	peer   *protocol.Peer
 	report *des.Ticker
 	depart *des.Event
+	// channel and flapsLeft carry a flapper's rejoin state: the channel
+	// it returns to and how many bounces remain.
+	channel   workload.Channel
+	flapsLeft int
 }
 
 // New builds a simulation: generates the ISP database, seeds the origin
@@ -92,6 +103,10 @@ func New(cfg Config) (*Simulation, error) {
 			protocol.NewTracker(cfg.Protocol, rand.New(rand.NewSource(cfg.Seed+5+int64(i)))))
 	}
 
+	if cfg.Faults.Enabled() {
+		s.pipe = netsim.NewPipe(cfg.Faults, rand.New(rand.NewSource(cfg.Seed+7)))
+	}
+
 	if err := s.seedServers(); err != nil {
 		return nil, err
 	}
@@ -99,6 +114,12 @@ func New(cfg Config) (*Simulation, error) {
 	// Maintenance loop and first arrival.
 	s.sched.Every(cfg.Start.Add(cfg.Protocol.MaintInterval), cfg.Protocol.MaintInterval, s.maintain)
 	s.sched.At(s.wl.NextArrival(cfg.Start), s.handleArrival)
+
+	// Churn scenario events.
+	for _, md := range cfg.Churn.MassDepartures {
+		md := md
+		s.sched.At(cfg.Start.Add(md.Offset), func(t time.Time) { s.massDepart(md, t) })
+	}
 
 	return s, nil
 }
@@ -120,10 +141,16 @@ func (s *Simulation) trackerFor(addr isp.Addr) *protocol.Tracker {
 // Stats summarizes the live overlay.
 func (s *Simulation) Stats() Stats {
 	st := Stats{
-		Now:     s.sched.Now(),
-		Servers: s.servers,
-		Joins:   s.joins,
-		Reports: s.reports,
+		Now:          s.sched.Now(),
+		Servers:      s.servers,
+		Joins:        s.joins,
+		Reports:      s.reports,
+		Flaps:        s.flaps,
+		MassDeparted: s.massDeparted,
+		TornReports:  s.torn,
+	}
+	if s.pipe != nil {
+		st.Faults = s.pipe.Tally()
 	}
 	cutoff := s.sched.Now().Add(-s.cfg.InitialReportDelay)
 	for _, p := range s.peers {
@@ -157,6 +184,11 @@ func (s *Simulation) Run() error {
 			s.cfg.Progress(s.Stats())
 			nextProgress = nextProgress.Add(time.Hour)
 		}
+	}
+	// Release any reports still held by the reorder queue so a run's last
+	// datagrams are not lost with the traffic stream.
+	if s.pipe != nil {
+		s.pipe.Flush(end)
 	}
 	return nil
 }
@@ -210,20 +242,35 @@ func (s *Simulation) handleArrival(now time.Time) {
 	class := netsim.SampleClass(s.rng)
 	host := netsim.Host{Addr: addr, ISP: owner, Cap: netsim.SampleCapacity(s.rng, class)}
 	ch := s.wl.SampleChannel(now)
+	session := s.wl.SampleSession()
+
+	flapsLeft := 0
+	if f := s.cfg.Churn.Flapping; f.Fraction > 0 && s.rng.Float64() < f.Fraction {
+		flapsLeft = f.Cycles
+		session = f.onTime(s.rng)
+	}
+	s.joinPeer(host, ch, session, flapsLeft, now)
+}
+
+// joinPeer brings one peer online: register at its tracker, bootstrap,
+// arm its departure and report timers. Shared by first arrivals and
+// flapper rejoins.
+func (s *Simulation) joinPeer(host netsim.Host, ch workload.Channel, session time.Duration, flapsLeft int, now time.Time) {
 	p := protocol.NewPeer(host, uint16(1024+s.rng.Intn(60000)), ch.Name, ch.RateKbps, now)
 	p.LocalityBias = s.cfg.Protocol.LocalityBias
 
 	s.insert(p)
 	s.joins++
-	tr := s.trackerFor(addr)
-	tr.Join(ch.Name, addr)
-	tr.SetISP(addr, owner)
-	tr.SetAvailable(ch.Name, addr, true)
+	tr := s.trackerFor(host.Addr)
+	tr.Join(ch.Name, host.Addr)
+	tr.SetISP(host.Addr, host.ISP)
+	tr.SetAvailable(ch.Name, host.Addr, true)
 
 	s.bootstrap(p, s.cfg.Protocol.MaxBootstrap, now)
 
-	rt := s.run[addr]
-	session := s.wl.SampleSession()
+	rt := s.run[host.Addr]
+	rt.channel = ch
+	rt.flapsLeft = flapsLeft
 	rt.depart = s.sched.At(now.Add(session), func(t time.Time) { s.handleDeparture(p, t) })
 	rt.report = s.sched.Every(now.Add(s.cfg.InitialReportDelay), s.cfg.ReportInterval,
 		func(t time.Time) { s.emitReport(p, t) })
@@ -242,11 +289,14 @@ func (s *Simulation) bootstrap(p *protocol.Peer, n int, now time.Time) {
 }
 
 // handleDeparture tears a peer down: disconnect everywhere, deregister,
-// stop its timers, remove from the live set.
-func (s *Simulation) handleDeparture(p *protocol.Peer, _ time.Time) {
+// stop its timers, remove from the live set. A flapper's departure also
+// schedules its rejoin. The rt.peer identity check makes stale departure
+// events (a mass departure already removed the peer, or a rejoin reused
+// its address) harmless no-ops.
+func (s *Simulation) handleDeparture(p *protocol.Peer, now time.Time) {
 	addr := p.ID()
 	rt, ok := s.run[addr]
-	if !ok {
+	if !ok || rt.peer != p {
 		return
 	}
 	for _, id := range append([]isp.Addr(nil), p.PartnerIDs()...) {
@@ -264,7 +314,41 @@ func (s *Simulation) handleDeparture(p *protocol.Peer, _ time.Time) {
 	if rt.report != nil {
 		rt.report.Stop()
 	}
+	s.sched.Cancel(rt.depart)
 	s.remove(addr)
+
+	if !p.IsServer && rt.flapsLeft > 0 {
+		f := s.cfg.Churn.Flapping
+		host, ch, left := p.Host, rt.channel, rt.flapsLeft-1
+		s.flaps++
+		s.sched.At(now.Add(f.offTime(s.rng)), func(t time.Time) { s.rejoin(host, ch, left, t) })
+	}
+}
+
+// rejoin brings a flapper back with the same address and channel.
+func (s *Simulation) rejoin(host netsim.Host, ch workload.Channel, flapsLeft int, now time.Time) {
+	if _, live := s.index[host.Addr]; live {
+		// The address is somehow occupied (cannot happen today: the
+		// allocator never reissues addresses); joining twice would
+		// corrupt the live set, so skip the bounce.
+		return
+	}
+	s.joinPeer(host, ch, s.cfg.Churn.Flapping.onTime(s.rng), flapsLeft, now)
+}
+
+// massDepart fires one mass-departure event: every live non-server peer
+// leaves with the configured probability.
+func (s *Simulation) massDepart(md MassDeparture, now time.Time) {
+	var victims []*protocol.Peer
+	for _, p := range s.peers {
+		if !p.IsServer && s.rng.Float64() < md.Fraction {
+			victims = append(victims, p)
+		}
+	}
+	for _, p := range victims {
+		s.handleDeparture(p, now)
+		s.massDeparted++
+	}
 }
 
 // emitReport assembles and submits one trace report for a stable peer.
@@ -296,10 +380,33 @@ func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
 			RecvSeg: uint32(pt.WinRecv + 0.5),
 		})
 	})
-	if err := s.cfg.Sink.Submit(rep); err == nil {
-		s.reports++
-	}
+	s.deliverReport(rep)
 	p.ResetWindow()
+}
+
+// deliverReport ships one report to the sink, through the fault-injected
+// datagram path when one is configured. A torn datagram is what the trace
+// server would reject, so it is counted and discarded here; duplicated
+// and reordered datagrams reach the sink exactly as the server would see
+// them, receipt time included.
+func (s *Simulation) deliverReport(rep trace.Report) {
+	if s.pipe == nil {
+		if err := s.cfg.Sink.Submit(rep); err == nil {
+			s.reports++
+		}
+		return
+	}
+	s.pipe.Send(rep.Time, func(at time.Time, torn bool) {
+		if torn {
+			s.torn++
+			return
+		}
+		r := rep
+		r.Time = at
+		if err := s.cfg.Sink.Submit(r); err == nil {
+			s.reports++
+		}
+	})
 }
 
 // synthBufferMap renders playback quality as a sliding-window occupancy

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+)
+
+// TestCodecBitIdenticalReencode is the strong form of the round-trip
+// property: decoding and re-encoding a random valid report reproduces
+// the original bytes exactly. Struct equality is not enough — the epoch
+// store rewrites trace files, so a codec with two encodings for one
+// report would silently change fingerprints.
+func TestCodecBitIdenticalReencode(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		orig := randomReport(rng)
+		buf := AppendReport(nil, &orig)
+		rep, err := DecodeReport(buf)
+		if err != nil {
+			t.Fatalf("iteration %d: DecodeReport: %v", i, err)
+		}
+		again := AppendReport(nil, &rep)
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("iteration %d: re-encode differs:\n first %x\nsecond %x", i, buf, again)
+		}
+	}
+}
+
+// TestCodecStrictPrefixAlwaysErrors checks the decoder's torn-datagram
+// contract across random reports: every strict prefix of a valid
+// encoding fails with an error — never a panic, never a silent partial
+// decode. This is what lets the trace server count truncated datagrams
+// instead of crashing on them.
+func TestCodecStrictPrefixAlwaysErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 100; i++ {
+		orig := randomReport(rng)
+		buf := AppendReport(nil, &orig)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := DecodeReport(buf[:cut]); err == nil {
+				t.Fatalf("iteration %d: strict prefix of %d/%d bytes decoded without error", i, cut, len(buf))
+			}
+		}
+	}
+}
+
+// TestCodecFaultShapedInputs runs the fault injector's byte manglers
+// over valid encodings: torn tails and duplicated heads must error, and
+// bit flips must never panic.
+func TestCodecFaultShapedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 200; i++ {
+		orig := randomReport(rng)
+		buf := AppendReport(nil, &orig)
+
+		if _, err := DecodeReport(faults.TornTail(rng, buf)); err == nil {
+			t.Fatalf("iteration %d: torn tail decoded without error", i)
+		}
+		if _, err := DecodeReport(faults.DuplicateHead(buf, 8)); err == nil {
+			t.Fatalf("iteration %d: duplicated head decoded without error", i)
+		}
+		// Bit flips may or may not decode; they must only fail cleanly.
+		_, _ = DecodeReport(faults.FlipBits(rng, append([]byte(nil), buf...), 1+rng.Intn(4)))
+	}
+}

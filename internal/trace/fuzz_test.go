@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
 )
 
 // FuzzDecodeReport is the native fuzz target for the wire decoder. CI
@@ -23,6 +25,18 @@ func FuzzDecodeReport(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Fault-shaped seeds: the injector's byte manglers produce exactly
+	// the damage a lossy measurement network delivers, so start the
+	// explorer in that neighbourhood.
+	base := randomReport(rng)
+	enc := AppendReport(nil, &base)
+	f.Add(faults.TornTail(rng, enc))                            // truncated datagram
+	f.Add(faults.DuplicateHead(enc, 16))                        // doubled header bytes
+	f.Add(faults.FlipBits(rng, append([]byte(nil), enc...), 3)) // line noise
+	zero := base
+	zero.Partners = nil
+	f.Add(AppendReport(nil, &zero))                       // zero-length partner list
+	f.Add(faults.TornTail(rng, AppendReport(nil, &zero))) // and its torn variant
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := DecodeReport(data)
 		if err != nil {

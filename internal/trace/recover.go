@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Torn-tail recovery. A trace server killed mid-write (crash, power
+// loss, SIGKILL) leaves its current file ending in a partial record: a
+// frame length with no payload, or a payload cut short. The format has
+// no footer, so the only way to tell a clean file from a torn one is to
+// walk the records. ScanStream does that walk and reports where the
+// last intact record ends; RecoverFile truncates the file back to that
+// boundary so readers see a valid stream instead of ErrCorrupt.
+
+// ScanResult describes how far into a stream the records stay intact.
+type ScanResult struct {
+	// Records is the number of fully intact records.
+	Records int
+	// ValidBytes is the stream offset just past the last intact record
+	// (or past the header when no records survive). Bytes beyond it are
+	// torn.
+	ValidBytes int64
+	// Torn reports whether the stream ended inside a record (or inside
+	// the header) rather than at a record boundary.
+	Torn bool
+	// TailErr is the decode error that ended a torn scan; nil on a
+	// clean stream.
+	TailErr error
+}
+
+// ScanStream walks a binary trace stream record by record and returns
+// how much of it is intact. A stream that is not a binary trace at all
+// (wrong magic, unsupported version) is an error, not a torn tail:
+// truncation would destroy a file that was never ours to repair. A
+// short header is torn — that is what a crash during file creation
+// leaves behind.
+func ScanStream(r io.Reader) (ScanResult, error) {
+	cr := &countingReader{br: bufio.NewReaderSize(r, 1<<16)}
+
+	var hdr [5]byte
+	n, err := io.ReadFull(cr, hdr[:])
+	if err != nil {
+		if n == 0 || bytes.Equal(hdr[:n], _magic[:n]) {
+			// Empty file or a prefix of the real header: creation was
+			// interrupted.
+			return ScanResult{Torn: true, TailErr: fmt.Errorf("trace: torn header (%d bytes)", n)}, nil
+		}
+		return ScanResult{}, ErrBadMagic
+	}
+	if !bytes.Equal(hdr[:4], _magic[:]) {
+		return ScanResult{}, ErrBadMagic
+	}
+	if hdr[4] != _version {
+		return ScanResult{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+
+	res := ScanResult{ValidBytes: cr.n}
+	var buf []byte
+	for {
+		frameLen, err := binary.ReadUvarint(cr)
+		if errors.Is(err, io.EOF) && cr.n == res.ValidBytes {
+			// Clean end exactly at a record boundary.
+			return res, nil
+		}
+		if err == nil && frameLen > _maxRecordSize {
+			err = fmt.Errorf("%w: record size %d", ErrCorrupt, frameLen)
+		}
+		if err != nil {
+			res.Torn = true
+			res.TailErr = err
+			return res, nil
+		}
+		if cap(buf) < int(frameLen) {
+			buf = make([]byte, frameLen)
+		}
+		buf = buf[:frameLen]
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			res.Torn = true
+			res.TailErr = err
+			return res, nil
+		}
+		if _, err := DecodeReport(buf); err != nil {
+			res.Torn = true
+			res.TailErr = err
+			return res, nil
+		}
+		res.Records++
+		res.ValidBytes = cr.n
+	}
+}
+
+// RecoverResult describes what RecoverFile did.
+type RecoverResult struct {
+	// Recovered reports whether the file was torn and has been
+	// truncated back to its last intact record.
+	Recovered bool
+	// Records is the number of intact records the file holds.
+	Records int
+	// TruncatedBytes is how many torn-tail bytes were cut.
+	TruncatedBytes int64
+}
+
+// RecoverFile repairs a trace file left torn by a crash: it scans to
+// the last intact record and truncates the tail. A clean file is left
+// untouched. A file that is not a binary trace is an error and is never
+// modified. A file torn inside the header is truncated to zero bytes —
+// there is nothing to save.
+func RecoverFile(path string) (RecoverResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	defer f.Close()
+
+	info, err := f.Stat()
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	scan, err := ScanStream(f)
+	if err != nil {
+		return RecoverResult{}, fmt.Errorf("trace: recover %s: %w", path, err)
+	}
+	res := RecoverResult{Records: scan.Records}
+	if !scan.Torn {
+		return res, nil
+	}
+	res.Recovered = true
+	res.TruncatedBytes = info.Size() - scan.ValidBytes
+	if err := f.Truncate(scan.ValidBytes); err != nil {
+		return RecoverResult{}, fmt.Errorf("trace: recover %s: truncate: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return RecoverResult{}, fmt.Errorf("trace: recover %s: sync: %w", path, err)
+	}
+	return res, nil
+}
+
+// countingReader tracks how many bytes have been consumed from the
+// underlying buffered reader, giving ScanStream exact record
+// boundaries.
+type countingReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}

@@ -9,24 +9,73 @@ import (
 	"sync/atomic"
 )
 
+// DefaultQueueDepth bounds the ingest queue between the UDP receive loop
+// and the sink worker. At the paper's scale (~100,000 peers on a
+// 10-minute cadence) report bursts are synchronized; the queue absorbs
+// them, and overflow is shed with accounting rather than backpressure —
+// a UDP measurement plane has nobody to push back on.
+const DefaultQueueDepth = 4096
+
+// ServerConfig tunes a Server beyond its defaults.
+type ServerConfig struct {
+	// QueueDepth is the ingest queue bound; 0 means DefaultQueueDepth.
+	QueueDepth int
+}
+
+// ServerStats breaks the server's datagram accounting down by outcome.
+type ServerStats struct {
+	// Received counts reports decoded, validated, and accepted by the
+	// sink.
+	Received uint64
+	// Rejected counts datagrams that failed to decode or validate —
+	// torn, corrupt, or malformed input.
+	Rejected uint64
+	// QueueDrops counts datagrams shed because the ingest queue was
+	// full.
+	QueueDrops uint64
+	// SinkErrors counts well-formed reports the sink refused.
+	SinkErrors uint64
+}
+
+// Dropped is the total number of datagrams that did not reach the sink.
+func (st ServerStats) Dropped() uint64 {
+	return st.Rejected + st.QueueDrops + st.SinkErrors
+}
+
 // Server is the standalone trace server of Sec. 3.2: it receives one
 // binary-encoded report per UDP datagram and submits it to a sink.
-// Datagrams that fail to decode or validate are counted and dropped — a
-// measurement pipeline must survive malformed input.
+// Ingestion is two-stage — the receive loop copies datagrams into a
+// bounded queue and a worker decodes, validates, and submits — so a slow
+// sink costs queue drops (counted) instead of kernel-level receive-buffer
+// losses (invisible). Datagrams that fail to decode or validate are
+// counted and dropped: a measurement pipeline must survive malformed
+// input.
 type Server struct {
 	conn *net.UDPConn
 	sink Sink
 
-	received atomic.Uint64
-	dropped  atomic.Uint64
+	queue chan []byte
+	pool  sync.Pool
 
-	wg   sync.WaitGroup
-	once sync.Once
+	received   atomic.Uint64
+	rejected   atomic.Uint64
+	queueDrops atomic.Uint64
+	sinkErrors atomic.Uint64
+
+	recvWG sync.WaitGroup
+	workWG sync.WaitGroup
+	once   sync.Once
 }
 
 // NewServer binds a UDP socket on addr (e.g. "127.0.0.1:0") and starts
-// the receive loop. Close must be called to release the socket.
+// the receive loop with default settings. Close must be called to release
+// the socket.
 func NewServer(addr string, sink Sink) (*Server, error) {
+	return NewServerWithConfig(addr, sink, ServerConfig{})
+}
+
+// NewServerWithConfig is NewServer with explicit tuning.
+func NewServerWithConfig(addr string, sink Sink, cfg ServerConfig) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("trace server: resolve %q: %w", addr, err)
@@ -42,9 +91,23 @@ func NewServer(addr string, sink Sink) (*Server, error) {
 	if err := conn.SetReadBuffer(4 << 20); err != nil {
 		log.Printf("trace server: set read buffer: %v", err)
 	}
-	s := &Server{conn: conn, sink: sink}
-	s.wg.Add(1)
-	go s.loop()
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	s := &Server{
+		conn:  conn,
+		sink:  sink,
+		queue: make(chan []byte, depth),
+		pool: sync.Pool{New: func() any {
+			buf := make([]byte, 0, 64*1024)
+			return &buf
+		}},
+	}
+	s.recvWG.Add(1)
+	go s.recvLoop()
+	s.workWG.Add(1)
+	go s.ingestLoop()
 	return s, nil
 }
 
@@ -54,26 +117,40 @@ func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 // Received returns the number of successfully ingested reports.
 func (s *Server) Received() uint64 { return s.received.Load() }
 
-// Dropped returns the number of datagrams rejected (decode or validation
-// failures, or sink errors).
-func (s *Server) Dropped() uint64 { return s.dropped.Load() }
+// Dropped returns the number of datagrams that did not reach the sink
+// (decode/validation failures, queue sheds, or sink errors).
+func (s *Server) Dropped() uint64 { return s.Stats().Dropped() }
 
-// Close stops the receive loop and releases the socket. It is safe to
-// call multiple times.
+// Stats returns the full per-outcome accounting.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Received:   s.received.Load(),
+		Rejected:   s.rejected.Load(),
+		QueueDrops: s.queueDrops.Load(),
+		SinkErrors: s.sinkErrors.Load(),
+	}
+}
+
+// Close stops the receive loop, drains the ingest queue, and releases the
+// socket. It is safe to call multiple times.
 func (s *Server) Close() error {
 	var err error
 	s.once.Do(func() {
 		err = s.conn.Close()
-		s.wg.Wait()
+		s.recvWG.Wait()
+		close(s.queue)
+		s.workWG.Wait()
 	})
 	return err
 }
 
-func (s *Server) loop() {
-	defer s.wg.Done()
-	buf := make([]byte, 64*1024)
+// recvLoop copies each datagram into a pooled buffer and enqueues it,
+// shedding (with accounting) when the queue is full.
+func (s *Server) recvLoop() {
+	defer s.recvWG.Done()
+	scratch := make([]byte, 64*1024)
 	for {
-		n, _, err := s.conn.ReadFromUDP(buf)
+		n, _, err := s.conn.ReadFromUDP(scratch)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
@@ -81,17 +158,34 @@ func (s *Server) loop() {
 			// Transient socket errors: keep serving.
 			continue
 		}
-		rep, err := DecodeReport(buf[:n])
+		bufp, _ := s.pool.Get().(*[]byte)
+		*bufp = append((*bufp)[:0], scratch[:n]...)
+		select {
+		case s.queue <- *bufp:
+		default:
+			s.queueDrops.Add(1)
+			s.pool.Put(bufp)
+		}
+	}
+}
+
+// ingestLoop decodes, validates, and submits queued datagrams.
+func (s *Server) ingestLoop() {
+	defer s.workWG.Done()
+	for data := range s.queue {
+		rep, err := DecodeReport(data)
+		recycled := data
+		s.pool.Put(&recycled)
 		if err != nil {
-			s.dropped.Add(1)
+			s.rejected.Add(1)
 			continue
 		}
 		if err := rep.Validate(); err != nil {
-			s.dropped.Add(1)
+			s.rejected.Add(1)
 			continue
 		}
 		if err := s.sink.Submit(rep); err != nil {
-			s.dropped.Add(1)
+			s.sinkErrors.Add(1)
 			continue
 		}
 		s.received.Add(1)
