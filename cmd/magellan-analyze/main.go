@@ -15,6 +15,8 @@ import (
 
 	"github.com/magellan-p2p/magellan/internal/core"
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/report"
 	"github.com/magellan-p2p/magellan/internal/trace"
 )
@@ -37,9 +39,15 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "seed for random baselines and BFS sampling")
 		threshold = fs.Uint("threshold", core.DefaultActiveThreshold, "active-partner segment threshold")
 		streaming = fs.Bool("stream", false, "single-pass analysis (bounded memory; for traces too large to hold)")
+		timings   = fs.Bool("timings", false, "profile pipeline stages and print a per-stage wall/alloc table")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("magellan-analyze"))
+		return nil
 	}
 
 	traceFile, err := os.Open(*tracePath)
@@ -61,6 +69,11 @@ func run(args []string) error {
 	cfg := core.Config{
 		Seed:            *seed,
 		ActiveThreshold: uint32(*threshold),
+	}
+	var prof *obs.StageProfile
+	if *timings {
+		prof = obs.NewStageProfile()
+		cfg.Tracer = prof
 	}
 	start := time.Now()
 	var res *core.Results
@@ -87,6 +100,13 @@ func run(args []string) error {
 		}
 		fmt.Printf("analyzed %d reports across %d epochs in %v\n",
 			store.Len(), res.EpochCount, time.Since(start).Round(time.Millisecond))
+	}
+
+	if prof != nil {
+		fmt.Println("\npipeline stage timings (wall is per-stage elapsed; alloc is process-wide heap bytes attributed to the stage):")
+		if err := prof.WriteTable(os.Stdout); err != nil {
+			return err
+		}
 	}
 
 	if err := report.RenderAll(os.Stdout, res); err != nil {

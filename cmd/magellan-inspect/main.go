@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/report"
 	"github.com/magellan-p2p/magellan/internal/trace"
 )
@@ -35,8 +36,13 @@ func run(args []string, out io.Writer) error {
 		tracePath = fs.String("trace", "uusee.trace", "input trace file")
 		peerAddr  = fs.String("peer", "", "dump this peer's report history instead of the summary")
 		topN      = fs.Int("top", 10, "number of channels to list")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		_, err := fmt.Fprintln(out, buildinfo.String("magellan-inspect"))
 		return err
 	}
 

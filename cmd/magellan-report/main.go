@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/core"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/report"
 	"github.com/magellan-p2p/magellan/internal/sim"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -42,9 +43,14 @@ func run(args []string) error {
 		svgDir      = fs.String("svg", "", "directory for per-figure SVG export (empty: skip)")
 		extended    = fs.Bool("extended", false, "also run the extension analyses (dynamics, structure, crawl bias, baselines)")
 		verbose     = fs.Bool("v", false, "print hourly progress")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("magellan-report"))
+		return nil
 	}
 
 	store := trace.NewStore(0)

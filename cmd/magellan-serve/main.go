@@ -14,8 +14,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +25,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/trace"
 )
 
@@ -40,15 +44,26 @@ func run(args []string, stop <-chan struct{}) error {
 	var (
 		listen   = fs.String("listen", "127.0.0.1:9600", "UDP address for report ingestion")
 		outDir   = fs.String("out", "traces", "directory for rotated binary trace files")
-		httpAddr = fs.String("http", "", "HTTP status address (empty: disabled)")
+		httpAddr = fs.String("http", "", "HTTP status/metrics address (empty: disabled)")
 		rotate   = fs.Duration("rotate", time.Hour, "trace-file rotation period")
 		queue    = fs.Int("queue", 0, "ingest queue depth (0: default)")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
+		selfLog  = fs.Duration("selflog", time.Minute, "period for self-logging queue stats to stderr (0: disabled)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Println(buildinfo.String("magellan-serve"))
+		return nil
+	}
 
-	d, err := newDaemon(*listen, *outDir, *httpAddr, *rotate, *queue)
+	d, err := newDaemon(daemonConfig{
+		listen: *listen, outDir: *outDir, httpAddr: *httpAddr,
+		rotate: *rotate, queue: *queue,
+		pprof: *pprofOn, selfLog: *selfLog,
+	})
 	if err != nil {
 		return err
 	}
@@ -59,7 +74,7 @@ func run(args []string, stop <-chan struct{}) error {
 			d.recoveredFiles, d.truncatedBytes)
 	}
 	if d.httpLn != nil {
-		fmt.Printf("status on http://%s/status\n", d.httpLn.Addr())
+		fmt.Printf("status on http://%s/status, metrics on /metrics\n", d.httpLn.Addr())
 	}
 
 	if stop == nil {
@@ -174,6 +189,33 @@ func (s *rotatingSink) CurrentFile() string {
 	return s.file.Name()
 }
 
+// Written returns the number of reports persisted across all files.
+func (s *rotatingSink) Written() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// Rotations returns the number of trace files opened so far.
+func (s *rotatingSink) Rotations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.seq)
+}
+
+// daemonConfig collects the daemon's knobs; the positional-argument
+// constructor stopped scaling at five parameters.
+type daemonConfig struct {
+	listen   string        // UDP ingest address
+	outDir   string        // trace file directory
+	httpAddr string        // HTTP status/metrics address; "" disables
+	rotate   time.Duration // trace-file rotation period
+	queue    int           // ingest queue depth; 0 means default
+	pprof    bool          // mount net/http/pprof under /debug/pprof/
+	selfLog  time.Duration // queue-stats self-log period; 0 disables
+	logSink  io.Writer     // self-log destination; nil means os.Stderr
+}
+
 // daemon ties the UDP server, rotating sink, and status endpoint
 // together.
 type daemon struct {
@@ -182,6 +224,12 @@ type daemon struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 	started time.Time
+
+	reg    *obs.Registry
+	logger *obs.Logger
+
+	selfLogStop chan struct{}
+	selfLogWG   sync.WaitGroup
 
 	// Startup torn-tail recovery accounting (see recoverTraces).
 	recoveredFiles int
@@ -209,27 +257,51 @@ func recoverTraces(dir string) (files int, bytes int64, err error) {
 	return files, bytes, nil
 }
 
-func newDaemon(listen, outDir, httpAddr string, rotate time.Duration, queue int) (*daemon, error) {
-	recovered, truncated, err := recoverTraces(outDir)
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	recovered, truncated, err := recoverTraces(cfg.outDir)
 	if err != nil {
 		return nil, err
 	}
-	sink, err := newRotatingSink(outDir, rotate)
+	sink, err := newRotatingSink(cfg.outDir, cfg.rotate)
 	if err != nil {
 		return nil, err
 	}
-	udp, err := trace.NewServerWithConfig(listen, sink, trace.ServerConfig{QueueDepth: queue})
+	reg := obs.NewRegistry()
+	buildinfo.Register(reg, "magellan-serve")
+	udp, err := trace.NewServerWithConfig(cfg.listen, sink,
+		trace.ServerConfig{QueueDepth: cfg.queue, Obs: reg})
 	if err != nil {
 		sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
 		return nil, err
 	}
+	logSink := cfg.logSink
+	if logSink == nil {
+		logSink = os.Stderr
+	}
 	d := &daemon{
 		udp: udp, sink: sink, started: time.Now(),
+		reg:            reg,
+		logger:         obs.NewLogger(logSink, obs.LevelInfo),
 		recoveredFiles: recovered, truncatedBytes: truncated,
 	}
+	reg.GaugeFunc("magellan_serve_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(d.started).Seconds() })
+	reg.GaugeFunc("magellan_serve_recovered_files",
+		"Torn trace files repaired at startup.",
+		func() float64 { return float64(d.recoveredFiles) })
+	reg.GaugeFunc("magellan_serve_truncated_bytes",
+		"Bytes truncated from torn trace files at startup.",
+		func() float64 { return float64(d.truncatedBytes) })
+	reg.CounterFunc("magellan_sink_reports_written_total",
+		"Reports persisted across all trace files.",
+		sink.Written)
+	reg.CounterFunc("magellan_sink_rotations_total",
+		"Trace files opened (startup plus rotations).",
+		sink.Rotations)
 
-	if httpAddr != "" {
-		ln, err := net.Listen("tcp", httpAddr)
+	if cfg.httpAddr != "" {
+		ln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
 			udp.Close()  //magellan:allow erridle — best-effort cleanup; the listen error wins
 			sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
@@ -237,6 +309,18 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration, queue int)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", d.handleStatus)
+		mux.Handle("/metrics", obs.Handler(reg))
+		if cfg.pprof {
+			// The default-mux registrations in net/http/pprof don't help
+			// here (we serve a private mux), so mount the handlers
+			// explicitly. Index serves the sub-profiles (heap, goroutine,
+			// …) by path, so one prefix route covers them.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		d.httpLn = ln
 		d.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
@@ -248,10 +332,46 @@ func newDaemon(listen, outDir, httpAddr string, rotate time.Duration, queue int)
 			}
 		}()
 	}
+
+	if cfg.selfLog > 0 {
+		d.selfLogStop = make(chan struct{})
+		d.selfLogWG.Add(1)
+		go d.selfLogLoop(cfg.selfLog)
+	}
 	return d, nil
 }
 
-func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+// selfLogLoop periodically writes one structured record of the ingest
+// accounting, so an operator with only the daemon's stderr still sees
+// queue pressure developing.
+func (d *daemon) selfLogLoop(period time.Duration) {
+	defer d.selfLogWG.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.selfLogStop:
+			return
+		case <-t.C:
+			st := d.udp.Stats()
+			d.logger.Info("ingest stats",
+				"received", st.Received,
+				"rejected", st.Rejected,
+				"queueDrops", st.QueueDrops,
+				"sinkErrors", st.SinkErrors,
+				"written", d.sink.Written(),
+				"currentFile", d.sink.CurrentFile(),
+			)
+		}
+	}
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	st := d.udp.Stats()
 	err := json.NewEncoder(w).Encode(map[string]any{
@@ -273,6 +393,10 @@ func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *daemon) Close() error {
+	if d.selfLogStop != nil {
+		close(d.selfLogStop)
+		d.selfLogWG.Wait()
+	}
 	err := d.udp.Close()
 	if d.httpSrv != nil {
 		if cerr := d.httpSrv.Close(); err == nil {

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -44,7 +48,7 @@ func sampleReport(addr uint32) trace.Report {
 
 func TestDaemonEndToEnd(t *testing.T) {
 	dir := t.TempDir()
-	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
 	if err != nil {
 		t.Fatalf("newDaemon: %v", err)
 	}
@@ -161,7 +165,7 @@ func TestRotation(t *testing.T) {
 // key on these field names, so a rename is a breaking change.
 func TestDaemonStatusShape(t *testing.T) {
 	dir := t.TempDir()
-	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +216,7 @@ func TestDaemonStatusShape(t *testing.T) {
 // checks they surface as rejections on /status, not as received reports.
 func TestDaemonRejectedCounter(t *testing.T) {
 	dir := t.TempDir()
-	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +301,7 @@ func TestRecoveryDaemonRestart(t *testing.T) {
 	}
 
 	// Second life: startup recovery truncates the tail.
-	d, err := newDaemon("127.0.0.1:0", dir, "127.0.0.1:0", time.Hour, 0)
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -395,3 +399,141 @@ func TestRunStopChannel(t *testing.T) {
 		t.Fatal("daemon did not stop")
 	}
 }
+
+// TestDaemonMetricsEndpoint scrapes /metrics and checks the exposition
+// carries the ingest counters, the build-info gauge, and exactly one
+// TYPE line per family.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	client, err := trace.Dial(d.udp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Submit(sampleReport(5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && d.udp.Received() < 1 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + d.httpLn.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"magellan_ingest_received_total 1",
+		"magellan_ingest_queue_capacity",
+		"magellan_sink_submit_duration_seconds_count 1",
+		"magellan_sink_reports_written_total 1",
+		`magellan_build_info{binary="magellan-serve"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family — duplicates break scrapers.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if seen[line] {
+				t.Errorf("duplicate TYPE line: %s", line)
+			}
+			seen[line] = true
+		}
+	}
+}
+
+// TestDaemonMethodNotAllowed pins 405 handling on both endpoints.
+func TestDaemonMethodNotAllowed(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0", rotate: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for _, path := range []string{"/status", "/metrics"} {
+		resp, err := http.Post("http://"+d.httpLn.Addr().String()+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("POST %s Allow = %q, want GET", path, allow)
+		}
+	}
+}
+
+// TestDaemonSelfLog runs the daemon with a fast self-log period and
+// checks structured queue-stats records reach the configured sink.
+func TestDaemonSelfLog(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	sink := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	d, err := newDaemon(daemonConfig{
+		listen: "127.0.0.1:0", outDir: dir, rotate: time.Hour,
+		selfLog: 10 * time.Millisecond, logSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no self-log records")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("self-log record is not JSON: %v\n%s", err, lines[0])
+	}
+	for _, key := range []string{"ts", "level", "msg", "received", "queueDrops", "currentFile"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("self-log record missing %q: %s", key, lines[0])
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

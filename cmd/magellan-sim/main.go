@@ -9,12 +9,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/faults"
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/sim"
 	"github.com/magellan-p2p/magellan/internal/stream"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -43,6 +48,8 @@ func run(args []string) error {
 		tracePath   = fs.String("trace", "uusee.trace", "output trace file (binary format)")
 		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
 		verbose     = fs.Bool("v", false, "print hourly progress")
+		httpAddr    = fs.String("http", "", "HTTP /metrics address for live run telemetry (empty: disabled)")
+		version     = fs.Bool("version", false, "print version and exit")
 
 		loss     = fs.Float64("loss", 0, "report datagram loss probability [0,1]")
 		dup      = fs.Float64("dup", 0, "report datagram duplication probability [0,1]")
@@ -56,6 +63,10 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("magellan-sim"))
+		return nil
 	}
 
 	cfg := sim.Config{
@@ -108,11 +119,39 @@ func run(args []string) error {
 		}
 	}
 
+	start := time.Now()
+	var metricsSrv *http.Server
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		buildinfo.Register(reg, "magellan-sim")
+		// The simulator pushes population and fault gauges into reg at
+		// tick boundaries; wall-clock derived rates live here in the CLI
+		// layer, keeping the sim core free of clock reads.
+		reg.GaugeFunc("magellan_sim_wall_seconds",
+			"Wall-clock seconds since the run started.",
+			func() float64 { return time.Since(start).Seconds() })
+		cfg.Obs = reg
+
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		metricsSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "magellan-sim: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		defer metricsSrv.Close() //magellan:allow erridle — the run's output is already on disk when this fires
+	}
+
 	s, err := sim.New(cfg)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
 	if err := s.Run(); err != nil {
 		return err
 	}

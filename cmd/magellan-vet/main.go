@@ -36,6 +36,7 @@ import (
 	"github.com/magellan-p2p/magellan/internal/analysis/passes/floatcmp"
 	"github.com/magellan-p2p/magellan/internal/analysis/passes/locksafe"
 	"github.com/magellan-p2p/magellan/internal/analysis/passes/maporder"
+	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 )
 
 // analyzers is the suite, in the order findings are attributed.
@@ -55,11 +56,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("magellan-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		govet = fs.Bool("govet", false, "also run `go vet` over the same patterns")
-		list  = fs.Bool("list", false, "list the analyzers and exit")
+		govet   = fs.Bool("govet", false, "also run `go vet` over the same patterns")
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		printf(stdout, "%s\n", buildinfo.String("magellan-vet"))
+		return 0
 	}
 	if *list {
 		for _, a := range analyzers {

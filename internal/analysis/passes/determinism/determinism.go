@@ -17,7 +17,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid math/rand package-level functions, time.Now/Since/Until " +
-		"and friends, and os environment reads inside the simulator core " +
+		"and friends, os environment reads, and obs wall-clock constructors " +
+		"(StartTimer, NewStageProfile, NewLogger) inside the simulator core " +
 		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
 	Run: run,
 }
@@ -52,6 +53,13 @@ var forbidden = map[string]map[string]string{
 	"os": {
 		"Getenv": "", "LookupEnv": "", "Environ": "",
 	},
+	// The telemetry plane is measurement-only: restricted packages may
+	// *use* an injected obs handle (Tracer, *Registry, *Logger — the
+	// no-op defaults are deterministic-safe), but constructing one pulls
+	// a wall-clock dependency into the core.
+	"github.com/magellan-p2p/magellan/internal/obs": {
+		"StartTimer": "", "NewStageProfile": "", "NewLogger": "",
+	},
 }
 
 // remedy describes, per package, how the code should get the value
@@ -61,6 +69,7 @@ var remedy = map[string]string{
 	"math/rand/v2": "thread the run's seeded *rand.Rand through instead",
 	"time":         "use the simulated clock (des.Simulator time) instead",
 	"os":           "pass configuration explicitly through the config struct",
+	"github.com/magellan-p2p/magellan/internal/obs": "accept the handle (Tracer, *Registry, *Logger) injected from the daemon/CLI layer; the no-op default is deterministic-safe",
 }
 
 func run(pass *analysis.Pass) error {

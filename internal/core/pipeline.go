@@ -12,6 +12,7 @@ import (
 	"github.com/magellan-p2p/magellan/internal/graph"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/metrics"
+	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/trace"
 	"github.com/magellan-p2p/magellan/internal/workload"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	StreamRateKbps float64
 	// Workers bounds pipeline parallelism (default GOMAXPROCS).
 	Workers int
+	// Tracer receives spans for the pipeline's stages (seal, epoch
+	// scans, graph kernels, assembly). nil means obs.Nop, which costs
+	// nothing and records nothing. Tracing is measurement-only: results
+	// are byte-identical with any tracer attached.
+	Tracer obs.Tracer
 }
 
 func (c Config) sanitize(epochCount int) Config {
@@ -98,6 +104,7 @@ func (c Config) sanitize(epochCount int) Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	c.Tracer = obs.TracerOrNop(c.Tracer)
 	return c
 }
 
@@ -182,7 +189,9 @@ func newEpochScratch() *epochScratch {
 // are deterministic for a given (store, db, cfg): neither the worker
 // count nor map iteration order can influence any output bit.
 func Analyze(store *trace.Store, db *isp.Database, cfg Config) (*Results, error) {
+	sp := obs.TracerOrNop(cfg.Tracer).Start("seal")
 	ix := store.Seal()
+	sp.End()
 	view := func(epoch int64) EpochView { return NewIndexedEpochView(ix, epoch) }
 	return analyzeViews(ix.Interval(), ix.Epochs(), view, db, cfg)
 }
@@ -228,6 +237,7 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 		snapLabels[spec.Time.UnixNano()/int64(interval)] = spec.Label
 	}
 
+	epochsSpan := cfg.Tracer.Start("epochs")
 	outs := make([]*epochOut, len(epochs))
 	scratches := make([]*epochScratch, cfg.Workers)
 	jobs := make(chan int)
@@ -254,9 +264,11 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 	}
 	close(jobs)
 	wg.Wait()
+	epochsSpan.End()
 
 	// Merge the worker shards. Set union commutes, so shard and map
 	// iteration order cannot leak into the merged counts.
+	mergeSpan := cfg.Tracer.Start("merge_days")
 	days := make(map[int64]*daySets)
 	for _, sc := range scratches {
 		for k, ds := range sc.days {
@@ -273,7 +285,10 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 			}
 		}
 	}
+	mergeSpan.End()
 
+	sp := cfg.Tracer.Start("assemble")
+	defer sp.End()
 	return assemble(interval, cfg, specs, outs, days)
 }
 
@@ -308,6 +323,8 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 		ispCounts: make(map[isp.ISP]int, isp.NumISPs),
 		quality:   make(map[string][2]int, len(cfg.QualityChannels)),
 	}
+
+	scanSpan := cfg.Tracer.Start("epoch_scan")
 
 	// Population and ISP mix over all visible peers.
 	all := v.AllPeers()
@@ -385,12 +402,16 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 	if nOut > 0 {
 		out.intraOut = fracOut / float64(nOut)
 	}
+	scanSpan.End()
 
 	// Reciprocity over all active links (Fig. 8). The intra- and
 	// inter-ISP split needs only node, edge, and bilateral counts, so it
 	// is computed straight off the active graph in one traversal — no
 	// subgraph is materialized.
+	graphSpan := cfg.Tracer.Start("active_graph")
 	ag := v.ActiveGraphInto(sc.active, cfg.ActiveThreshold)
+	graphSpan.End()
+	recipSpan := cfg.Tracer.Start("reciprocity")
 	out.rawR = ag.Reciprocity()
 	out.rhoAll = ag.GarlaschelliLoffredo()
 	intra, inter := ag.PartitionReciprocity(func(a, b isp.Addr) bool {
@@ -404,10 +425,12 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 	if inter.M > 0 {
 		out.rhoInter = inter.GarlaschelliLoffredo()
 	}
+	recipSpan.End()
 
 	// Small-world metrics on the stable-peer graph (Fig. 7), on the
 	// heavy cadence only.
 	if heavy {
+		swSpan := cfg.Tracer.Start("small_world")
 		out.heavy = true
 		sg := v.StableGraphInto(sc.stable, cfg.ActiveThreshold)
 		out.c = sg.ClusteringCoefficient()
@@ -421,10 +444,13 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 			out.lISP = sub.AveragePathLength(rng, cfg.PathSamples)
 			out.cRandISP, out.lRandISP = graph.RandomBaseline(sub, rng, cfg.PathSamples)
 		}
+		swSpan.End()
 	}
 
 	// Fig. 4 degree snapshot.
 	if snapLabel != "" && out.stable > 0 {
+		snapSpan := cfg.Tracer.Start("degree_snapshot")
+		defer snapSpan.End()
 		snap := &DegreeSnapshot{
 			Label:    snapLabel,
 			Time:     v.Start,

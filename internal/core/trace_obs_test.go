@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// TestAnalyzeTracedIdentical is the telemetry determinism contract for
+// the pipeline: attaching a profiling tracer must not change a single
+// output bit, at any worker count.
+func TestAnalyzeTracedIdentical(t *testing.T) {
+	store, db := scaledTrace(t)
+
+	plain := goldenConfig()
+	plain.Workers = runtime.GOMAXPROCS(0)
+	resPlain, err := Analyze(store, db, plain)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	traced := goldenConfig()
+	traced.Workers = runtime.GOMAXPROCS(0)
+	prof := obs.NewStageProfile()
+	traced.Tracer = prof
+	resTraced, err := Analyze(store, db, traced)
+	if err != nil {
+		t.Fatalf("Analyze(traced): %v", err)
+	}
+
+	if !bytes.Equal(encodeResults(resPlain), encodeResults(resTraced)) {
+		firstDiff(t, "plain vs traced", encodeResults(resPlain), encodeResults(resTraced))
+	}
+
+	// The profile saw every expected stage, with sane counts.
+	stats := prof.Stats()
+	byStage := make(map[string]obs.StageStats, len(stats))
+	for _, st := range stats {
+		byStage[st.Stage] = st
+	}
+	for _, stage := range []string{
+		"seal", "epochs", "merge_days", "assemble",
+		"epoch_scan", "active_graph", "reciprocity",
+		"small_world", "degree_snapshot",
+	} {
+		st, ok := byStage[stage]
+		if !ok {
+			t.Errorf("profile missing stage %q; have %v", stage, stageNames(stats))
+			continue
+		}
+		if st.Count == 0 {
+			t.Errorf("stage %q has zero calls", stage)
+		}
+	}
+	if one, per := byStage["epochs"].Count, byStage["epoch_scan"].Count; one != 1 || per < 2 {
+		t.Errorf("epochs count = %d (want 1), epoch_scan count = %d (want per-epoch)", one, per)
+	}
+
+	// The table renders without error and mentions every stage.
+	var sb strings.Builder
+	if err := prof.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"epochs", "epoch_scan", "assemble"} {
+		if !strings.Contains(sb.String(), stage) {
+			t.Errorf("timings table missing %q:\n%s", stage, sb.String())
+		}
+	}
+}
+
+func stageNames(stats []obs.StageStats) []string {
+	names := make([]string, len(stats))
+	for i, st := range stats {
+		names[i] = st.Stage
+	}
+	return names
+}

@@ -1,0 +1,64 @@
+// Package buildinfo identifies the running binary: a version string
+// shared by every cmd/ entry point's -version flag, plus registration
+// of the conventional build-info pseudo-metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// Version is the release version stamped at build time via
+//
+//	go build -ldflags "-X github.com/magellan-p2p/magellan/internal/obs/buildinfo.Version=v1.2.3"
+//
+// Unstamped builds report "devel".
+var Version = "devel"
+
+// Revision returns the VCS revision embedded by the Go toolchain, with
+// a "-dirty" suffix for modified working trees, or "unknown" when no
+// VCS metadata was embedded (e.g. go test binaries).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// String renders the one-line -version output for the named binary.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (rev %s, %s)", binary, Version, Revision(), runtime.Version())
+}
+
+// Register exposes the conventional build-info pseudo-metric: a gauge
+// fixed at 1 whose labels carry the identity.
+func Register(r *obs.Registry, binary string) {
+	g := r.GaugeWith("magellan_build_info",
+		"Build identity of the running binary; value is always 1.",
+		[]obs.Label{
+			{Name: "binary", Value: binary},
+			{Name: "version", Value: Version},
+			{Name: "revision", Value: Revision()},
+			{Name: "goversion", Value: runtime.Version()},
+		})
+	g.Set(1)
+}

@@ -1,0 +1,40 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+func TestString(t *testing.T) {
+	s := String("magellan-serve")
+	if !strings.HasPrefix(s, "magellan-serve ") {
+		t.Errorf("String() = %q, want magellan-serve prefix", s)
+	}
+	if !strings.Contains(s, Version) {
+		t.Errorf("String() = %q, missing version %q", s, Version)
+	}
+	if !strings.Contains(s, "go1.") && !strings.Contains(s, "devel") {
+		t.Errorf("String() = %q, missing go version", s)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := obs.NewRegistry()
+	Register(r, "magellan-sim")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `magellan_build_info{binary="magellan-sim",`) {
+		t.Errorf("exposition missing build info:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("build info gauge not 1:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE magellan_build_info gauge") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+}

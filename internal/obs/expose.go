@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// format (version 0.0.4). Output is deterministic: families are sorted
+// by metric name, each emitted exactly once with a single # HELP and
+// # TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*registered, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		fams = append(fams, m)
+	}
+	r.mu.RUnlock()
+	slices.SortFunc(fams, func(a, b *registered) int {
+		return strings.Compare(a.name, b.name)
+	})
+
+	b := make([]byte, 0, 1024)
+	for _, m := range fams {
+		if m.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, m.name...)
+			b = append(b, ' ')
+			b = appendEscapedHelp(b, m.help)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = append(b, m.name...)
+		b = append(b, ' ')
+		b = append(b, m.c.typ()...)
+		b = append(b, '\n')
+		b = m.c.emit(b, m.name, m.labels)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendEscapedHelp escapes backslash and newline, the two characters
+// the text format requires escaping in help strings.
+func appendEscapedHelp(b []byte, help string) []byte {
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, help[i])
+		}
+	}
+	return b
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format on GET (and HEAD); other methods get 405.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w) //magellan:allow erridle — a failed scrape response means the scraper hung up; nothing to do
+	})
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// A Histogram counts observations into fixed buckets with exponential
+// (or caller-chosen) upper bounds. Buckets are atomic counters, so
+// Observe is lock-free and safe from any goroutine; the bound slice is
+// immutable after construction.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, in
+	// strictly increasing order. counts has len(bounds)+1 entries; the
+	// last is the overflow (+Inf) bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram builds a standalone histogram (most callers use
+// Registry.Histogram instead). bounds must be finite and strictly
+// increasing; nil or empty gets DefLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets()
+	}
+	for i, ub := range bounds {
+		if math.IsNaN(ub) || math.IsInf(ub, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %d is not finite", i))
+		}
+		if i > 0 && ub <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns count exponentially spaced upper bounds starting
+// at start and multiplying by factor: start, start·factor, …
+// It panics unless start > 0, factor > 1, and count ≥ 1.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, count >= 1",
+			start, factor, count))
+	}
+	out := make([]float64, count)
+	ub := start
+	for i := range out {
+		out[i] = ub
+		ub *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default latency bound set: 10 µs to ~2.6 s
+// in powers of four, wide enough for an in-memory sink and a spinning
+// disk alike.
+func DefLatencyBuckets() []float64 { return ExpBuckets(1e-5, 4, 10) }
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the overflow bucket. For tests and diagnostics.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) typ() string { return "histogram" }
+
+// emit renders the cumulative-bucket exposition the text format
+// specifies. The le label is appended to any constant labels.
+func (h *Histogram) emit(b []byte, name, labels string) []byte {
+	bucket := func(b []byte, le string, cum uint64) []byte {
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		if labels == "" {
+			b = append(b, `{le="`...)
+		} else {
+			b = append(b, labels[:len(labels)-1]...) // strip '}'
+			b = append(b, `,le="`...)
+		}
+		b = append(b, le...)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		return append(b, '\n')
+	}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		b = bucket(b, string(appendFloat(nil, ub)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b = bucket(b, "+Inf", cum)
+
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = append(b, labels...)
+	b = append(b, ' ')
+	b = appendFloat(b, h.Sum())
+	b = append(b, '\n')
+
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = append(b, labels...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, h.Count(), 10)
+	return append(b, '\n')
+}

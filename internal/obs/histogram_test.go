@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-is-inclusive contract: a
+// value exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	cases := []struct {
+		v    float64
+		want []uint64 // per-bucket counts after observing v alone
+	}{
+		{0.5, []uint64{1, 0, 0, 0}},
+		{1, []uint64{1, 0, 0, 0}},            // exactly on bound: le="1"
+		{1.0000001, []uint64{0, 1, 0, 0}},    // just above
+		{10, []uint64{0, 1, 0, 0}},           // on the second bound
+		{100, []uint64{0, 0, 1, 0}},          // on the last finite bound
+		{100.5, []uint64{0, 0, 0, 1}},        // overflow
+		{math.Inf(1), []uint64{0, 0, 0, 1}},  // +Inf overflows
+		{-3, []uint64{1, 0, 0, 0}},           // below first bound
+		{math.Inf(-1), []uint64{1, 0, 0, 0}}, // -Inf lands in first bucket
+	}
+	for _, tc := range cases {
+		h := NewHistogram(bounds)
+		h.Observe(tc.v)
+		if got := h.BucketCounts(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Observe(%v): buckets = %v, want %v", tc.v, got, tc.want)
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%v): count = %d, want 1", tc.v, h.Count())
+		}
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN observation recorded: count = %d", h.Count())
+	}
+	if got := h.BucketCounts(); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("NaN observation bucketed: %v", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for _, v := range []float64{0.25, 1.5, 3} {
+		h.Observe(v)
+	}
+	if got, want := h.Sum(), 4.75; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-5, 4, 4)
+	want := []float64{1e-5, 4e-5, 1.6e-4, 6.4e-4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > want[i]*1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	defBounds := DefLatencyBuckets()
+	if len(defBounds) != 10 {
+		t.Fatalf("DefLatencyBuckets len = %d, want 10", len(defBounds))
+	}
+	for i := 1; i < len(defBounds); i++ {
+		if defBounds[i] <= defBounds[i-1] {
+			t.Fatalf("default bounds not increasing at %d: %v", i, defBounds)
+		}
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("start<=0", func() { ExpBuckets(0, 2, 3) })
+	mustPanic("factor<=1", func() { ExpBuckets(1, 1, 3) })
+	mustPanic("count<1", func() { ExpBuckets(1, 2, 0) })
+	mustPanic("NaN bound", func() { NewHistogram([]float64{1, math.NaN()}) })
+	mustPanic("non-increasing bounds", func() { NewHistogram([]float64{1, 1}) })
+}

@@ -1,0 +1,26 @@
+// Package obs is Magellan's runtime telemetry plane: a concurrent
+// metrics registry with Prometheus text-format exposition, a
+// lightweight span API for timing pipeline stages, and a structured
+// leveled logger — all built on the standard library only.
+//
+// The package exists so the measurement infrastructure itself is
+// observable: the paper's plane (Sec. 3.2) watches millions of peers,
+// and a production deployment of it needs the same treatment — ingest
+// counters, queue depths, sink latencies, per-stage pipeline costs —
+// without a dependency on an external metrics library.
+//
+// # Determinism contract
+//
+// Instrumentation is strictly measurement-only. Every entry point
+// either is a pure accumulator (counters, gauges, histograms never
+// feed a value back into the instrumented code) or has a
+// deterministic-safe no-op default (Nop tracer, nil *Logger). The
+// simulator core may carry an injected Tracer or *Registry, but it
+// must never construct the wall-clock-reading handles itself — that is
+// the daemon/CLI layer's job, and the determinism analyzer enforces
+// it. With telemetry enabled or disabled, a seeded run produces
+// byte-identical traces and byte-identical analysis results.
+//
+// Wall-clock reads live in this package (StartTimer, StageProfile,
+// Logger timestamps) and in the daemons; nowhere else.
+package obs

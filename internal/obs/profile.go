@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A StageProfile is a Tracer that accumulates per-stage call counts,
+// wall time, and allocated bytes. Spans may start and end concurrently
+// from any number of goroutines; accumulation is atomic.
+//
+// Allocation is sampled from the process-wide heap-allocation counter
+// (runtime/metrics), so stages running concurrently attribute each
+// other's allocations to themselves. The wall column has the same
+// property — it is per-stage elapsed time, not exclusive CPU time.
+// Both are exactly what a pipeline operator wants to rank stages by,
+// and exactly not a per-goroutine profiler; use -pprof for that.
+type StageProfile struct {
+	mu     sync.Mutex
+	stages map[string]*stageAcc
+}
+
+type stageAcc struct {
+	name  string
+	count atomic.Uint64
+	nanos atomic.Int64
+	bytes atomic.Uint64
+}
+
+// NewStageProfile returns an empty profile.
+func NewStageProfile() *StageProfile {
+	return &StageProfile{stages: make(map[string]*stageAcc)}
+}
+
+// acc returns the accumulator for stage, creating it on first use.
+func (p *StageProfile) acc(stage string) *stageAcc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.stages[stage]
+	if !ok {
+		a = &stageAcc{name: stage}
+		p.stages[stage] = a
+	}
+	return a
+}
+
+// Start implements Tracer.
+func (p *StageProfile) Start(stage string) Span {
+	return &profSpan{acc: p.acc(stage), t0: time.Now(), a0: heapAllocBytes()}
+}
+
+type profSpan struct {
+	acc *stageAcc
+	t0  time.Time
+	a0  uint64
+}
+
+func (s *profSpan) End() {
+	s.acc.nanos.Add(int64(time.Since(s.t0)))
+	if d := heapAllocBytes() - s.a0; d < 1<<62 { // guard against counter skew
+		s.acc.bytes.Add(d)
+	}
+	s.acc.count.Add(1)
+}
+
+// heapAllocBytes reads the cumulative heap-allocation byte counter.
+// runtime/metrics reads are cheap (no stop-the-world), which is what
+// makes per-span sampling affordable.
+func heapAllocBytes() uint64 {
+	var s [1]metrics.Sample
+	s[0].Name = "/gc/heap/allocs:bytes"
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// StageStats is one stage's accumulated totals.
+type StageStats struct {
+	Stage      string
+	Count      uint64
+	Wall       time.Duration
+	AllocBytes uint64
+}
+
+// Stats returns a snapshot of every stage, sorted by stage name so the
+// result is deterministic regardless of goroutine interleaving.
+func (p *StageProfile) Stats() []StageStats {
+	p.mu.Lock()
+	accs := make([]*stageAcc, 0, len(p.stages))
+	for _, a := range p.stages {
+		accs = append(accs, a)
+	}
+	p.mu.Unlock()
+	slices.SortFunc(accs, func(a, b *stageAcc) int { return strings.Compare(a.name, b.name) })
+	out := make([]StageStats, len(accs))
+	for i, a := range accs {
+		out[i] = StageStats{
+			Stage:      a.name,
+			Count:      a.count.Load(),
+			Wall:       time.Duration(a.nanos.Load()),
+			AllocBytes: a.bytes.Load(),
+		}
+	}
+	return out
+}
+
+// WriteTable renders the profile as an aligned text table, stages
+// sorted by total wall time descending (ties by name), with per-call
+// means alongside the totals.
+func (p *StageProfile) WriteTable(w io.Writer) error {
+	stats := p.Stats()
+	slices.SortFunc(stats, func(a, b StageStats) int {
+		if a.Wall != b.Wall {
+			if a.Wall > b.Wall {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.Stage, b.Stage)
+	})
+
+	rows := make([][5]string, 0, len(stats)+1)
+	rows = append(rows, [5]string{"STAGE", "CALLS", "WALL", "WALL/CALL", "ALLOC"})
+	for _, st := range stats {
+		var perCall time.Duration
+		if st.Count > 0 {
+			perCall = st.Wall / time.Duration(st.Count)
+		}
+		rows = append(rows, [5]string{
+			st.Stage,
+			fmt.Sprintf("%d", st.Count),
+			st.Wall.Round(10 * time.Microsecond).String(),
+			perCall.Round(time.Microsecond).String(),
+			humanBytes(st.AllocBytes),
+		})
+	}
+
+	var width [5]int
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 { // left-align the stage column, right-align numbers
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// humanBytes renders a byte count with a binary-unit suffix.
+func humanBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageProfileAccumulates(t *testing.T) {
+	p := NewStageProfile()
+	for i := 0; i < 3; i++ {
+		sp := p.Start("alpha")
+		sp.End()
+	}
+	sp := p.Start("beta")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	stats := p.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stats))
+	}
+	// Stats is sorted by name.
+	if stats[0].Stage != "alpha" || stats[1].Stage != "beta" {
+		t.Fatalf("order = %q, %q; want alpha, beta", stats[0].Stage, stats[1].Stage)
+	}
+	if stats[0].Count != 3 {
+		t.Errorf("alpha count = %d, want 3", stats[0].Count)
+	}
+	if stats[1].Count != 1 {
+		t.Errorf("beta count = %d, want 1", stats[1].Count)
+	}
+	if stats[1].Wall < time.Millisecond {
+		t.Errorf("beta wall = %v, want >= 1ms", stats[1].Wall)
+	}
+}
+
+func TestStageProfileConcurrent(t *testing.T) {
+	p := NewStageProfile()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := p.Start("shared")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	stats := p.Stats()
+	if len(stats) != 1 || stats[0].Count != workers*iters {
+		t.Fatalf("stats = %+v, want one stage with count %d", stats, workers*iters)
+	}
+}
+
+func TestStageProfileWriteTable(t *testing.T) {
+	p := NewStageProfile()
+	sp := p.Start("slow_stage")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp = p.Start("fast_stage")
+	sp.End()
+
+	var sb strings.Builder
+	if err := p.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "STAGE") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// Rows are sorted by wall time descending.
+	if !strings.HasPrefix(lines[1], "slow_stage") {
+		t.Errorf("expected slow_stage first:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "fast_stage") {
+		t.Errorf("expected fast_stage second:\n%s", out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 * 1024 * 1024, "3.0 MiB"},
+		{5 * 1024 * 1024 * 1024, "5.0 GiB"},
+	}
+	for _, tc := range cases {
+		if got := humanBytes(tc.n); got != tc.want {
+			t.Errorf("humanBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Set(42)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter after Set = %d, want 42", got)
+	}
+
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic("duplicate name", func() { r.Counter("dup_total", "") })
+	mustPanic("invalid metric name", func() { r.Counter("2bad", "") })
+	mustPanic("invalid metric name chars", func() { r.Gauge("has space", "") })
+	mustPanic("invalid label name", func() {
+		r.GaugeWith("lbl_gauge", "", []Label{{Name: "0bad", Value: "x"}})
+	})
+}
+
+// TestExpositionGolden pins the exact exposition bytes: families sorted
+// by name, one HELP/TYPE header each, labels in registration order,
+// escaping applied. Any formatting drift breaks scrapers and this test.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeWith("zz_info", "identity \\ with\nnewline", []Label{
+		{Name: "binary", Value: `se"rve`},
+		{Name: "ver", Value: "v1\n2"},
+	})
+	g.Set(1)
+	c := r.Counter("aa_total", "first family")
+	c.Add(7)
+	h := r.Histogram("mid_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total first family
+# TYPE aa_total counter
+aa_total 7
+# HELP mid_seconds latency
+# TYPE mid_seconds histogram
+mid_seconds_bucket{le="0.1"} 1
+mid_seconds_bucket{le="1"} 2
+mid_seconds_bucket{le="+Inf"} 3
+mid_seconds_sum 5.55
+mid_seconds_count 3
+# HELP zz_info identity \\ with\nnewline
+# TYPE zz_info gauge
+zz_info{binary="se\"rve",ver="v1\n2"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic renders the same registry repeatedly and
+// demands byte-identical output — map iteration order must never leak.
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"m_c", "m_a", "m_e", "m_b", "m_d"} {
+		r.Counter(name, "h").Inc()
+	}
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again strings.Builder
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}
+
+// TestRegistryRaceStress hammers every metric kind from many goroutines
+// while a scraper renders concurrently; run with -race.
+func TestRegistryRaceStress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "")
+	g := r.Gauge("stress_gauge", "")
+	h := r.Histogram("stress_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	var fnVal sync.Map
+	fnVal.Store("k", uint64(0))
+	r.CounterFunc("stress_fn_total", "", func() uint64 { return c.Value() })
+	r.GaugeFunc("stress_fn_gauge", "", func() float64 { return g.Value() })
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%500) / 1000)
+			}
+		}(w)
+	}
+	// Concurrent scraper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import "time"
+
+// A Tracer hands out spans that time named stages. The pipeline carries
+// a Tracer through its configuration; the no-op default makes
+// instrumented code free to call Start unconditionally.
+type Tracer interface {
+	// Start opens a span for one execution of the named stage. The
+	// caller must End it exactly once.
+	Start(stage string) Span
+}
+
+// A Span is one timed stage execution.
+type Span interface {
+	// End closes the span, attributing the elapsed wall time (and, for
+	// profiling tracers, allocation) to its stage.
+	End()
+}
+
+// Nop is the deterministic-safe default Tracer: it reads no clock,
+// allocates nothing, and records nothing.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+type nopSpan struct{}
+
+// Start returns the shared no-op span. Both the tracer and the span are
+// zero-size values, so boxing them into the interfaces allocates
+// nothing — a disabled span is 0 allocs/op (pinned by
+// TestNopSpanZeroAllocs).
+func (nopTracer) Start(string) Span { return nopSpan{} }
+
+func (nopSpan) End() {}
+
+// TracerOrNop maps nil to Nop so config structs can leave the field
+// unset.
+func TracerOrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop
+	}
+	return t
+}
+
+// A Timer measures one wall-clock interval. It exists so instrumented
+// packages outside the daemons never read the clock themselves: the
+// read happens here, the observation lands in a histogram they were
+// handed.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer reads the wall clock and returns a running timer.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// ObserveSeconds records the elapsed interval, in seconds, into h.
+// A nil histogram is a no-op, so call sites need no guard.
+func (t Timer) ObserveSeconds(h *Histogram) {
+	if h != nil {
+		h.Observe(time.Since(t.start).Seconds())
+	}
+}

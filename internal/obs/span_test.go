@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNopSpanZeroAllocs pins the disabled-telemetry cost at zero: the
+// no-op tracer and span are zero-size values, so boxing them into the
+// interfaces must not allocate. CI's alloc guard runs exactly this test.
+func TestNopSpanZeroAllocs(t *testing.T) {
+	tr := TracerOrNop(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("stage")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTracerOrNop(t *testing.T) {
+	if TracerOrNop(nil) != Nop {
+		t.Fatal("TracerOrNop(nil) != Nop")
+	}
+	p := NewStageProfile()
+	if TracerOrNop(p) != Tracer(p) {
+		t.Fatal("TracerOrNop did not pass through a real tracer")
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	tm.ObserveSeconds(h)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if s := h.Sum(); s <= 0 || s > 10 {
+		t.Fatalf("implausible elapsed seconds: %v", s)
+	}
+	if e := tm.Elapsed(); e < time.Millisecond {
+		t.Fatalf("Elapsed = %v, want >= 1ms", e)
+	}
+	// Nil histogram must be a no-op, not a panic.
+	tm.ObserveSeconds(nil)
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/protocol"
 	"github.com/magellan-p2p/magellan/internal/stream"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -91,6 +92,15 @@ type Config struct {
 
 	// Progress, when non-nil, is invoked once per simulated hour.
 	Progress func(Stats)
+
+	// Obs, when non-nil, receives the run's live telemetry
+	// (magellan_sim_*): population gauges, cumulative event counters,
+	// and the fault injector's tally. The simulator pushes values at
+	// tick boundaries from its own goroutine; a scraper only ever reads
+	// atomics, so exposition cannot race the run. Telemetry is
+	// measurement-only — a seeded run produces byte-identical traces
+	// with Obs set or nil.
+	Obs *obs.Registry
 }
 
 func (c Config) sanitize() (Config, error) {

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// metrics holds the simulator's registered telemetry handles. Values
+// are pushed from the simulation goroutine at tick boundaries — the
+// scrape side only loads atomics, so it can never observe (or disturb)
+// live overlay state. Counter.Set is safe here because every total is
+// monotonic in the run and writes come from a single goroutine.
+type metrics struct {
+	virtualSeconds *obs.Gauge
+	online         *obs.Gauge
+	stable         *obs.Gauge
+	servers        *obs.Gauge
+
+	joins        *obs.Counter
+	reports      *obs.Counter
+	flaps        *obs.Counter
+	massDeparted *obs.Counter
+	tornReports  *obs.Counter
+
+	faultDatagrams  *obs.Counter
+	faultDropped    *obs.Counter
+	faultDuplicated *obs.Counter
+	faultReordered  *obs.Counter
+	faultJittered   *obs.Counter
+	faultTruncated  *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		virtualSeconds: reg.Gauge("magellan_sim_virtual_seconds",
+			"Simulated seconds elapsed since the run's start instant."),
+		online: reg.Gauge("magellan_sim_peers_online",
+			"Live peers, origin servers excluded."),
+		stable: reg.Gauge("magellan_sim_peers_stable",
+			"Live peers online at least the initial report delay."),
+		servers: reg.Gauge("magellan_sim_servers",
+			"Origin streaming servers seeded into the overlay."),
+		joins: reg.Counter("magellan_sim_joins_total",
+			"Peer joins, flapper rejoins included."),
+		reports: reg.Counter("magellan_sim_reports_total",
+			"Reports submitted to the sink."),
+		flaps: reg.Counter("magellan_sim_flaps_total",
+			"Flapper departures that scheduled a rejoin."),
+		massDeparted: reg.Counter("magellan_sim_mass_departed_total",
+			"Peers torn down by mass-departure events."),
+		tornReports: reg.Counter("magellan_sim_torn_reports_total",
+			"Report datagrams truncated by fault injection and discarded."),
+		faultDatagrams: reg.Counter("magellan_sim_fault_datagrams_total",
+			"Datagrams that entered the fault-injection pipe."),
+		faultDropped: reg.Counter("magellan_sim_fault_dropped_total",
+			"Datagrams dropped by fault injection."),
+		faultDuplicated: reg.Counter("magellan_sim_fault_duplicated_total",
+			"Datagrams duplicated by fault injection."),
+		faultReordered: reg.Counter("magellan_sim_fault_reordered_total",
+			"Datagrams reordered by fault injection."),
+		faultJittered: reg.Counter("magellan_sim_fault_jittered_total",
+			"Datagrams delayed by fault-injection jitter."),
+		faultTruncated: reg.Counter("magellan_sim_fault_truncated_total",
+			"Datagrams truncated by fault injection."),
+	}
+}
+
+// publish pushes one Stats snapshot into the registered metrics.
+func (m *metrics) publish(start time.Time, st Stats) {
+	m.virtualSeconds.Set(st.Now.Sub(start).Seconds())
+	m.online.Set(float64(st.Online))
+	m.stable.Set(float64(st.Stable))
+	m.servers.Set(float64(st.Servers))
+	m.joins.Set(st.Joins)
+	m.reports.Set(st.Reports)
+	m.flaps.Set(st.Flaps)
+	m.massDeparted.Set(st.MassDeparted)
+	m.tornReports.Set(st.TornReports)
+	m.faultDatagrams.Set(st.Faults.Datagrams)
+	m.faultDropped.Set(st.Faults.Dropped)
+	m.faultDuplicated.Set(st.Faults.Duplicated)
+	m.faultReordered.Set(st.Faults.Reordered)
+	m.faultJittered.Set(st.Faults.Jittered)
+	m.faultTruncated.Set(st.Faults.Truncated)
+}

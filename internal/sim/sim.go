@@ -35,6 +35,10 @@ type Simulation struct {
 	// disabled, in which case reports go straight to the sink.
 	pipe *netsim.Pipe
 
+	// metrics, when non-nil, receives Stats snapshots at tick
+	// boundaries (see metrics.go). Strictly measurement-only.
+	metrics *metrics
+
 	servers      int
 	joins        uint64
 	reports      uint64
@@ -105,6 +109,10 @@ func New(cfg Config) (*Simulation, error) {
 
 	if cfg.Faults.Enabled() {
 		s.pipe = netsim.NewPipe(cfg.Faults, rand.New(rand.NewSource(cfg.Seed+7)))
+	}
+
+	if cfg.Obs != nil {
+		s.metrics = newMetrics(cfg.Obs)
 	}
 
 	if err := s.seedServers(); err != nil {
@@ -180,6 +188,9 @@ func (s *Simulation) Run() error {
 		s.ex.Tick(s.peers, s.index, tickEnd.Sub(now))
 		now = tickEnd
 
+		if s.metrics != nil {
+			s.metrics.publish(s.cfg.Start, s.Stats())
+		}
 		if s.cfg.Progress != nil && !now.Before(nextProgress) {
 			s.cfg.Progress(s.Stats())
 			nextProgress = nextProgress.Add(time.Hour)
@@ -189,6 +200,9 @@ func (s *Simulation) Run() error {
 	// datagrams are not lost with the traffic stream.
 	if s.pipe != nil {
 		s.pipe.Flush(end)
+	}
+	if s.metrics != nil {
+		s.metrics.publish(s.cfg.Start, s.Stats())
 	}
 	return nil
 }

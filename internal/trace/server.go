@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
 )
 
 // DefaultQueueDepth bounds the ingest queue between the UDP receive loop
@@ -20,6 +22,11 @@ const DefaultQueueDepth = 4096
 type ServerConfig struct {
 	// QueueDepth is the ingest queue bound; 0 means DefaultQueueDepth.
 	QueueDepth int
+	// Obs, when non-nil, receives the server's ingest metrics
+	// (magellan_ingest_*) and a sink-submit latency histogram.
+	// Telemetry is measurement-only: enabling it changes no ingest
+	// behavior, only what is observable about it.
+	Obs *obs.Registry
 }
 
 // ServerStats breaks the server's datagram accounting down by outcome.
@@ -61,6 +68,11 @@ type Server struct {
 	rejected   atomic.Uint64
 	queueDrops atomic.Uint64
 	sinkErrors atomic.Uint64
+
+	// sinkLatency, when non-nil, observes the wall time of each sink
+	// submit. nil means telemetry is disabled and the ingest loop reads
+	// no clock at all.
+	sinkLatency *obs.Histogram
 
 	recvWG sync.WaitGroup
 	workWG sync.WaitGroup
@@ -104,11 +116,41 @@ func NewServerWithConfig(addr string, sink Sink, cfg ServerConfig) (*Server, err
 			return &buf
 		}},
 	}
+	if cfg.Obs != nil {
+		registerIngestMetrics(cfg.Obs, s, depth)
+	}
 	s.recvWG.Add(1)
 	go s.recvLoop()
 	s.workWG.Add(1)
 	go s.ingestLoop()
 	return s, nil
+}
+
+// registerIngestMetrics exposes the server's accounting. The counters
+// sample the same atomics Stats reads, so scraping is lock-free and
+// never perturbs ingestion.
+func registerIngestMetrics(reg *obs.Registry, s *Server, depth int) {
+	reg.CounterFunc("magellan_ingest_received_total",
+		"Reports decoded, validated, and accepted by the sink.",
+		s.received.Load)
+	reg.CounterFunc("magellan_ingest_rejected_total",
+		"Datagrams dropped for failing decode or validation.",
+		s.rejected.Load)
+	reg.CounterFunc("magellan_ingest_queue_drops_total",
+		"Datagrams shed because the ingest queue was full.",
+		s.queueDrops.Load)
+	reg.CounterFunc("magellan_ingest_sink_errors_total",
+		"Well-formed reports the sink refused.",
+		s.sinkErrors.Load)
+	reg.GaugeFunc("magellan_ingest_queue_depth",
+		"Datagrams currently waiting in the ingest queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("magellan_ingest_queue_capacity",
+		"Bound of the ingest queue.",
+		func() float64 { return float64(depth) })
+	s.sinkLatency = reg.Histogram("magellan_sink_submit_duration_seconds",
+		"Wall time of each sink submit, successful or not.",
+		obs.DefLatencyBuckets())
 }
 
 // Addr returns the bound address, useful when listening on port 0.
@@ -184,7 +226,15 @@ func (s *Server) ingestLoop() {
 			s.rejected.Add(1)
 			continue
 		}
-		if err := s.sink.Submit(rep); err != nil {
+		var submitErr error
+		if s.sinkLatency != nil {
+			tm := obs.StartTimer()
+			submitErr = s.sink.Submit(rep)
+			tm.ObserveSeconds(s.sinkLatency)
+		} else {
+			submitErr = s.sink.Submit(rep)
+		}
+		if submitErr != nil {
 			s.sinkErrors.Add(1)
 			continue
 		}
