@@ -40,6 +40,7 @@ func run(args []string) error {
 		threshold = fs.Uint("threshold", core.DefaultActiveThreshold, "active-partner segment threshold")
 		streaming = fs.Bool("stream", false, "single-pass analysis (bounded memory; for traces too large to hold)")
 		timings   = fs.Bool("timings", false, "profile pipeline stages and print a per-stage wall/alloc table")
+		journalIn = fs.String("journal", "", "lifecycle journal (JSON lines, from magellan-sim -journal-out): extend it with this run's seal and analysis events")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,32 @@ func run(args []string) error {
 		prof = obs.NewStageProfile()
 		cfg.Tracer = prof
 	}
+	// Continue a sim-side journal through the analysis planes: replay the
+	// recorded events into a fresh ring (with headroom for what this run
+	// adds), attach it to the store's seal path and the pipeline, then
+	// rewrite the file with the indexed/superseded/consumed events
+	// appended. Tick-stamped, so re-running the analysis reproduces the
+	// same journal bytes.
+	var journal *obs.Journal
+	if *journalIn != "" {
+		if *streaming {
+			return fmt.Errorf("-journal is not supported with -stream (the single-pass path never seals an index)")
+		}
+		jf, err := os.Open(*journalIn)
+		if err != nil {
+			return err
+		}
+		events, err := obs.ReadEventsJSONL(jf)
+		jf.Close() //magellan:allow erridle — read-only descriptor; nothing can be lost
+		if err != nil {
+			return fmt.Errorf("load journal: %w", err)
+		}
+		journal = obs.NewJournal(2*len(events) + obs.DefaultJournalCapacity)
+		for _, ev := range events {
+			journal.Record(ev.At, ev.Stage, ev.Verdict, ev.ID)
+		}
+		cfg.Journal = journal
+	}
 	start := time.Now()
 	var res *core.Results
 	if *streaming {
@@ -94,12 +121,31 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("load trace: %w", err)
 		}
+		// Attach before the first Seal so the index build's events land
+		// in the journal (the seal result is cached afterwards).
+		store.SetJournal(journal)
 		res, err = core.Analyze(store, db, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("analyzed %d reports across %d epochs in %v\n",
 			store.Len(), res.EpochCount, time.Since(start).Round(time.Millisecond))
+	}
+
+	if journal != nil {
+		jf, err := os.Create(*journalIn)
+		if err != nil {
+			return err
+		}
+		if err := journal.WriteJSONL(jf); err != nil {
+			jf.Close() //magellan:allow erridle — best-effort cleanup; the write error wins
+			return err
+		}
+		if err := jf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal extended with seal/analysis events: %s (%d events, %d dropped)\n",
+			*journalIn, journal.Len(), journal.Dropped())
 	}
 
 	if prof != nil {

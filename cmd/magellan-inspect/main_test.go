@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/sim"
 	"github.com/magellan-p2p/magellan/internal/trace"
 )
 
@@ -83,5 +88,121 @@ func TestMissingFile(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-trace", "/nonexistent"}, &sb); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// writeJournal runs a short seeded lossy simulation with the flight
+// recorder attached and writes its journal to disk, returning one report
+// ID that was delivered and one that the fault plane dropped.
+func writeJournal(t *testing.T) (path string, delivered, lost obs.ReportID) {
+	t.Helper()
+	journal := obs.NewJournal(1 << 16)
+	var sink bytes.Buffer
+	w, err := trace.NewWriter(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Seed:            31,
+		Duration:        2 * time.Hour,
+		MeanConcurrency: 120,
+		ExtraChannels:   2,
+		Sink:            w,
+		Journal:         journal,
+		Faults:          faults.Config{Loss: 0.1},
+	})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	for _, ev := range journal.Events() {
+		switch ev.Verdict {
+		case obs.VerdictDelivered:
+			if delivered.Seq == 0 {
+				delivered = ev.ID
+			}
+		case obs.VerdictLost:
+			if lost.Seq == 0 {
+				lost = ev.ID
+			}
+		}
+	}
+	if delivered.Seq == 0 || lost.Seq == 0 {
+		t.Fatalf("lossy run yielded no usable IDs (delivered=%+v lost=%+v)", delivered, lost)
+	}
+	path = filepath.Join(t.TempDir(), "run.journal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, delivered, lost
+}
+
+// TestJourneyDeliveredAndLost is the acceptance walkthrough: from one
+// lossy run's journal, -journey reconstructs both a report that made it
+// to the collector and one the fault plane killed, naming the point of
+// death.
+func TestJourneyDeliveredAndLost(t *testing.T) {
+	path, delivered, lost := writeJournal(t)
+
+	var sb strings.Builder
+	if err := run([]string{"-journal", path, "-journey", obs.FormatAddr(delivered.Addr)}, &sb); err != nil {
+		t.Fatalf("journey(delivered): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"journey for " + obs.FormatAddr(delivered.Addr),
+		"emitted",
+		"→ terminal: delivered at the server plane",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delivered journey missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"-journal", path, "-journey", obs.FormatAddr(lost.Addr)}, &sb); err != nil {
+		t.Fatalf("journey(lost): %v", err)
+	}
+	if !strings.Contains(sb.String(), "→ terminal: lost at the fault plane") {
+		t.Errorf("lost journey does not name the point of death:\n%s", sb.String())
+	}
+
+	// Epoch scoping narrows the view to a single report interval.
+	sb.Reset()
+	spec := fmt.Sprintf("%s:%d", obs.FormatAddr(lost.Addr), lost.Epoch)
+	if err := run([]string{"-journal", path, "-journey", spec}, &sb); err != nil {
+		t.Fatalf("journey(epoch-scoped): %v", err)
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf("epoch %d", lost.Epoch)) {
+		t.Errorf("epoch-scoped journey missing the epoch:\n%s", sb.String())
+	}
+}
+
+func TestJourneyErrors(t *testing.T) {
+	path, delivered, _ := writeJournal(t)
+	var sb strings.Builder
+	if err := run([]string{"-journey", "1.2.3.4"}, &sb); err == nil {
+		t.Error("-journey without -journal accepted")
+	}
+	if err := run([]string{"-journal", path, "-journey", "not-an-ip"}, &sb); err == nil {
+		t.Error("malformed journey peer accepted")
+	}
+	if err := run([]string{"-journal", path, "-journey", "1.2.3.4:bogus"}, &sb); err == nil {
+		t.Error("malformed journey epoch accepted")
+	}
+	if err := run([]string{"-journal", path, "-journey", "9.9.9.9"}, &sb); err == nil {
+		t.Error("peer with no events accepted")
+	}
+	if err := run([]string{"-journal", "/nonexistent", "-journey", obs.FormatAddr(delivered.Addr)}, &sb); err == nil {
+		t.Error("missing journal file accepted")
 	}
 }

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +46,7 @@ func run(args []string, stop <-chan struct{}) error {
 		httpAddr = fs.String("http", "", "HTTP status/metrics address (empty: disabled)")
 		rotate   = fs.Duration("rotate", time.Hour, "trace-file rotation period")
 		queue    = fs.Int("queue", 0, "ingest queue depth (0: default)")
+		journal  = fs.Int("journal", obs.DefaultJournalCapacity, "flight-recorder ring capacity for /events lifecycle tracing (0: disabled)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
 		selfLog  = fs.Duration("selflog", time.Minute, "period for self-logging queue stats to stderr (0: disabled)")
 		version  = fs.Bool("version", false, "print version and exit")
@@ -61,7 +61,7 @@ func run(args []string, stop <-chan struct{}) error {
 
 	d, err := newDaemon(daemonConfig{
 		listen: *listen, outDir: *outDir, httpAddr: *httpAddr,
-		rotate: *rotate, queue: *queue,
+		rotate: *rotate, queue: *queue, journal: *journal,
 		pprof: *pprofOn, selfLog: *selfLog,
 	})
 	if err != nil {
@@ -211,6 +211,7 @@ type daemonConfig struct {
 	httpAddr string        // HTTP status/metrics address; "" disables
 	rotate   time.Duration // trace-file rotation period
 	queue    int           // ingest queue depth; 0 means default
+	journal  int           // flight-recorder ring capacity; 0 disables
 	pprof    bool          // mount net/http/pprof under /debug/pprof/
 	selfLog  time.Duration // queue-stats self-log period; 0 disables
 	logSink  io.Writer     // self-log destination; nil means os.Stderr
@@ -225,8 +226,9 @@ type daemon struct {
 	httpSrv *http.Server
 	started time.Time
 
-	reg    *obs.Registry
-	logger *obs.Logger
+	reg     *obs.Registry
+	logger  *obs.Logger
+	journal *obs.Journal
 
 	selfLogStop chan struct{}
 	selfLogWG   sync.WaitGroup
@@ -268,8 +270,16 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	reg := obs.NewRegistry()
 	buildinfo.Register(reg, "magellan-serve")
+	// The flight recorder lives in the daemon layer, so it stamps events
+	// with the wall clock; the deterministic tick-stamped variant is the
+	// simulator's.
+	var journal *obs.Journal
+	if cfg.journal > 0 {
+		journal = obs.NewWallJournal(cfg.journal)
+		obs.RegisterJournalMetrics(reg, journal)
+	}
 	udp, err := trace.NewServerWithConfig(cfg.listen, sink,
-		trace.ServerConfig{QueueDepth: cfg.queue, Obs: reg})
+		trace.ServerConfig{QueueDepth: cfg.queue, Obs: reg, Journal: journal})
 	if err != nil {
 		sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
 		return nil, err
@@ -282,6 +292,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		udp: udp, sink: sink, started: time.Now(),
 		reg:            reg,
 		logger:         obs.NewLogger(logSink, obs.LevelInfo),
+		journal:        journal,
 		recoveredFiles: recovered, truncatedBytes: truncated,
 	}
 	reg.GaugeFunc("magellan_serve_uptime_seconds",
@@ -308,7 +319,11 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 			return nil, err
 		}
 		mux := http.NewServeMux()
-		mux.HandleFunc("/status", d.handleStatus)
+		// /status and /events share obs.JSONHandler/EventsHandler, which
+		// share one guard: 405 with Allow on non-GET, application/json on
+		// the rest — the discipline can't drift between endpoints.
+		mux.Handle("/status", obs.JSONHandler(d.statusPayload))
+		mux.Handle("/events", obs.EventsHandler(d.journal))
 		mux.Handle("/metrics", obs.Handler(reg))
 		if cfg.pprof {
 			// The default-mux registrations in net/http/pprof don't help
@@ -366,15 +381,11 @@ func (d *daemon) selfLogLoop(period time.Duration) {
 	}
 }
 
-func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", http.MethodGet)
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
+// statusPayload assembles the /status body; the HTTP discipline (method
+// guard, Content-Type, encoding) lives in obs.JSONHandler.
+func (d *daemon) statusPayload() any {
 	st := d.udp.Stats()
-	err := json.NewEncoder(w).Encode(map[string]any{
+	return map[string]any{
 		"received":       st.Received,
 		"dropped":        st.Dropped(),
 		"rejected":       st.Rejected,
@@ -384,11 +395,6 @@ func (d *daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"truncatedBytes": d.truncatedBytes,
 		"currentFile":    d.sink.CurrentFile(),
 		"uptimeSeconds":  int(time.Since(d.started).Seconds()),
-	})
-	if err != nil {
-		// The response is already partially written; all we can do is
-		// note that a monitoring poll lost its answer.
-		fmt.Fprintln(os.Stderr, "magellan-serve: status write:", err)
 	}
 }
 

@@ -48,8 +48,12 @@ func run(args []string) error {
 		tracePath   = fs.String("trace", "uusee.trace", "output trace file (binary format)")
 		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
 		verbose     = fs.Bool("v", false, "print hourly progress")
-		httpAddr    = fs.String("http", "", "HTTP /metrics address for live run telemetry (empty: disabled)")
+		httpAddr    = fs.String("http", "", "HTTP /metrics + /events address for live run telemetry (empty: disabled)")
+		linger      = fs.Duration("linger", 0, "keep the -http endpoint serving this long after the run finishes (0: exit immediately)")
 		version     = fs.Bool("version", false, "print version and exit")
+
+		journalCap = fs.Int("journal", 0, "flight-recorder ring capacity for report lifecycle tracing (0: disabled)")
+		journalOut = fs.String("journal-out", "", "write the recorded lifecycle events as JSON lines to this file (requires -journal)")
 
 		loss     = fs.Float64("loss", 0, "report datagram loss probability [0,1]")
 		dup      = fs.Float64("dup", 0, "report datagram duplication probability [0,1]")
@@ -101,6 +105,17 @@ func run(args []string) error {
 	}
 	cfg.Churn.Flapping.Fraction = *flapFrac
 
+	if *journalOut != "" && *journalCap <= 0 {
+		return fmt.Errorf("-journal-out requires -journal > 0")
+	}
+	var journal *obs.Journal
+	if *journalCap > 0 {
+		// Tick-stamped on purpose: the simulator records virtual instants,
+		// so the journal is as reproducible as the trace itself.
+		journal = obs.NewJournal(*journalCap)
+		cfg.Journal = journal
+	}
+
 	traceFile, err := os.Create(*tracePath)
 	if err != nil {
 		return err
@@ -136,8 +151,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if journal != nil {
+			obs.RegisterJournalMetrics(reg, journal)
+		}
+
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(reg))
+		mux.Handle("/events", obs.EventsHandler(journal))
 		metricsSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -182,6 +202,30 @@ func run(args []string) error {
 	}
 	if st.Flaps > 0 || st.MassDeparted > 0 {
 		fmt.Printf("churn: flaps=%d massdeparted=%d\n", st.Flaps, st.MassDeparted)
+	}
+	if journal != nil {
+		fmt.Printf("journal: recorded=%d dropped=%d held=%d\n",
+			journal.Recorded(), journal.Dropped(), journal.Len())
+	}
+	if *journalOut != "" {
+		jf, err := os.Create(*journalOut)
+		if err != nil {
+			return err
+		}
+		if err := journal.WriteJSONL(jf); err != nil {
+			jf.Close() //magellan:allow erridle — best-effort cleanup; the write error wins
+			return err
+		}
+		if err := jf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal events written to %s\n", *journalOut)
+	}
+	if *linger > 0 && metricsSrv != nil {
+		// Give scrapers (and the CI smoke step) a window to read the
+		// finished run's /metrics and /events before the process exits.
+		fmt.Printf("lingering %v for telemetry readers\n", *linger)
+		time.Sleep(*linger)
 	}
 	return nil
 }

@@ -18,7 +18,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid math/rand package-level functions, time.Now/Since/Until " +
 		"and friends, os environment reads, and obs wall-clock constructors " +
-		"(StartTimer, NewStageProfile, NewLogger) inside the simulator core " +
+		"(StartTimer, NewStageProfile, NewLogger, NewWallJournal) inside the " +
+		"simulator core " +
 		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
 	Run: run,
 }
@@ -54,11 +55,13 @@ var forbidden = map[string]map[string]string{
 		"Getenv": "", "LookupEnv": "", "Environ": "",
 	},
 	// The telemetry plane is measurement-only: restricted packages may
-	// *use* an injected obs handle (Tracer, *Registry, *Logger — the
-	// no-op defaults are deterministic-safe), but constructing one pulls
-	// a wall-clock dependency into the core.
+	// *use* an injected obs handle (Tracer, *Registry, *Logger,
+	// *Journal — the no-op defaults are deterministic-safe), but
+	// constructing a wall-clock-reading one pulls a clock dependency
+	// into the core. NewJournal (tick-stamped) stays legal; only the
+	// wall-stamping constructor is banned.
 	"github.com/magellan-p2p/magellan/internal/obs": {
-		"StartTimer": "", "NewStageProfile": "", "NewLogger": "",
+		"StartTimer": "", "NewStageProfile": "", "NewLogger": "", "NewWallJournal": "",
 	},
 }
 
@@ -69,7 +72,7 @@ var remedy = map[string]string{
 	"math/rand/v2": "thread the run's seeded *rand.Rand through instead",
 	"time":         "use the simulated clock (des.Simulator time) instead",
 	"os":           "pass configuration explicitly through the config struct",
-	"github.com/magellan-p2p/magellan/internal/obs": "accept the handle (Tracer, *Registry, *Logger) injected from the daemon/CLI layer; the no-op default is deterministic-safe",
+	"github.com/magellan-p2p/magellan/internal/obs": "accept the handle (Tracer, *Registry, *Logger, *Journal) injected from the daemon/CLI layer; the no-op default is deterministic-safe",
 }
 
 func run(pass *analysis.Pass) error {

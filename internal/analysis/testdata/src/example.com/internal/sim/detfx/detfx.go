@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
 )
 
 // Jitter draws from the global generator: forbidden here.
@@ -48,4 +50,22 @@ func Draw(r *rand.Rand) int {
 // Widen does arithmetic on time values without reading the clock: clean.
 func Widen(t time.Time, d time.Duration) time.Time {
 	return t.Add(2 * d)
+}
+
+// WallRecorder constructs a wall-clock-stamping journal: forbidden here —
+// the flight recorder inside the core must stamp virtual instants.
+func WallRecorder() *obs.Journal {
+	return obs.NewWallJournal(64) // want `internal/obs\.NewWallJournal is nondeterministic`
+}
+
+// TickRecorder builds the tick-stamped journal: the sanctioned
+// constructor, clean.
+func TickRecorder() *obs.Journal {
+	return obs.NewJournal(64)
+}
+
+// RecordLifecycle consumes an injected journal handle: clean (nil-safe
+// no-op when the recorder is disabled).
+func RecordLifecycle(j *obs.Journal, at int64) {
+	j.Record(at, obs.StageEmit, obs.VerdictEmitted, obs.ReportID{})
 }

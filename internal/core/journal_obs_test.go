@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// TestAnalyzeJournaledIdentical extends the telemetry determinism
+// contract to the flight recorder: attaching a journal to the store's
+// seal path and the pipeline must not change a single output bit, and
+// the journal itself must be reproducible across runs despite parallel
+// epoch workers.
+func TestAnalyzeJournaledIdentical(t *testing.T) {
+	plainStore, plainDB := faultTrace(t)
+	plain := goldenConfig()
+	plain.Workers = runtime.GOMAXPROCS(0)
+	resPlain, err := Analyze(plainStore, plainDB, plain)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	journaled := func() (*Results, []byte) {
+		store, db := faultTrace(t)
+		journal := obs.NewJournal(1 << 17)
+		// Attach before the first Seal: the index build happens once and
+		// its events are only recorded on the uncached pass.
+		store.SetJournal(journal)
+		cfg := goldenConfig()
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Journal = journal
+		res, err := Analyze(store, db, cfg)
+		if err != nil {
+			t.Fatalf("Analyze(journaled): %v", err)
+		}
+		if d := journal.Dropped(); d != 0 {
+			t.Fatalf("ring dropped %d events; grow the test capacity", d)
+		}
+		var buf bytes.Buffer
+		if err := journal.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := journal.StageCount(obs.StageAnalyze); got != uint64(res.EpochCount) {
+			t.Errorf("journal saw %d consumed epochs, analysis had %d", got, res.EpochCount)
+		}
+		if journal.StageCount(obs.StageSeal) == 0 {
+			t.Error("seal plane recorded nothing; SetJournal attached after the index was cached?")
+		}
+		return res, buf.Bytes()
+	}
+
+	resJ, journalA := journaled()
+	if !bytes.Equal(encodeResults(resPlain), encodeResults(resJ)) {
+		firstDiff(t, "plain vs journaled", encodeResults(resPlain), encodeResults(resJ))
+	}
+
+	// Parallel workers must not leak scheduling order into the journal:
+	// consumed events are recorded post-drain in epoch order, so two runs
+	// produce byte-identical journals.
+	_, journalB := journaled()
+	if !bytes.Equal(journalA, journalB) {
+		t.Fatal("same trace, different journal bytes across analysis runs")
+	}
+}

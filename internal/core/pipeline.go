@@ -71,6 +71,13 @@ type Config struct {
 	// nothing and records nothing. Tracing is measurement-only: results
 	// are byte-identical with any tracer attached.
 	Tracer obs.Tracer
+	// Journal, when non-nil, records one analysis-consumption event per
+	// epoch — the last hop of a report's lifecycle. Events are recorded
+	// after the worker pool drains, in ascending epoch order and stamped
+	// with epoch start time, so the journal stays deterministic no matter
+	// how the workers interleaved. Measurement-only: results are
+	// byte-identical with a journal attached.
+	Journal *obs.Journal
 }
 
 func (c Config) sanitize(epochCount int) Config {
@@ -265,6 +272,14 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 	close(jobs)
 	wg.Wait()
 	epochsSpan.End()
+
+	// Flight recorder: the consumption events are recorded only now, from
+	// this single-threaded path in ascending epoch order — never from the
+	// workers, whose interleaving would leak scheduling into the journal.
+	for i, e := range epochs {
+		cfg.Journal.Record(outs[i].start.UnixNano(), obs.StageAnalyze, obs.VerdictConsumed,
+			obs.ReportID{Epoch: e})
+	}
 
 	// Merge the worker shards. Set union commutes, so shard and map
 	// iteration order cannot leak into the merged counts.

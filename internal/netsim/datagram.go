@@ -44,12 +44,15 @@ func NewPipe(cfg faults.Config, rng *rand.Rand) *Pipe {
 // Tally returns the running fault counters.
 func (p *Pipe) Tally() faults.Tally { return p.inj.Tally() }
 
-// Send transmits one datagram at instant now. The deliver callback runs
+// Send transmits one datagram at instant now and returns the fate the
+// injector judged for it, so callers (the simulator's flight recorder)
+// can account for datagrams whose deliver callback never fires — a
+// dropped datagram is otherwise invisible. The deliver callback runs
 // synchronously for everything except reordered datagrams, which are
 // released by subsequent Sends (or Flush) so they genuinely arrive after
 // later traffic. Every Send — delivered, dropped, or itself held —
 // advances the countdowns of previously held datagrams.
-func (p *Pipe) Send(now time.Time, deliver func(at time.Time, torn bool)) {
+func (p *Pipe) Send(now time.Time, deliver func(at time.Time, torn bool)) faults.Fate {
 	f := p.inj.Judge()
 	heldBack := !f.Drop && f.HoldSpan > 0
 	if !f.Drop && !heldBack {
@@ -67,6 +70,7 @@ func (p *Pipe) Send(now time.Time, deliver func(at time.Time, torn bool)) {
 			deliver:   deliver,
 		})
 	}
+	return f
 }
 
 // release advances every held datagram's countdown and delivers the ones

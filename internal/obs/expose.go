@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 )
 
@@ -58,16 +60,75 @@ func appendEscapedHelp(b []byte, help string) []byte {
 	return b
 }
 
-// Handler returns an http.Handler serving the registry in Prometheus
-// text format on GET (and HEAD); other methods get 405.
-func Handler(r *Registry) http.Handler {
+// guarded wraps a read-only endpoint in the shared handler discipline:
+// GET and HEAD are served with the given Content-Type, anything else
+// gets 405 with an Allow header. Every JSON and exposition endpoint in
+// the daemons goes through this one helper, so the method/header
+// behavior cannot drift between them.
+func guarded(contentType string, serve func(w http.ResponseWriter, req *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			w.Header().Set("Allow", http.MethodGet)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", contentType)
+		serve(w, req)
+	})
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format on GET (and HEAD); other methods get 405.
+func Handler(r *Registry) http.Handler {
+	return guarded("text/plain; version=0.0.4; charset=utf-8", func(w http.ResponseWriter, _ *http.Request) {
 		_ = r.WritePrometheus(w) //magellan:allow erridle — a failed scrape response means the scraper hung up; nothing to do
+	})
+}
+
+// JSONHandler returns a guarded handler that renders payload() as one
+// JSON object per request: 405 on non-GET, Content-Type
+// application/json — the discipline /status and /events share.
+func JSONHandler(payload func() any) http.Handler {
+	return guarded("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(payload()) //magellan:allow erridle — a failed poll response means the poller hung up; nothing to do
+	})
+}
+
+// DefaultEventsTail bounds an /events response when the request does not
+// pick its own ?n= limit.
+const DefaultEventsTail = 256
+
+// eventsPayload is the /events response shape.
+type eventsPayload struct {
+	Recorded uint64  `json:"recorded"`
+	Dropped  uint64  `json:"dropped"`
+	Events   []Event `json:"events"`
+}
+
+// EventsHandler serves a JSON tail of the journal: the most recent n
+// events (?n=, default DefaultEventsTail, capped at the ring bound by
+// construction) plus the recorded/dropped accounting. A nil journal
+// serves the empty tail, so daemons can mount the endpoint
+// unconditionally.
+func EventsHandler(j *Journal) http.Handler {
+	return guarded("application/json", func(w http.ResponseWriter, req *http.Request) {
+		n := DefaultEventsTail
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		evs := j.Tail(n)
+		if evs == nil {
+			evs = []Event{}
+		}
+		_ = json.NewEncoder(w).Encode(eventsPayload{ //magellan:allow erridle — a failed poll response means the poller hung up; nothing to do
+			Recorded: j.Recorded(),
+			Dropped:  j.Dropped(),
+			Events:   evs,
+		})
 	})
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Journey reconstruction: given a journal's events, rebuild the lifecycle
+// of one peer's reports — the forensic half of the flight recorder.
+// Events recorded at emission carry the exact ReportID (Seq > 0), so
+// they group into per-report legs; store- and seal-plane events carry
+// re-derived IDs (Seq 0) and are matched by address and epoch; analysis
+// consumption events carry only an epoch. A journey stitches all three
+// together so "where did this peer's report go?" has one answer.
+
+// Leg is the lifecycle of one emitted report: the events that carry its
+// exact emission-minted ID, in causal order.
+type Leg struct {
+	ID     ReportID
+	Events []Event
+	// Terminal is the leg's settling event (delivered, lost, rejected,
+	// queue_drop, or sink_error); nil when the journal never captured
+	// one — the report's fate predates the ring's oldest held event, or
+	// the run was cut short.
+	Terminal *Event
+}
+
+// Journey is the reconstructed record for one peer (optionally narrowed
+// to one epoch).
+type Journey struct {
+	Addr uint32
+	// Legs are the peer's emissions, one per report, ordered by epoch
+	// then sequence.
+	Legs []Leg
+	// Plane holds the store-, seal-, and server-plane events matched to
+	// the peer by re-derived ID (Seq 0). They cannot be pinned to a
+	// single leg when a peer emits more than one report per epoch, so
+	// they are reported alongside rather than inside the legs.
+	Plane []Event
+	// Analyze holds the per-epoch consumption events for every epoch the
+	// journey touches.
+	Analyze []Event
+}
+
+// causalLess orders events by instant, breaking ties by pipeline stage
+// (emit < fault < server < store < seal < analyze) and then verdict, so
+// a zero-jitter delivery still reads emit → fault → terminal.
+func causalLess(a, b Event) int {
+	if c := cmp.Compare(a.At, b.At); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Stage, b.Stage); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Verdict, b.Verdict)
+}
+
+// BuildJourney filters and regroups a journal's events into one peer's
+// journey. With hasEpoch set, only the given epoch is reconstructed;
+// otherwise every epoch the peer appears in. The input slice is not
+// modified.
+func BuildJourney(events []Event, addr uint32, epoch int64, hasEpoch bool) Journey {
+	jo := Journey{Addr: addr}
+	legIx := make(map[ReportID]int)
+	epochs := make(map[int64]struct{})
+
+	for _, ev := range events {
+		if ev.ID.Addr != addr {
+			continue
+		}
+		if hasEpoch && ev.ID.Epoch != epoch {
+			continue
+		}
+		epochs[ev.ID.Epoch] = struct{}{}
+		if ev.ID.Seq == 0 {
+			jo.Plane = append(jo.Plane, ev)
+			continue
+		}
+		i, ok := legIx[ev.ID]
+		if !ok {
+			i = len(jo.Legs)
+			legIx[ev.ID] = i
+			jo.Legs = append(jo.Legs, Leg{ID: ev.ID})
+		}
+		jo.Legs[i].Events = append(jo.Legs[i].Events, ev)
+	}
+
+	for _, ev := range events {
+		if ev.Stage != StageAnalyze || ev.ID.Addr != 0 {
+			continue
+		}
+		if _, ok := epochs[ev.ID.Epoch]; !ok {
+			continue
+		}
+		jo.Analyze = append(jo.Analyze, ev)
+	}
+
+	slices.SortFunc(jo.Legs, func(a, b Leg) int {
+		if c := cmp.Compare(a.ID.Epoch, b.ID.Epoch); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.ID.Seq, b.ID.Seq); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ID.Channel, b.ID.Channel)
+	})
+	for i := range jo.Legs {
+		leg := &jo.Legs[i]
+		slices.SortFunc(leg.Events, causalLess)
+		for k := range leg.Events {
+			if leg.Events[k].Verdict.Terminal() {
+				leg.Terminal = &leg.Events[k]
+				break
+			}
+		}
+	}
+	slices.SortFunc(jo.Plane, causalLess)
+	slices.SortFunc(jo.Analyze, causalLess)
+	return jo
+}

@@ -22,5 +22,8 @@
 // byte-identical traces and byte-identical analysis results.
 //
 // Wall-clock reads live in this package (StartTimer, StageProfile,
-// Logger timestamps) and in the daemons; nowhere else.
+// Logger timestamps, NewWallJournal) and in the daemons; nowhere else.
+// The flight-recorder journal splits along the same line: NewJournal is
+// tick-stamped and deterministic-safe, NewWallJournal is the daemon
+// variant, and a nil *Journal is the free disabled recorder.
 package obs

@@ -101,6 +101,17 @@ type Config struct {
 	// measurement-only — a seeded run produces byte-identical traces
 	// with Obs set or nil.
 	Obs *obs.Registry
+
+	// Journal, when non-nil, is the flight recorder: the simulator mints
+	// a stable ReportID per emitted report (peer address, channel,
+	// emission epoch, per-peer sequence) and records every lifecycle
+	// step — emission, the fault path's verdicts, and the terminal
+	// delivered/lost/rejected/sink_error outcome. Events are timestamped
+	// by virtual tick, never wall clock, and recording is
+	// measurement-only: a seeded run produces byte-identical traces with
+	// Journal set or nil. Pass a tick-stamped obs.NewJournal; the
+	// determinism analyzer bans constructing wall journals in here.
+	Journal *obs.Journal
 }
 
 func (c Config) sanitize() (Config, error) {

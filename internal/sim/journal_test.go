@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// TestJournalConservation is the conservation-of-reports proof: under
+// seeded loss, every emitted report ends in exactly one terminal verdict
+// — delivered, lost, rejected, or sink_error — never zero, never two.
+// Duplicated or mangled datagrams may add fault-plane events, but the
+// first arrival settles the report's fate exactly once.
+func TestJournalConservation(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faults.Config{Loss: 0.05}
+	journal := obs.NewJournal(1 << 16)
+	cfg.Journal = journal
+	_, stats := chaosRun(t, cfg)
+
+	// The proof is only total if the ring kept everything.
+	if d := journal.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events; grow the test capacity", d)
+	}
+
+	type fate struct {
+		emitted  int
+		terminal int
+		last     obs.Verdict
+	}
+	ledger := make(map[obs.ReportID]*fate)
+	var lost, delivered uint64
+	for _, ev := range journal.Events() {
+		if ev.ID.Seq == 0 {
+			continue // store/seal/analysis plane: sequence unknown by design
+		}
+		f := ledger[ev.ID]
+		if f == nil {
+			f = &fate{}
+			ledger[ev.ID] = f
+		}
+		switch {
+		case ev.Verdict == obs.VerdictEmitted:
+			f.emitted++
+		case ev.Verdict.Terminal():
+			f.terminal++
+			f.last = ev.Verdict
+		}
+		switch ev.Verdict {
+		case obs.VerdictLost:
+			lost++
+		case obs.VerdictDelivered:
+			delivered++
+		}
+	}
+
+	if len(ledger) == 0 {
+		t.Fatal("journal recorded no per-report lifecycles")
+	}
+	for id, f := range ledger {
+		if f.emitted != 1 {
+			t.Fatalf("report %+v emitted %d times", id, f.emitted)
+		}
+		if f.terminal != 1 {
+			t.Fatalf("report %+v has %d terminal verdicts (last %s); conservation broken",
+				id, f.terminal, f.last)
+		}
+	}
+
+	if lost == 0 {
+		t.Error("5% loss produced no lost verdicts")
+	}
+	if lost != stats.Faults.Dropped {
+		t.Errorf("journal saw %d lost reports, injector dropped %d datagrams", lost, stats.Faults.Dropped)
+	}
+	if delivered != stats.Reports {
+		t.Errorf("journal saw %d delivered reports, sink received %d", delivered, stats.Reports)
+	}
+}
+
+// TestJournalByteIdentical pins the measurement-only invariant the
+// golden fingerprint depends on: attaching the flight recorder must not
+// change a single trace byte, with faults active or not.
+func TestJournalByteIdentical(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Faults = faults.Config{Loss: 0.05, Duplicate: 0.05, Truncate: 0.02}
+	plain, plainStats := chaosRun(t, cfg)
+
+	journaled := cfg
+	journaled.Journal = obs.NewJournal(1 << 16)
+	again, againStats := chaosRun(t, journaled)
+
+	if !bytes.Equal(plain, again) {
+		t.Fatal("attaching the journal changed the trace bytes")
+	}
+	if plainStats.Faults != againStats.Faults || plainStats.Reports != againStats.Reports {
+		t.Errorf("journal changed the run accounting:\n plain: %+v\n journaled: %+v",
+			plainStats, againStats)
+	}
+	if journaled.Journal.Recorded() == 0 {
+		t.Fatal("journal attached but recorded nothing")
+	}
+}
+
+// TestJournalDeterministic pins the journal itself as a reproducible
+// artifact: same seed, same config, byte-identical JSONL.
+func TestJournalDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := chaosConfig()
+		cfg.Faults = faults.Config{Loss: 0.05, Duplicate: 0.05, Reorder: 0.03}
+		cfg.Journal = obs.NewJournal(1 << 16)
+		chaosRun(t, cfg)
+		var buf bytes.Buffer
+		if err := cfg.Journal.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("journaled run produced no events")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed, different journal bytes")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/magellan-p2p/magellan/internal/des"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/netsim"
+	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/protocol"
 	"github.com/magellan-p2p/magellan/internal/stream"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -38,6 +39,13 @@ type Simulation struct {
 	// metrics, when non-nil, receives Stats snapshots at tick
 	// boundaries (see metrics.go). Strictly measurement-only.
 	metrics *metrics
+
+	// journal, when non-nil, records per-report lifecycle events, and
+	// seqs carries each peer's lifetime emission counter for ReportID
+	// minting. Both are measurement-only and nil when recording is off,
+	// so the disabled path allocates nothing.
+	journal *obs.Journal
+	seqs    map[isp.Addr]uint32
 
 	servers      int
 	joins        uint64
@@ -113,6 +121,11 @@ func New(cfg Config) (*Simulation, error) {
 
 	if cfg.Obs != nil {
 		s.metrics = newMetrics(cfg.Obs)
+	}
+
+	if cfg.Journal != nil {
+		s.journal = cfg.Journal
+		s.seqs = make(map[isp.Addr]uint32)
 	}
 
 	if err := s.seedServers(); err != nil {
@@ -394,7 +407,26 @@ func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
 			RecvSeg: uint32(pt.WinRecv + 0.5),
 		})
 	})
-	s.deliverReport(rep)
+
+	// Flight recorder: mint the report's stable identity at the moment of
+	// emission — address, channel, emission epoch, and the peer's lifetime
+	// emission sequence — and stamp the event with the virtual tick. The
+	// counter map is maintained only while recording, so the disabled path
+	// costs nothing.
+	var id obs.ReportID
+	if s.journal != nil {
+		addr := p.ID()
+		s.seqs[addr]++
+		id = obs.ReportID{
+			Addr:    uint32(addr),
+			Channel: p.Channel,
+			Epoch:   now.UnixNano() / int64(s.cfg.ReportInterval),
+			Seq:     s.seqs[addr],
+		}
+		s.journal.Record(now.UnixNano(), obs.StageEmit, obs.VerdictEmitted, id)
+	}
+
+	s.deliverReport(rep, id)
 	p.ResetWindow()
 }
 
@@ -403,24 +435,66 @@ func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
 // server would reject, so it is counted and discarded here; duplicated
 // and reordered datagrams reach the sink exactly as the server would see
 // them, receipt time included.
-func (s *Simulation) deliverReport(rep trace.Report) {
+//
+// The flight recorder gives every report exactly one terminal verdict:
+// lost when the pipe drops it, and otherwise the fate of the first
+// arrival — rejected (torn), sink_error, or delivered. Extra copies of a
+// duplicated datagram settle nothing; they are visible as the fault
+// plane's duplicate event. Fault-kind events (mangled, duplicate,
+// reordered, jittered) are stamped at send time, terminal events at
+// arrival time, so a journey sorted by instant reads in causal order.
+func (s *Simulation) deliverReport(rep trace.Report, id obs.ReportID) {
 	if s.pipe == nil {
 		if err := s.cfg.Sink.Submit(rep); err == nil {
 			s.reports++
+			s.journal.Record(rep.Time.UnixNano(), obs.StageServer, obs.VerdictDelivered, id)
+		} else {
+			s.journal.Record(rep.Time.UnixNano(), obs.StageServer, obs.VerdictSinkError, id)
 		}
 		return
 	}
-	s.pipe.Send(rep.Time, func(at time.Time, torn bool) {
+	first := true
+	fate := s.pipe.Send(rep.Time, func(at time.Time, torn bool) {
+		settles := first
+		first = false
 		if torn {
 			s.torn++
+			if settles {
+				s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictRejected, id)
+			}
 			return
 		}
 		r := rep
 		r.Time = at
 		if err := s.cfg.Sink.Submit(r); err == nil {
 			s.reports++
+			if settles {
+				s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictDelivered, id)
+			}
+		} else if settles {
+			s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictSinkError, id)
 		}
 	})
+	if s.journal == nil {
+		return
+	}
+	at := rep.Time.UnixNano()
+	if fate.Drop {
+		s.journal.Record(at, obs.StageFault, obs.VerdictLost, id)
+		return
+	}
+	if fate.Truncated {
+		s.journal.Record(at, obs.StageFault, obs.VerdictMangled, id)
+	}
+	if fate.Copies > 1 {
+		s.journal.Record(at, obs.StageFault, obs.VerdictDuplicate, id)
+	}
+	if fate.HoldSpan > 0 {
+		s.journal.Record(at, obs.StageFault, obs.VerdictReordered, id)
+	}
+	if fate.Jitter > 0 {
+		s.journal.Record(at, obs.StageFault, obs.VerdictJittered, id)
+	}
 }
 
 // synthBufferMap renders playback quality as a sliding-window occupancy

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
 )
 
 // Index is an immutable, columnar view of a Store's epochs, built once
@@ -43,14 +44,19 @@ func (s *Store) Seal() *Index {
 	if s.idx != nil && s.idxCount == s.count {
 		return s.idx
 	}
-	s.idx = buildIndex(s.interval, s.epochs)
+	s.idx = buildIndex(s.interval, s.epochs, s.journal)
 	s.idxCount = s.count
 	return s.idx
 }
 
 // buildIndex does the one-time columnar precompute. Dedup keeps the
-// last-submitted report per peer, matching Store.LatestByPeer.
-func buildIndex(interval time.Duration, epochs map[int64][]Report) *Index {
+// last-submitted report per peer, matching Store.LatestByPeer. When a
+// journal is attached it records the seal plane's verdicts: superseded
+// for every report the latest-by-peer dedup replaced (in arrival order)
+// and indexed for every report that made the index (in address order) —
+// both deterministic, since epochs are walked sorted and each epoch's
+// reports sit in arrival order.
+func buildIndex(interval time.Duration, epochs map[int64][]Report, j *obs.Journal) *Index {
 	keys := make([]int64, 0, len(epochs))
 	total := 0
 	for e, reports := range epochs {
@@ -78,9 +84,12 @@ func buildIndex(interval time.Duration, epochs map[int64][]Report) *Index {
 		// Latest-by-peer dedup in arrival order, then sort by address.
 		clear(slot)
 		latest = latest[:0]
-		for _, r := range epochs[e] {
-			if j, ok := slot[r.Addr]; ok {
-				latest[j] = r
+		for k := range epochs[e] {
+			r := epochs[e][k]
+			if n, ok := slot[r.Addr]; ok {
+				j.Record(latest[n].Time.UnixNano(), obs.StageSeal, obs.VerdictSuperseded,
+					journalID(&latest[n], interval))
+				latest[n] = r
 			} else {
 				slot[r.Addr] = int32(len(latest))
 				latest = append(latest, r)
@@ -88,8 +97,10 @@ func buildIndex(interval time.Duration, epochs map[int64][]Report) *Index {
 		}
 		slices.SortFunc(latest, func(a, b Report) int { return cmp.Compare(a.Addr, b.Addr) })
 		ix.reports = append(ix.reports, latest...)
-		for j := range latest {
-			ix.addrs = append(ix.addrs, latest[j].Addr)
+		for k := range latest {
+			ix.addrs = append(ix.addrs, latest[k].Addr)
+			j.Record(latest[k].Time.UnixNano(), obs.StageSeal, obs.VerdictIndexed,
+				journalID(&latest[k], interval))
 		}
 		ix.offsets[i+1] = len(ix.reports)
 

@@ -27,6 +27,13 @@ type ServerConfig struct {
 	// Telemetry is measurement-only: enabling it changes no ingest
 	// behavior, only what is observable about it.
 	Obs *obs.Registry
+	// Journal, when non-nil, records server-plane lifecycle events:
+	// received/persisted for accepted datagrams, rejected for
+	// decode/validation failures, queue_drop for sheds, sink_error for
+	// refused reports. The daemon passes an obs.NewWallJournal; events
+	// for datagrams that never decoded (sheds, rejects) carry what is
+	// known — an empty ID — rather than inventing one.
+	Journal *obs.Journal
 }
 
 // ServerStats breaks the server's datagram accounting down by outcome.
@@ -74,6 +81,10 @@ type Server struct {
 	// no clock at all.
 	sinkLatency *obs.Histogram
 
+	// journal, when non-nil, records per-datagram lifecycle events
+	// (nil-safe: the disabled recorder costs nothing on the hot path).
+	journal *obs.Journal
+
 	recvWG sync.WaitGroup
 	workWG sync.WaitGroup
 	once   sync.Once
@@ -116,6 +127,7 @@ func NewServerWithConfig(addr string, sink Sink, cfg ServerConfig) (*Server, err
 			return &buf
 		}},
 	}
+	s.journal = cfg.Journal
 	if cfg.Obs != nil {
 		registerIngestMetrics(cfg.Obs, s, depth)
 	}
@@ -207,6 +219,9 @@ func (s *Server) recvLoop() {
 		default:
 			s.queueDrops.Add(1)
 			s.pool.Put(bufp)
+			// The datagram was never decoded, so its identity is unknown;
+			// the shed is still on the record.
+			s.journal.RecordNow(obs.StageServer, obs.VerdictQueueDrop, obs.ReportID{})
 		}
 	}
 }
@@ -220,11 +235,18 @@ func (s *Server) ingestLoop() {
 		s.pool.Put(&recycled)
 		if err != nil {
 			s.rejected.Add(1)
+			s.journal.RecordNow(obs.StageServer, obs.VerdictRejected, obs.ReportID{})
 			continue
 		}
 		if err := rep.Validate(); err != nil {
 			s.rejected.Add(1)
+			s.journal.RecordNow(obs.StageServer, obs.VerdictRejected, journalID(&rep, DefaultReportInterval))
 			continue
+		}
+		var id obs.ReportID
+		if s.journal != nil {
+			id = journalID(&rep, DefaultReportInterval)
+			s.journal.RecordNow(obs.StageServer, obs.VerdictReceived, id)
 		}
 		var submitErr error
 		if s.sinkLatency != nil {
@@ -236,9 +258,11 @@ func (s *Server) ingestLoop() {
 		}
 		if submitErr != nil {
 			s.sinkErrors.Add(1)
+			s.journal.RecordNow(obs.StageServer, obs.VerdictSinkError, id)
 			continue
 		}
 		s.received.Add(1)
+		s.journal.RecordNow(obs.StageServer, obs.VerdictPersisted, id)
 	}
 }
 

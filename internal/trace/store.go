@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
 )
 
 // Store buckets reports into fixed epochs (default: the 10-minute report
@@ -26,6 +27,13 @@ type Store struct {
 	// monotonically with every Submit).
 	idx      *Index
 	idxCount int
+
+	// journal, when non-nil, records store-plane lifecycle events:
+	// accepted on Submit, indexed/superseded from Seal. Events carry IDs
+	// re-derived from report contents (Seq 0 — the store never saw the
+	// emission) and are stamped with report time, never wall clock, so
+	// recording stays deterministic for seeded runs. Measurement-only.
+	journal *obs.Journal
 }
 
 // NewStore builds a store with the given epoch interval (0 means
@@ -41,6 +49,29 @@ func NewStore(interval time.Duration) *Store {
 }
 
 var _ Sink = (*Store)(nil)
+
+// SetJournal attaches a flight recorder to the store. Attach it before
+// the first Submit (and certainly before the first Seal): the seal index
+// is cached, so a journal attached after an index is built misses that
+// build's indexed/superseded events.
+func (s *Store) SetJournal(j *obs.Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// journalID re-derives a report's identity from its contents. The
+// binary report codec carries no ReportID (the format predates the
+// flight recorder and must stay bit-identical), so store-plane events
+// use Seq 0 and the receipt-time epoch; a journey matches them to the
+// emission by address, channel, and epoch.
+func journalID(r *Report, interval time.Duration) obs.ReportID {
+	return obs.ReportID{
+		Addr:    uint32(r.Addr),
+		Channel: r.Channel,
+		Epoch:   r.Time.UnixNano() / int64(interval),
+	}
+}
 
 // Interval returns the epoch width.
 func (s *Store) Interval() time.Duration { return s.interval }
@@ -64,7 +95,9 @@ func (s *Store) Submit(r Report) error {
 	s.mu.Lock()
 	s.epochs[e] = append(s.epochs[e], r)
 	s.count++
+	j := s.journal
 	s.mu.Unlock()
+	j.Record(r.Time.UnixNano(), obs.StageStore, obs.VerdictAccepted, journalID(&r, s.interval))
 	return nil
 }
 
