@@ -6,8 +6,13 @@
 // instead of review-enforced.
 //
 // An Analyzer inspects one type-checked package (a load.Package) and
-// reports Diagnostics. The cmd/magellan-vet driver runs every analyzer
-// over every package and fails the build on findings.
+// reports Diagnostics. Analyzers may also declare a fact phase: fact
+// phases run over every package in import order before any Run phase,
+// publishing per-function facts (see the facts package) that later
+// packages' analyses can read — that is how a wall-clock read in
+// internal/obs taints its callers in internal/sim. The
+// cmd/magellan-vet driver runs every analyzer over every package and
+// fails the build on findings.
 //
 // Findings can be suppressed line-by-line with a directive comment:
 //
@@ -16,7 +21,9 @@
 // The directive names one analyzer (or "all") and applies to its own
 // line and to the line directly below it, so it can also sit above the
 // offending statement. Every suppression is visible in the diff, which
-// is the point: exceptions are reviewed, not silent.
+// is the point: exceptions are reviewed, not silent. RunAll reports
+// every directive together with the number of findings it suppressed,
+// which is what `magellan-vet -waivers` uses to flag stale ones.
 package analysis
 
 import (
@@ -27,6 +34,7 @@ import (
 	"slices"
 	"strings"
 
+	"github.com/magellan-p2p/magellan/internal/analysis/facts"
 	"github.com/magellan-p2p/magellan/internal/analysis/load"
 )
 
@@ -39,6 +47,12 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
 
+	// Facts, if non-nil, is the fact phase: it runs over every package
+	// in import order before any analyzer's Run phase, and publishes
+	// per-function facts through pass.Facts. It must not report
+	// diagnostics.
+	Facts func(pass *Pass) error
+
 	// Run inspects the package and reports findings through pass.Report.
 	Run func(pass *Pass) error
 }
@@ -47,6 +61,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *load.Package
+
+	// Facts is the run-wide cross-package fact store. During the fact
+	// phase analyzers write to it; during the run phase they read.
+	Facts *facts.Store
 
 	report func(Diagnostic)
 }
@@ -80,14 +98,65 @@ func (d Diagnostic) Position(fset *token.FileSet) token.Position {
 	return fset.Position(d.Pos)
 }
 
+// A Waiver is one //magellan:allow directive found in an analyzed
+// package, with the number of findings it suppressed in this run.
+type Waiver struct {
+	Position   token.Position
+	Names      []string // analyzer names the directive lists
+	Suppressed int      // findings suppressed in this run
+}
+
+// Stale reports whether the directive did nothing this run.
+func (w Waiver) Stale() bool { return w.Suppressed == 0 }
+
+// A Result is the full outcome of one analysis run.
+type Result struct {
+	// Diags are the surviving findings, sorted by file position.
+	Diags []Diagnostic
+	// Waivers lists every directive, sorted by file position.
+	Waivers []Waiver
+	// Facts is the populated cross-package fact store.
+	Facts *facts.Store
+}
+
 // Run applies each analyzer to each package and returns the surviving
 // diagnostics (suppressions already applied) sorted by file position.
 func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := collectAllows(pkg)
+	res, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunAll is Run plus waiver accounting and the fact store.
+func RunAll(pkgs []*load.Package, analyzers []*Analyzer) (*Result, error) {
+	store := facts.NewStore()
+	ordered := importOrder(pkgs)
+
+	// Fact phase: import order, so callee facts exist before callers.
+	for _, pkg := range ordered {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if a.Facts == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: store}
+			pass.report = func(Diagnostic) {
+				panic(fmt.Sprintf("analyzer %s reported a diagnostic during its fact phase", a.Name))
+			}
+			if err := a.Facts(pass); err != nil {
+				return nil, fmt.Errorf("%s facts: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	var waivers []*waiverRec
+	for _, pkg := range ordered {
+		allowed := collectAllows(pkg)
+		waivers = append(waivers, allowed.recs...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: store}
 			pass.report = func(d Diagnostic) {
 				d.Analyzer = a.Name
 				if allowed.covers(pkg.Fset.Position(d.Pos), a.Name) {
@@ -110,32 +179,119 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return cmp.Compare(a.Analyzer, b.Analyzer)
 	})
-	return out, nil
+
+	res := &Result{Diags: out, Facts: store}
+	for _, w := range waivers {
+		res.Waivers = append(res.Waivers, Waiver{Position: w.pos, Names: w.names, Suppressed: w.suppressed})
+	}
+	slices.SortFunc(res.Waivers, func(a, b Waiver) int {
+		if a.Position.Filename != b.Position.Filename {
+			return cmp.Compare(a.Position.Filename, b.Position.Filename)
+		}
+		return a.Position.Line - b.Position.Line
+	})
+	return res, nil
+}
+
+// importOrder returns pkgs topologically sorted by their in-set
+// imports (dependencies first), ties broken by import path. The input
+// slice is not modified.
+func importOrder(pkgs []*load.Package) []*load.Package {
+	inSet := make(map[string]*load.Package, len(pkgs))
+	for _, p := range pkgs {
+		inSet[p.ImportPath] = p
+	}
+	remaining := slices.Clone(pkgs)
+	slices.SortFunc(remaining, func(a, b *load.Package) int {
+		return cmp.Compare(a.ImportPath, b.ImportPath)
+	})
+	emitted := make(map[string]bool, len(pkgs))
+	ordered := make([]*load.Package, 0, len(pkgs))
+	for len(remaining) > 0 {
+		progress := false
+		for i, p := range remaining {
+			ready := true
+			for _, imp := range p.Imports {
+				if inSet[imp] != nil && !emitted[imp] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				ordered = append(ordered, p)
+				emitted[p.ImportPath] = true
+				remaining = slices.Delete(remaining, i, i+1)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			// Import cycles cannot occur in compiled Go; defensively
+			// append the remainder in path order.
+			ordered = append(ordered, remaining...)
+			break
+		}
+	}
+	return ordered
 }
 
 // allowDirective is the comment prefix that suppresses findings.
 const allowDirective = "//magellan:allow"
 
-// allowSet records, per file and line, which analyzers are suppressed.
-type allowSet map[string]map[int]map[string]bool
+// waiverRec is one parsed directive with its usage count.
+type waiverRec struct {
+	pos        token.Position
+	names      []string
+	nameSet    map[string]bool
+	suppressed int
+}
 
-func (s allowSet) covers(pos token.Position, analyzer string) bool {
-	lines := s[pos.Filename]
+// allowSet indexes directives by file and covered line.
+type allowSet struct {
+	recs   []*waiverRec
+	byLine map[string]map[int][]waiverReg
+}
+
+// waiverReg is one line-registration of a directive: on its own line
+// (trailing-comment style) or on the line below it (own-line style).
+type waiverReg struct {
+	rec      *waiverRec
+	sameLine bool
+}
+
+// covers reports whether some directive suppresses a finding by
+// analyzer at pos, and counts the use against the directive. A
+// directive covers its own line and the line directly below, so it can
+// trail the statement or sit on its own line above it. A directive on
+// the finding's own line wins over one trailing the line above, so
+// adjacent waived statements each charge their own directive.
+func (s *allowSet) covers(pos token.Position, analyzer string) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	// A directive covers its own line and the line directly below, so it
-	// can trail the statement or sit on its own line above it.
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+	var fallback *waiverRec
+	for _, reg := range lines[pos.Line] {
+		if !reg.rec.nameSet[analyzer] && !reg.rec.nameSet["all"] {
+			continue
+		}
+		if reg.sameLine {
+			reg.rec.suppressed++
 			return true
 		}
+		if fallback == nil {
+			fallback = reg.rec
+		}
+	}
+	if fallback != nil {
+		fallback.suppressed++
+		return true
 	}
 	return false
 }
 
-func collectAllows(pkg *load.Package) allowSet {
-	set := make(allowSet)
+func collectAllows(pkg *load.Package) *allowSet {
+	set := &allowSet{byLine: make(map[string]map[int][]waiverReg)}
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -155,19 +311,19 @@ func collectAllows(pkg *load.Package) allowSet {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					set[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
+				rec := &waiverRec{pos: pos, names: fields, nameSet: make(map[string]bool, len(fields))}
 				for _, name := range fields {
-					names[name] = true
+					rec.nameSet[name] = true
 				}
+				set.recs = append(set.recs, rec)
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]waiverReg)
+					set.byLine[pos.Filename] = lines
+				}
+				// The directive covers its own line and the next one.
+				lines[pos.Line] = append(lines[pos.Line], waiverReg{rec: rec, sameLine: true})
+				lines[pos.Line+1] = append(lines[pos.Line+1], waiverReg{rec: rec})
 			}
 		}
 	}

@@ -25,26 +25,47 @@ import (
 	"github.com/magellan-p2p/magellan/internal/analysis/load"
 )
 
-// Run loads each fixture package and applies the analyzer, reporting
-// any mismatch between actual and expected diagnostics through t.
+// Run loads the fixture packages together — fixtures may import one
+// another, which is how cross-package fact propagation is tested — and
+// applies the analyzer, reporting any mismatch between actual and
+// expected diagnostics through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
-	for _, path := range importPaths {
-		path := path
-		t.Run(path, func(t *testing.T) {
+	pkgs, err := load.Dirs(testdata+"/src", importPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	// Attribute each diagnostic to the fixture whose files contain it,
+	// then check every fixture's expectations in its own subtest.
+	fileOwner := make(map[string]int)
+	for i, pkg := range pkgs {
+		for _, f := range pkg.GoFiles {
+			fileOwner[f] = i
+		}
+	}
+	perPkg := make([][]analysis.Diagnostic, len(pkgs))
+	for _, d := range diags {
+		pos := d.Position(pkgs[0].Fset)
+		if i, ok := fileOwner[pos.Filename]; ok {
+			perPkg[i] = append(perPkg[i], d)
+		} else {
+			t.Errorf("diagnostic outside fixture set: %s: %s", pos, d.Message)
+		}
+	}
+	for i, pkg := range pkgs {
+		pkg, i := pkg, i
+		t.Run(pkg.ImportPath, func(t *testing.T) {
 			t.Helper()
-			pkg, err := load.Dir(testdata+"/src/"+path, path)
-			if err != nil {
-				t.Fatalf("loading fixture: %v", err)
-			}
-			if len(pkg.TypeErrors) > 0 {
-				t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
-			}
-			diags, err := analysis.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
-			if err != nil {
-				t.Fatalf("running %s: %v", a.Name, err)
-			}
-			checkExpectations(t, pkg, diags)
+			checkExpectations(t, pkg, perPkg[i])
 		})
 	}
 }
@@ -93,26 +114,44 @@ func collectWants(t *testing.T, pkg *load.Package) []*expectation {
 					continue
 				}
 				lit := strings.TrimSpace(text[idx+len("// want "):])
-				pattern, err := unquote(lit)
+				patterns, err := unquoteAll(lit)
 				if err != nil {
 					t.Fatalf("%s: bad want comment %q: %v", pkg.Fset.Position(c.Pos()), lit, err)
 				}
-				re, err := regexp.Compile(pattern)
-				if err != nil {
-					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+				for _, pattern := range patterns {
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}
 	return wants
 }
 
-// unquote accepts a double-quoted or backquoted Go string literal.
-func unquote(lit string) (string, error) {
-	if len(lit) < 2 {
-		return "", fmt.Errorf("not a string literal")
+// unquoteAll parses a want payload: one or more space-separated
+// double-quoted or backquoted Go string literals, one expectation
+// each (a line carrying two findings writes two patterns).
+func unquoteAll(lit string) ([]string, error) {
+	var patterns []string
+	rest := lit
+	for rest != "" {
+		quoted, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("not a string literal at %q", rest)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, pattern)
+		rest = strings.TrimLeft(rest[len(quoted):], " \t")
 	}
-	return strconv.Unquote(lit)
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return patterns, nil
 }

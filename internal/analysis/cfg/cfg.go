@@ -1,0 +1,494 @@
+// Package cfg builds per-function control-flow graphs over go/ast. It
+// is the substrate for Magellan's flow-aware analyzers: goroleak asks
+// whether a goroutine body can reach its exit, lockspan propagates
+// held-lock facts across branches and loops through the dataflow
+// solver.
+//
+// A Graph has one virtual Entry and one virtual Exit block. Return
+// statements, falling off the end of the body, explicit panic calls,
+// and calls the caller declares process-terminating (os.Exit and
+// friends, via Options.CallTerm) all edge to Exit. Calls declared
+// hanging (a function already known never to return) end their block
+// with no successor at all, which is how "the exit is unreachable"
+// becomes decidable.
+//
+// Blocks carry only simple nodes: expressions and one-line statements.
+// Control statements contribute their evaluated parts (an if
+// contributes its condition, a for its init/cond/post) and their
+// bodies become separate blocks. Two exceptions keep consumers honest:
+// a *ast.RangeStmt node in a block stands for the evaluation of its
+// operand and the per-iteration receive, and a *ast.SelectStmt node
+// stands for the blocking select decision; Visit knows not to descend
+// into either one's body.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the virtual function-exit block. Deferred calls
+	// conceptually run on the edge into it.
+	Exit *Block
+	// Defers collects every deferred call in source order, regardless
+	// of the block it was registered in.
+	Defers []*ast.CallExpr
+}
+
+// A Block is one basic block: nodes that execute consecutively.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// TermKind classifies what a call does to control flow.
+type TermKind int
+
+const (
+	// TermNone: the call returns normally.
+	TermNone TermKind = iota
+	// TermExits: the call never returns but does terminate the
+	// function (panic, os.Exit, log.Fatal): edge to Exit.
+	TermExits
+	// TermHangs: the call never returns and never terminates (an
+	// infinite loop): the block gets no successor.
+	TermHangs
+)
+
+// Options parameterize graph construction.
+type Options struct {
+	// CallTerm, when non-nil, classifies calls that end control flow.
+	// The builtin panic is always treated as TermExits; CallTerm adds
+	// to that.
+	CallTerm func(*ast.CallExpr) TermKind
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt, opts Options) *Graph {
+	b := &builder{opts: opts, labels: map[string]*Block{}}
+	b.g = &Graph{}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{Index: -1}
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	for _, pg := range b.gotos {
+		if target := b.labels[pg.label]; target != nil {
+			b.edge(pg.from, target)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// CanReachExit reports whether any path from Entry reaches Exit — i.e.
+// whether the function can ever return (or terminate the process).
+func (g *Graph) CanReachExit() bool {
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	push := func(b *Block) {
+		if !seen[b.Index] {
+			seen[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	push(g.Entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == g.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// Visit calls f (pre-order, stop-on-false like ast.Inspect) on the
+// parts of a block node that execute at that point in the graph. It
+// does not descend into function literals (their bodies run elsewhere),
+// nor into the bodies of the two compound nodes a block may carry: for
+// a *ast.RangeStmt it visits the statement itself and its operand, for
+// a *ast.SelectStmt only the statement itself.
+func Visit(n ast.Node, f func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		Visit(n.X, f)
+	case *ast.SelectStmt:
+		f(n)
+	default:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			if m == nil {
+				return true
+			}
+			return f(m)
+		})
+	}
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame records the break/continue targets of one enclosing loop,
+// switch, or select.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g      *Graph
+	opts   Options
+	cur    *Block // nil after a terminator: following code is unreachable
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel is set between a labeled statement and the loop it
+	// labels, so `break L` / `continue L` resolve.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// current returns the block to append to, creating an unreachable one
+// if control flow already ended (dead code still gets blocks, with no
+// predecessors).
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		blk := b.current()
+		blk.Nodes = append(blk.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// The label introduces a join point (goto target).
+		target := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, target)
+		}
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.current(), b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s.Assign, s.Body, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			b.applyTerm(call)
+		}
+	case *ast.EmptyStmt:
+	default:
+		// Assign, Decl, IncDec, Send, Go: straight-line.
+		b.add(s)
+	}
+}
+
+// applyTerm ends the current block if call never returns.
+func (b *builder) applyTerm(call *ast.CallExpr) {
+	kind := TermNone
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+		kind = TermExits
+	} else if b.opts.CallTerm != nil {
+		kind = b.opts.CallTerm(call)
+	}
+	switch kind {
+	case TermExits:
+		b.edge(b.current(), b.g.Exit)
+		b.cur = nil
+	case TermHangs:
+		b.current() // materialize the block holding the call
+		b.cur = nil
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.add(s)
+				b.edge(b.current(), f.breakTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo != nil && (label == "" || f.label == label) {
+				b.add(s)
+				b.edge(b.current(), f.continueTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.add(s)
+		b.gotos = append(b.gotos, pendingGoto{from: b.current(), label: label})
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt; as a statement it ends
+		// the clause, and switchStmt wired the edge already.
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.current()
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after)
+	}
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, after)
+	}
+
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTo: after, continueTo: post})
+	b.pendingLabel = ""
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, post)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock()
+	// The RangeStmt node stands for operand evaluation plus the
+	// per-iteration receive/index step.
+	head.Nodes = append(head.Nodes, s)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	after := b.newBlock()
+	b.edge(head, after) // every range loop can end (exhaustion / closed channel)
+
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTo: after, continueTo: head})
+	b.pendingLabel = ""
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// switchStmt covers both expression and type switches; header is the
+// tag expression or the type-switch guard, allowFall wires fallthrough
+// edges (expression switches only).
+func (b *builder) switchStmt(init ast.Stmt, header ast.Node, body *ast.BlockStmt, allowFall bool) {
+	if init != nil {
+		b.add(init)
+	}
+	if header != nil {
+		b.add(header)
+	}
+	head := b.current()
+	after := b.newBlock()
+
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTo: after})
+	b.pendingLabel = ""
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && allowFall {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			if b.cur != nil {
+				b.edge(b.cur, blocks[i+1])
+			}
+			b.cur = nil
+			continue
+		}
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	// The select node itself is the (possibly blocking) decision point.
+	b.add(s)
+	head := b.current()
+	after := b.newBlock()
+
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTo: after})
+	b.pendingLabel = ""
+
+	any := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		// The clause's comm operation is attributed to the SelectStmt
+		// node in the predecessor block, not repeated here.
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	if !any {
+		// `select {}` blocks forever: no successors at all.
+		b.cur = nil
+		_ = after
+		b.frames = b.frames[:len(b.frames)-1]
+		return
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}

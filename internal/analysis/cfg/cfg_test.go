@@ -1,0 +1,165 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/cfg"
+)
+
+// buildFirst parses src as a file and builds the CFG of its first
+// function body.
+func buildFirst(t *testing.T, src string, opts cfg.Options) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			return cfg.New(fd.Body, opts)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+func TestCanReachExit(t *testing.T) {
+	hangTerm := func(call *ast.CallExpr) cfg.TermKind {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "hang" {
+			return cfg.TermHangs
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "exit" {
+			return cfg.TermExits
+		}
+		return cfg.TermNone
+	}
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight line", `package p; func f() { x := 1; _ = x }`, true},
+		{"bare infinite loop", `package p; func f() { for { work() } }`, false},
+		{"loop with conditional return", `package p; func f() { for { if done() { return }; work() } }`, true},
+		{"loop with break", `package p; func f() { for { if done() { break }; work() } }`, true},
+		{"conditioned loop", `package p; func f() { for i := 0; i < 4; i++ { work() } }`, true},
+		{"empty select", `package p; func f() { select {} }`, false},
+		{"select with stop case", `package p; func f(stop chan int) { for { select { case <-stop: return } } }`, true},
+		{"range over channel", `package p; func f(ch chan int) { for v := range ch { _ = v } }`, true},
+		{"panic terminates", `package p; func f() { panic("boom") }`, true},
+		{"infinite loop then dead code", `package p; func f() { for { } ; work() }`, false},
+		{"self goto", `package p; func f() { L: goto L }`, false},
+		{"forward goto", `package p; func f() { goto L; L: work() }`, true},
+		{"labeled break from nested loop", `package p; func f() { L: for { for { break L } } }`, true},
+		{"hang call severs fall-through", `package p; func f() { hang() }`, false},
+		{"exit call reaches exit", `package p; func f() { for { exit() } }`, true},
+		{"switch all clauses hang, no default", `package p; func f(x int) { switch x { case 1: hang() } }`, true},
+		{"switch with hanging default", `package p; func f(x int) { switch x { default: hang() } }`, false},
+		{"fallthrough to returning clause", `package p; func f(x int) { switch x { case 1: fallthrough; default: return } }`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFirst(t, tc.body, cfg.Options{CallTerm: hangTerm})
+			if got := g.CanReachExit(); got != tc.want {
+				t.Errorf("CanReachExit = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFirst(t, `package p
+func f(mu locker) {
+	mu.Lock()
+	defer mu.Unlock()
+	if cond() {
+		defer cleanup()
+	}
+}`, cfg.Options{})
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d calls, want 2", len(g.Defers))
+	}
+}
+
+func TestEntryExitShape(t *testing.T) {
+	g := buildFirst(t, `package p; func f() { work() }`, cfg.Options{})
+	if g.Blocks[0] != g.Entry {
+		t.Errorf("Blocks[0] is not Entry")
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Errorf("last block is not Exit")
+	}
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			t.Errorf("Blocks[%d].Index = %d", i, blk.Index)
+		}
+	}
+	if len(g.Exit.Nodes) != 0 {
+		t.Errorf("Exit carries %d nodes, want none", len(g.Exit.Nodes))
+	}
+}
+
+func TestBranchJoinPropagatesBothPaths(t *testing.T) {
+	// if cond { a() } else { b() }; c() — the join block holding c()
+	// must have both branch blocks as predecessors.
+	g := buildFirst(t, `package p; func f() { if cond() { a() } else { b() }; c() }`, cfg.Options{})
+	var join *cfg.Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "c" {
+						join = blk
+					}
+				}
+			}
+		}
+	}
+	if join == nil {
+		t.Fatal("no block holds the call to c")
+	}
+	if len(join.Preds) != 2 {
+		t.Errorf("join block has %d preds, want 2", len(join.Preds))
+	}
+}
+
+func TestVisitSkipsFuncLitAndCompoundBodies(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+func f(ch chan int) {
+	g := func() { inner() }
+	for v := range ch {
+		insideRange()
+		_ = v
+	}
+	_ = g
+}`
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var calls []string
+	fd := f.Decls[0].(*ast.FuncDecl)
+	for _, stmt := range fd.Body.List {
+		cfg.Visit(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					calls = append(calls, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	for _, name := range calls {
+		if name == "inner" {
+			t.Errorf("Visit descended into a function literal")
+		}
+		if name == "insideRange" {
+			t.Errorf("Visit descended into a range body")
+		}
+	}
+}

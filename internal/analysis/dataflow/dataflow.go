@@ -1,0 +1,97 @@
+// Package dataflow is a small forward-dataflow solver over the cfg
+// package's basic blocks. Facts are 64-bit sets; the join is union
+// (may-analysis) or intersection (must-analysis); transfer functions
+// are arbitrary monotone functions supplied by the analyzer, typically
+// gen/kill over the block's nodes.
+//
+// The solver is a standard worklist iteration: deterministic (blocks
+// are processed in index order) and guaranteed to terminate because
+// the fact lattice is finite and transfer functions are required to be
+// monotone.
+package dataflow
+
+import "github.com/magellan-p2p/magellan/internal/analysis/cfg"
+
+// Bits is a set of up to 64 facts.
+type Bits uint64
+
+// Problem describes one forward-dataflow instance.
+type Problem struct {
+	// Entry is the fact set on entry to the function.
+	Entry Bits
+
+	// Transfer maps a block's in-set to its out-set. It must be
+	// monotone: growing the in-set never shrinks the out-set.
+	Transfer func(b *cfg.Block, in Bits) Bits
+
+	// Meet joins the out-sets of a block's predecessors. Nil means
+	// union (a fact holds if it holds on any path in).
+	Meet func(a, b Bits) Bits
+}
+
+// Forward solves the problem and returns the in-set of every block,
+// indexed by block index. Blocks unreachable from Entry keep the zero
+// fact set.
+func Forward(g *cfg.Graph, p Problem) []Bits {
+	meet := p.Meet
+	if meet == nil {
+		meet = func(a, b Bits) Bits { return a | b }
+	}
+	n := len(g.Blocks)
+	in := make([]Bits, n)
+	out := make([]Bits, n)
+	computed := make([]bool, n) // whether out[i] is meaningful yet
+
+	in[g.Entry.Index] = p.Entry
+	out[g.Entry.Index] = p.Transfer(g.Entry, p.Entry)
+	computed[g.Entry.Index] = true
+
+	onList := make([]bool, n)
+	var work []*cfg.Block
+	push := func(b *cfg.Block) {
+		if !onList[b.Index] {
+			onList[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, s := range g.Entry.Succs {
+		push(s)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		onList[b.Index] = false
+
+		var newIn Bits
+		first := true
+		for _, pred := range b.Preds {
+			if !computed[pred.Index] {
+				continue
+			}
+			if first {
+				newIn = out[pred.Index]
+				first = false
+			} else {
+				newIn = meet(newIn, out[pred.Index])
+			}
+		}
+		if b == g.Entry {
+			if first {
+				newIn = p.Entry
+			} else {
+				newIn = meet(newIn, p.Entry)
+			}
+		}
+		newOut := p.Transfer(b, newIn)
+		if computed[b.Index] && newIn == in[b.Index] && newOut == out[b.Index] {
+			continue
+		}
+		in[b.Index] = newIn
+		out[b.Index] = newOut
+		computed[b.Index] = true
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in
+}

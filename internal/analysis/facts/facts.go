@@ -1,0 +1,203 @@
+// Package facts is the cross-package fact store for Magellan's
+// flow-aware analyzers. A fact is a bit attached to a function (keyed
+// by its canonical path), computed while analyzing the package that
+// defines the function and visible to every package analyzed after it
+// — the analysis framework runs fact phases in import order, so by the
+// time internal/sim is analyzed, the facts of internal/obs are already
+// in the store. That is what makes laundering detectable: a helper in
+// an unrestricted package that calls time.Now carries the wall-clock
+// taint to its callers in restricted packages.
+//
+// Stores serialize to deterministic JSON, one package at a time, so
+// fact sets can be exported alongside the `go list -export` build
+// artifacts and re-imported without re-analyzing the defining package.
+package facts
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"io"
+	"slices"
+	"strings"
+)
+
+// Bits is a set of per-function facts.
+type Bits uint32
+
+const (
+	// WallClock: the function transitively reads the wall clock
+	// (time.Now, time.Since, ...).
+	WallClock Bits = 1 << iota
+	// GlobalRand: the function transitively draws from the global
+	// math/rand (or math/rand/v2) generator.
+	GlobalRand
+	// Env: the function transitively reads the process environment.
+	Env
+	// NoExit: control flow can never reach the function's exit — it
+	// neither returns nor terminates the process.
+	NoExit
+)
+
+// Ambient is the taint mask: the bits that flow from callee to caller.
+// NoExit deliberately does not propagate this way (a caller of a
+// non-returning function is handled by CFG construction, not by
+// tainting).
+const Ambient = WallClock | GlobalRand | Env
+
+// bitNames, in bit order.
+var bitNames = []struct {
+	bit  Bits
+	name string
+}{
+	{WallClock, "wall-clock"},
+	{GlobalRand, "global-rand"},
+	{Env, "env"},
+	{NoExit, "no-exit"},
+}
+
+// String renders the set as a comma-separated list of fact names.
+func (b Bits) String() string {
+	var parts []string
+	for _, bn := range bitNames {
+		if b&bn.bit != 0 {
+			parts = append(parts, bn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// A Store maps canonical function keys to fact sets.
+type Store struct {
+	m map[string]Bits
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[string]Bits)} }
+
+// KeyOf returns the canonical key of fn: "pkgpath.Name" for
+// package-level functions, "pkgpath.(Recv).Name" for methods. The
+// pointerness of the receiver is deliberately erased so a fact set on
+// (*T).M and T.M coincide.
+func KeyOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// Add unions bits into key's fact set, reporting whether the set grew.
+func (s *Store) Add(key string, bits Bits) bool {
+	if key == "" || bits == 0 {
+		return false
+	}
+	old := s.m[key]
+	if old|bits == old {
+		return false
+	}
+	s.m[key] = old | bits
+	return true
+}
+
+// Get returns key's fact set (zero if absent).
+func (s *Store) Get(key string) Bits { return s.m[key] }
+
+// Len returns the number of keys with at least one fact.
+func (s *Store) Len() int { return len(s.m) }
+
+// packageOf extracts the package path from a canonical key.
+func packageOf(key string) string {
+	// The key is pkgpath.Name or pkgpath.(Recv).Name; the package path
+	// ends at the last '/'-free dot before a '(' or the final dot.
+	if i := strings.Index(key, ".("); i >= 0 {
+		return key[:i]
+	}
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// entry is the serialized form of one fact.
+type entry struct {
+	Func  string `json:"func"`
+	Facts uint32 `json:"facts"`
+	Names string `json:"names"`
+}
+
+// ExportPackage writes the facts of every function defined in pkgPath
+// as deterministic JSON (entries sorted by key).
+func (s *Store) ExportPackage(w io.Writer, pkgPath string) error {
+	var entries []entry
+	for k, b := range s.m {
+		if packageOf(k) == pkgPath {
+			entries = append(entries, entry{Func: k, Facts: uint32(b), Names: b.String()})
+		}
+	}
+	slices.SortFunc(entries, func(a, b entry) int { return strings.Compare(a.Func, b.Func) })
+	enc := json.NewEncoder(w)
+	return enc.Encode(entries)
+}
+
+// Import merges previously exported facts into the store.
+func (s *Store) Import(r io.Reader) error {
+	var entries []entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("facts: decode: %w", err)
+	}
+	for _, e := range entries {
+		s.Add(e.Func, Bits(e.Facts))
+	}
+	return nil
+}
+
+// seedFuncs maps ambient-source stdlib functions to the taint they
+// introduce. Constructors (rand.New, rand.NewSource) stay clean: they
+// are how the injected generator is built.
+var seedFuncs = map[string]Bits{
+	"time.Now": WallClock, "time.Since": WallClock, "time.Until": WallClock,
+	"time.After": WallClock, "time.Tick": WallClock, "time.NewTimer": WallClock,
+	"time.NewTicker": WallClock, "time.Sleep": WallClock, "time.AfterFunc": WallClock,
+
+	"os.Getenv": Env, "os.LookupEnv": Env, "os.Environ": Env,
+}
+
+func init() {
+	for _, name := range []string{
+		"Int", "Intn", "IntN", "Int31", "Int31n", "Int32", "Int32N",
+		"Int63", "Int63n", "Int64", "Int64N", "Uint32", "Uint32N",
+		"Uint64", "Uint64N", "Uint", "UintN", "Float32", "Float64",
+		"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Seed", "Read", "N",
+	} {
+		seedFuncs["math/rand."+name] = GlobalRand
+		seedFuncs["math/rand/v2."+name] = GlobalRand
+	}
+}
+
+// Seed returns the ambient taint a direct call to fn introduces, for
+// the stdlib sources Magellan bans from its deterministic core. Only
+// package-level functions seed taint: methods on *rand.Rand or
+// injected clocks are the sanctioned alternative.
+func Seed(fn *types.Func) Bits {
+	if fn == nil || fn.Pkg() == nil {
+		return 0
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return 0
+	}
+	return seedFuncs[fn.Pkg().Path()+"."+fn.Name()]
+}

@@ -1,0 +1,154 @@
+package facts_test
+
+import (
+	"bytes"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/facts"
+)
+
+func TestBitsString(t *testing.T) {
+	cases := []struct {
+		bits facts.Bits
+		want string
+	}{
+		{0, "none"},
+		{facts.WallClock, "wall-clock"},
+		{facts.WallClock | facts.Env, "wall-clock,env"},
+		{facts.GlobalRand | facts.NoExit, "global-rand,no-exit"},
+	}
+	for _, tc := range cases {
+		if got := tc.bits.String(); got != tc.want {
+			t.Errorf("Bits(%b).String() = %q, want %q", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestStoreAddGrowthSemantics(t *testing.T) {
+	s := facts.NewStore()
+	if !s.Add("p.F", facts.WallClock) {
+		t.Error("first Add reported no growth")
+	}
+	if s.Add("p.F", facts.WallClock) {
+		t.Error("re-adding the same bit reported growth")
+	}
+	if !s.Add("p.F", facts.Env) {
+		t.Error("adding a new bit reported no growth")
+	}
+	if got := s.Get("p.F"); got != facts.WallClock|facts.Env {
+		t.Errorf("Get = %v, want wall-clock,env", got)
+	}
+	if s.Add("", facts.WallClock) {
+		t.Error("empty key must be ignored")
+	}
+	if s.Add("p.G", 0) {
+		t.Error("zero bits must be ignored")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	pkg := types.NewPackage("example.com/internal/obs", "obs")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "Now", sig)
+	if got := facts.KeyOf(fn); got != "example.com/internal/obs.Now" {
+		t.Errorf("KeyOf(func) = %q", got)
+	}
+
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "Clock", nil), types.NewStruct(nil, nil), nil)
+	for _, recvType := range []types.Type{named, types.NewPointer(named)} {
+		recv := types.NewVar(token.NoPos, pkg, "c", recvType)
+		msig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+		m := types.NewFunc(token.NoPos, pkg, "Read", msig)
+		if got := facts.KeyOf(m); got != "example.com/internal/obs.(Clock).Read" {
+			t.Errorf("KeyOf(method %T receiver) = %q, want pointer-erased key", recvType, got)
+		}
+	}
+
+	if got := facts.KeyOf(nil); got != "" {
+		t.Errorf("KeyOf(nil) = %q, want empty", got)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := facts.NewStore()
+	s.Add("example.com/a.F", facts.WallClock)
+	s.Add("example.com/a.G", facts.Env|facts.GlobalRand)
+	s.Add("example.com/a.(T).M", facts.NoExit)
+	s.Add("example.com/b.H", facts.WallClock)
+
+	var buf bytes.Buffer
+	if err := s.ExportPackage(&buf, "example.com/a"); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	exported := buf.String()
+	if strings.Contains(exported, "example.com/b.H") {
+		t.Error("export leaked another package's facts")
+	}
+
+	dst := facts.NewStore()
+	if err := dst.Import(strings.NewReader(exported)); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	for key, want := range map[string]facts.Bits{
+		"example.com/a.F":     facts.WallClock,
+		"example.com/a.G":     facts.Env | facts.GlobalRand,
+		"example.com/a.(T).M": facts.NoExit,
+	} {
+		if got := dst.Get(key); got != want {
+			t.Errorf("after round trip, Get(%q) = %v, want %v", key, got, want)
+		}
+	}
+	if dst.Get("example.com/b.H") != 0 {
+		t.Error("import grew facts outside the exported package")
+	}
+
+	// Deterministic: exporting the same store twice is byte-identical.
+	var buf2 bytes.Buffer
+	if err := s.ExportPackage(&buf2, "example.com/a"); err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if buf2.String() != exported {
+		t.Error("export is not deterministic")
+	}
+}
+
+func TestSeed(t *testing.T) {
+	timePkg := types.NewPackage("time", "time")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	now := types.NewFunc(token.NoPos, timePkg, "Now", sig)
+	if got := facts.Seed(now); got != facts.WallClock {
+		t.Errorf("Seed(time.Now) = %v, want wall-clock", got)
+	}
+
+	randPkg := types.NewPackage("math/rand/v2", "rand")
+	intn := types.NewFunc(token.NoPos, randPkg, "IntN", sig)
+	if got := facts.Seed(intn); got != facts.GlobalRand {
+		t.Errorf("Seed(rand/v2.IntN) = %v, want global-rand", got)
+	}
+
+	osPkg := types.NewPackage("os", "os")
+	getenv := types.NewFunc(token.NoPos, osPkg, "Getenv", sig)
+	if got := facts.Seed(getenv); got != facts.Env {
+		t.Errorf("Seed(os.Getenv) = %v, want env", got)
+	}
+
+	// Methods never seed: *rand.Rand is the sanctioned injected form.
+	named := types.NewNamed(types.NewTypeName(token.NoPos, randPkg, "Rand", nil), types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, randPkg, "r", types.NewPointer(named))
+	msig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	method := types.NewFunc(token.NoPos, randPkg, "IntN", msig)
+	if got := facts.Seed(method); got != 0 {
+		t.Errorf("Seed((*rand.Rand).IntN) = %v, want none", got)
+	}
+
+	constructor := types.NewFunc(token.NoPos, randPkg, "New", sig)
+	if got := facts.Seed(constructor); got != 0 {
+		t.Errorf("Seed(rand.New) = %v, want none (constructors are clean)", got)
+	}
+}

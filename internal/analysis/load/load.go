@@ -24,7 +24,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // A Package is one parsed, type-checked package.
@@ -33,6 +37,10 @@ type Package struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+
+	// Imports lists the package's direct imports, used to order
+	// cross-package fact propagation.
+	Imports []string
 
 	Fset      *token.FileSet
 	Syntax    []*ast.File
@@ -52,6 +60,7 @@ type listPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
@@ -60,6 +69,12 @@ type listPackage struct {
 
 // Packages loads the packages matching patterns (as understood by `go
 // list`) rooted at dir, returning one Package per matched package.
+//
+// Packages are parsed and type-checked concurrently, one worker per
+// CPU. Each worker owns a gc-export-data importer whose package cache
+// survives across the packages that worker checks, so shared
+// dependencies (the stdlib, internal leaf packages) are decoded from
+// export data once per worker rather than once per package.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -74,13 +89,14 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly {
-			targets = append(targets, lp)
+		if lp.DepOnly {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("load: dependency %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			continue
 		}
+		targets = append(targets, lp)
 	}
-	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports)
-	var pkgs []*Package
 	for _, lp := range targets {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
@@ -88,16 +104,49 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if len(lp.CgoFiles) > 0 {
 			return nil, fmt.Errorf("load: %s uses cgo, which this loader does not support", lp.ImportPath)
 		}
-		var files []string
-		for _, f := range lp.GoFiles {
-			files = append(files, filepath.Join(lp.Dir, f))
-		}
-		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, files)
+	}
+
+	fset := token.NewFileSet() // safe for concurrent use
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	workers := min(runtime.GOMAXPROCS(0), len(targets))
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One importer (and thus one export-data cache) per worker.
+			imp := newExportImporter(fset, exports)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				lp := targets[i]
+				var files []string
+				for _, f := range lp.GoFiles {
+					files = append(files, filepath.Join(lp.Dir, f))
+				}
+				pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, files)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				pkg.Name = lp.Name
+				pkg.Imports = lp.Imports
+				pkgs[i] = pkg
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkg.Name = lp.Name
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
@@ -108,39 +157,90 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 // import standard-library packages; those are resolved through the
 // export data of the surrounding toolchain.
 func Dir(dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := loadFixtures(map[string]string{importPath: dir}, []string{importPath})
 	if err != nil {
-		return nil, fmt.Errorf("load: %w", err)
+		return nil, err
 	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
+	return pkgs[0], nil
+}
+
+// Dirs loads fixture packages rooted at srcRoot (each import path maps
+// to srcRoot/<importpath>), type-checked together so fixtures may
+// import one another: packages are checked in dependency order and an
+// already-checked fixture satisfies the imports of later ones.
+// Imports outside the fixture set resolve through toolchain export
+// data, as in Packages.
+func Dirs(srcRoot string, importPaths []string) ([]*Package, error) {
+	dirs := make(map[string]string, len(importPaths))
+	for _, path := range importPaths {
+		dirs[path] = filepath.Join(srcRoot, filepath.FromSlash(path))
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("load: no .go files in %s", dir)
-	}
+	return loadFixtures(dirs, importPaths)
+}
+
+// loadFixtures is the shared fixture loader: dirs maps each import
+// path to the directory holding its sources.
+func loadFixtures(dirs map[string]string, importPaths []string) ([]*Package, error) {
 	fset := token.NewFileSet()
-	// Parse first so we know which imports need export data.
-	syntax, firstErr := parseFiles(fset, files)
-	if firstErr != nil {
-		return nil, firstErr
+	type fixture struct {
+		importPath string
+		dir        string
+		files      []string
+		syntax     []*ast.File
+		imports    []string
+		pkg        *Package
 	}
-	var imports []string
-	seen := make(map[string]bool)
-	for _, f := range syntax {
-		for _, spec := range f.Imports {
-			path := strings.Trim(spec.Path.Value, `"`)
-			if path != "unsafe" && !seen[path] {
-				seen[path] = true
-				imports = append(imports, path)
+	fixtures := make([]*fixture, 0, len(importPaths))
+	inSet := make(map[string]*fixture)
+	external := make(map[string]bool)
+	for _, path := range importPaths {
+		dir := dirs[path]
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("load: no .go files in %s", dir)
+		}
+		syntax, err := parseFiles(fset, files)
+		if err != nil {
+			return nil, err
+		}
+		fx := &fixture{importPath: path, dir: dir, files: files, syntax: syntax}
+		seen := make(map[string]bool)
+		for _, f := range syntax {
+			for _, spec := range f.Imports {
+				p := strings.Trim(spec.Path.Value, `"`)
+				if p != "unsafe" && !seen[p] {
+					seen[p] = true
+					fx.imports = append(fx.imports, p)
+				}
+			}
+		}
+		fixtures = append(fixtures, fx)
+		inSet[path] = fx
+	}
+	for _, fx := range fixtures {
+		for _, p := range fx.imports {
+			if inSet[p] == nil {
+				external[p] = true
 			}
 		}
 	}
 	exports := make(map[string]string)
-	if len(imports) > 0 {
-		listed, err := goList(dir, imports...)
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		slices.Sort(paths)
+		listed, err := goList(fixtures[0].dir, paths...)
 		if err != nil {
 			return nil, err
 		}
@@ -150,12 +250,76 @@ func Dir(dir, importPath string) (*Package, error) {
 			}
 		}
 	}
-	imp := newExportImporter(fset, exports)
-	pkg, err := checkParsed(fset, imp, importPath, dir, files, syntax)
-	if err != nil {
-		return nil, err
+	checked := make(map[string]*types.Package)
+	imp := &fixtureImporter{
+		local:    checked,
+		fallback: newExportImporter(fset, exports),
 	}
-	return pkg, nil
+	// Check in dependency order within the set (imports are acyclic in
+	// type-correct Go; a cycle would surface as a missing-import error).
+	// Selection is deterministic: among ready fixtures, lexicographically
+	// first import path wins.
+	emitted := make(map[string]bool)
+	var ordered []*fixture
+	remaining := slices.Clone(fixtures)
+	slices.SortFunc(remaining, func(a, b *fixture) int {
+		return strings.Compare(a.importPath, b.importPath)
+	})
+	for len(remaining) > 0 {
+		progress := false
+		for i, fx := range remaining {
+			ready := true
+			for _, p := range fx.imports {
+				if inSet[p] != nil && !emitted[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				ordered = append(ordered, fx)
+				emitted[fx.importPath] = true
+				remaining = slices.Delete(remaining, i, i+1)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			// Import cycle among fixtures: append the rest; the type
+			// checker will report the unresolvable import.
+			ordered = append(ordered, remaining...)
+			break
+		}
+	}
+	for _, fx := range ordered {
+		pkg, err := checkParsed(fset, imp, fx.importPath, fx.dir, fx.files, fx.syntax)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Imports = fx.imports
+		fx.pkg = pkg
+		if pkg.Types != nil {
+			checked[fx.importPath] = pkg.Types
+		}
+	}
+	out := make([]*Package, len(fixtures))
+	for i, fx := range fixtures {
+		out[i] = fx.pkg
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves fixture-set packages from memory and
+// everything else through export data.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p := fi.local[path]; p != nil {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
 }
 
 // goList runs `go list -e -export -deps -json` over the patterns in dir

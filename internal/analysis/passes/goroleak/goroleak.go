@@ -1,0 +1,112 @@
+// Package goroleak flags goroutines with no reachable stop path: a
+// `go` statement whose body's control-flow graph can never reach its
+// exit. Such a goroutine cannot be joined, drained, or shut down — it
+// holds its stack, its captured references, and whatever it loops over
+// until the process dies. One is an accepted daemon; dozens per ingest
+// shard are a leak. The sharded ingest fleet and parallel tick
+// execution on the roadmap will multiply goroutine launch sites, so
+// the invariant is: every goroutine observes some stop signal.
+//
+// The check is CFG-based, not syntactic: `for { select { case <-stop:
+// return ... } }` has a path to the exit and is clean; `for { work() }`
+// and `select {}` do not and are flagged; `for msg := range ch` is
+// clean because a closed channel ends the range. Functions that can
+// never return publish the facts.NoExit fact, so `go pkg.Forever()`
+// is flagged across package boundaries, and a call to such a function
+// severs fall-through inside any caller's CFG (a function whose last
+// act is calling a non-returning function is itself non-returning).
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+	"github.com/magellan-p2p/magellan/internal/analysis/cfg"
+	"github.com/magellan-p2p/magellan/internal/analysis/facts"
+)
+
+// Analyzer is the goroutine-leak checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "flag goroutines whose body can never reach its exit — no " +
+		"return, no closing channel, no observed stop signal on any " +
+		"control-flow path",
+	Facts: computeFacts,
+	Run:   run,
+}
+
+// computeFacts publishes facts.NoExit for every function whose CFG
+// cannot reach its exit. Iterated to a package-local fixpoint so a
+// wrapper that only calls a local non-returning function is itself
+// marked.
+func computeFacts(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for changed := true; changed; {
+		changed = false
+		term := analysis.CallTerminator(info, pass.Facts)
+		for _, file := range pass.Files() {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g := cfg.New(fd.Body, cfg.Options{CallTerm: term})
+				if !g.CanReachExit() {
+					if pass.Facts.Add(facts.KeyOf(fn), facts.NoExit) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	term := analysis.CallTerminator(info, pass.Facts)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				g := cfg.New(fun.Body, cfg.Options{CallTerm: term})
+				if !g.CanReachExit() {
+					pass.Reportf(gs.Go, "goroutine body has no reachable stop path: "+
+						"no control-flow path returns or observes a stop signal; "+
+						"give it a context, stop channel, or bounded input")
+				}
+			default:
+				fn := analysis.Callee(info, gs.Call)
+				if fn == nil {
+					return true
+				}
+				if pass.Facts.Get(facts.KeyOf(fn))&facts.NoExit != 0 {
+					pass.Reportf(gs.Go, "goroutine runs %s, which can never return: "+
+						"no control-flow path reaches its exit; give it a stop signal",
+						calleeLabel(fn))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeLabel(fn *types.Func) string {
+	if recv := analysis.ReceiverNamed(fn); recv != nil {
+		return fn.Pkg().Name() + "." + recv.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

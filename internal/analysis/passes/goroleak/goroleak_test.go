@@ -1,0 +1,13 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "../../testdata", goroleak.Analyzer,
+		"goroleakdepfx", "goroleakfx")
+}

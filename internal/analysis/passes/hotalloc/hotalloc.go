@@ -1,0 +1,316 @@
+// Package hotalloc polices per-iteration allocation in code that has
+// declared itself hot. A file (comment anywhere in the file, by
+// convention above the package clause) or a single function (in its
+// doc comment) opts in with the directive:
+//
+//	//magellan:hotpath
+//
+// Inside every loop of a tagged scope, three allocation patterns are
+// flagged — the ones that undid the PR 2 zero-alloc graph kernels most
+// often in review:
+//
+//  1. append to a slice declared outside the loop without capacity
+//     (`var s []T`, `s := []T{}`, `s := make([]T, 0)`): each growth
+//     reallocates; size the make with an explicit capacity;
+//  2. fmt.Sprintf and friends: every call allocates the formatted
+//     string (and boxes the arguments); format once outside the loop
+//     or use strconv/append primitives;
+//  3. closures that escape the iteration (assigned, passed as an
+//     argument, deferred, or launched as a goroutine): each iteration
+//     allocates a fresh closure (and often moves captured variables to
+//     the heap); hoist the closure out of the loop or pass state
+//     explicitly. An immediately-invoked literal stays legal.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag per-iteration allocation in //magellan:hotpath scopes: " +
+		"append without preallocation, fmt.Sprint*, and escaping " +
+		"closures inside loops",
+	Run: run,
+}
+
+// directive is the opt-in marker.
+const directive = "//magellan:hotpath"
+
+// fmtAllocFuncs are fmt functions that allocate their result.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": false, // Appendf writes into a caller buffer: legal
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Files() {
+		fileTagged := fileHasDirective(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !fileTagged && !docHasDirective(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+// fileHasDirective looks for the directive above the package clause;
+// comments further down tag at most their own function.
+func fileHasDirective(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if isDirective(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func docHasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isDirective(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isDirective(text string) bool {
+	rest, ok := strings.CutPrefix(text, directive)
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// checkFunc walks fd's body looking for loops, then scans each loop
+// body (including nested loops, attributed to the innermost) for the
+// three allocation patterns.
+func checkFunc(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	// declaredInLoop tracks slice objects declared inside a loop body;
+	// they are excluded from rule 1 (a fresh slice per iteration is a
+	// different smell, and sizing it needs no hoisting). declSites maps
+	// every object declared in this function to its initializer (or
+	// noInitializer for a bare var).
+	var inspect func(n ast.Node, inLoop bool)
+	declaredInLoop := map[types.Object]bool{}
+	declSites := collectDeclSites(info, fd.Body)
+
+	markDecls := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				if m.Tok == token.DEFINE {
+					for _, lhs := range m.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								declaredInLoop[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := m.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								if obj := info.Defs[id]; obj != nil {
+									declaredInLoop[obj] = true
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	inspect = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if !inLoop {
+					markDecls(m.Body)
+					inspect(m.Body, true)
+					return false
+				}
+			case *ast.RangeStmt:
+				if !inLoop {
+					markDecls(m.Body)
+					inspect(m.Body, true)
+					return false
+				}
+			case *ast.FuncLit:
+				if !inLoop {
+					return true
+				}
+				if escapes(m, n) {
+					pass.Reportf(m.Pos(), "closure allocated per loop iteration in a "+
+						"hotpath scope; hoist it out of the loop or pass state explicitly")
+				}
+				return true
+			case *ast.CallExpr:
+				if !inLoop {
+					return true
+				}
+				checkCall(pass, info, m, declaredInLoop, declSites)
+			}
+			return true
+		})
+	}
+	inspect(fd.Body, false)
+}
+
+// checkCall flags fmt.Sprint* calls and growth appends inside a loop.
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, declaredInLoop map[types.Object]bool, declSites map[types.Object]ast.Node) {
+	if fn := analysis.Callee(info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "fmt.%s allocates on every loop iteration in a "+
+				"hotpath scope; format outside the loop or use append/strconv primitives",
+				fn.Name())
+		}
+		return
+	}
+	// append(x, ...) where x is an identifier declared outside the loop
+	// without capacity. The ident must resolve to the builtin — a
+	// user-defined append shadows it and is not a growth call.
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[target]
+	if obj == nil || declaredInLoop[obj] {
+		return
+	}
+	if declWithoutCap(info, obj, declSites) {
+		pass.Reportf(call.Pos(), "append to %s grows an unpreallocated slice inside a "+
+			"hotpath loop; declare it with make(…, 0, n) sized to the expected length",
+			target.Name)
+	}
+}
+
+// escapes reports whether lit outlives the expression it appears in:
+// it is not the function operand of an immediate call.
+func escapes(lit *ast.FuncLit, root ast.Node) bool {
+	escaping := true
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ast.Unparen(call.Fun) == lit {
+				escaping = false
+				return false
+			}
+		}
+		return true
+	})
+	return escaping
+}
+
+// noInitializer marks a `var s []T` declaration with no init expression.
+type noInitializer struct{ ast.Expr }
+
+// collectDeclSites maps every object declared in body to its
+// initializer expression (noInitializer for a bare var declaration).
+// Parameters, fields, and declarations outside body are absent, which
+// declWithoutCap treats as legal.
+func collectDeclSites(info *types.Info, body *ast.BlockStmt) map[types.Object]ast.Node {
+	sites := map[types.Object]ast.Node{}
+	record := func(id *ast.Ident, init ast.Node) {
+		if obj := info.Defs[id]; obj != nil {
+			sites[obj] = init
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, ast.Unparen(n.Rhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, id := range n.Names {
+					record(id, noInitializer{})
+				}
+				return true
+			}
+			if len(n.Values) != len(n.Names) {
+				return true
+			}
+			for i, id := range n.Names {
+				record(id, ast.Unparen(n.Values[i]))
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// declWithoutCap reports whether obj is a slice variable whose
+// declaration visibly lacks a capacity: `var s []T` (no initializer),
+// `s := []T{}` (empty literal), or `s := make([]T, 0)` (two-argument
+// make with constant zero length). Parameters, fields, and
+// declarations the analysis cannot see default to legal.
+func declWithoutCap(info *types.Info, obj types.Object, declSites map[types.Object]ast.Node) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	switch d := declSites[obj].(type) {
+	case noInitializer:
+		return true
+	case *ast.CompositeLit:
+		return len(d.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(d.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if len(d.Args) != 2 {
+			return false
+		}
+		tv, ok := info.Types[d.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}

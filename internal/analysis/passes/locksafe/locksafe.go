@@ -1,34 +1,26 @@
-// Package locksafe enforces two locking invariants on the trace-server
-// path (and everywhere else):
+// Package locksafe enforces the no-copy locking invariant on the
+// trace-server path (and everywhere else): values whose type contains
+// a sync primitive are never copied — not as parameters, receivers,
+// call arguments, range values, or plain assignments.
 //
-//  1. values whose type contains a sync primitive are never copied —
-//     not as parameters, receivers, call arguments, range values, or
-//     plain assignments;
-//  2. a mutex is never held across a blocking operation — channel
-//     sends/receives, selects, network I/O, time.Sleep, or
-//     WaitGroup.Wait — the pattern that turns one slow UDP peer into a
-//     stalled ingest pipeline.
-//
-// The blocking check is flow-insensitive within a statement list: it
-// tracks Lock/Unlock pairs per receiver expression and treats a
-// deferred Unlock as holding the lock to the end of the function.
+// The companion invariant — a mutex is never held across a blocking
+// operation — used to live here as a same-statement-list heuristic; it
+// is now enforced flow-sensitively by the lockspan analyzer, which
+// propagates held-lock facts over the control-flow graph.
 package locksafe
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"slices"
-	"strings"
 
 	"github.com/magellan-p2p/magellan/internal/analysis"
 )
 
-// Analyzer is the lock-discipline checker.
+// Analyzer is the lock-copy checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
-	Doc: "flag copies of lock-bearing values and mutexes held across " +
-		"blocking channel/network operations",
+	Doc: "flag copies of lock-bearing values (parameters, receivers, " +
+		"assignments, range values, call arguments)",
 	Run: run,
 }
 
@@ -38,23 +30,10 @@ var syncLocks = map[string]bool{
 	"Cond": true, "Map": true, "Pool": true,
 }
 
-// blockingMethods are method names that block on the network regardless
-// of receiver package (they appear on *net.UDPConn, net.PacketConn,
-// net.Listener, and wrappers thereof).
-var blockingMethods = map[string]bool{
-	"ReadFromUDP": true, "ReadMsgUDP": true, "WriteToUDP": true, "WriteMsgUDP": true,
-	"ReadFrom": true, "WriteTo": true, "Accept": true, "AcceptTCP": true, "AcceptUDP": true,
-}
-
 func run(pass *analysis.Pass) error {
 	info := pass.Pkg.TypesInfo
 	for _, file := range pass.Files() {
 		checkCopies(pass, info, file)
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				walkBlock(pass, info, fd.Body.List, map[string]bool{})
-			}
-		}
 	}
 	return nil
 }
@@ -194,172 +173,4 @@ func lockBearingRec(t types.Type, seen map[types.Type]bool) (string, bool) {
 		return lockBearingRec(u.Elem(), seen)
 	}
 	return "", false
-}
-
-// --- invariant 2: no blocking operations while a lock is held ---
-
-// walkBlock scans a statement list in order, tracking which receiver
-// expressions currently hold a lock. Nested blocks get a copy of the
-// state: a lock taken inside an if-arm does not leak out of it.
-func walkBlock(pass *analysis.Pass, info *types.Info, stmts []ast.Stmt, held map[string]bool) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			if recv, op, ok := lockCall(info, s.X); ok {
-				switch op {
-				case "Lock", "RLock":
-					held[recv] = true
-					continue
-				case "Unlock", "RUnlock":
-					delete(held, recv)
-					continue
-				}
-			}
-		case *ast.DeferStmt:
-			if _, op, ok := lockCall(info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
-				continue // lock intentionally held to function end; keep tracking
-			}
-		case *ast.BlockStmt:
-			walkBlock(pass, info, s.List, clone(held))
-			continue
-		case *ast.IfStmt:
-			scanIfHeld(pass, info, s.Init, held)
-			scanIfHeld(pass, info, s.Cond, held)
-			walkBlock(pass, info, s.Body.List, clone(held))
-			if s.Else != nil {
-				walkBlock(pass, info, []ast.Stmt{s.Else}, clone(held))
-			}
-			continue
-		case *ast.ForStmt:
-			scanIfHeld(pass, info, s.Init, held)
-			scanIfHeld(pass, info, s.Cond, held)
-			scanIfHeld(pass, info, s.Post, held)
-			walkBlock(pass, info, s.Body.List, clone(held))
-			continue
-		case *ast.RangeStmt:
-			scanIfHeld(pass, info, s.X, held)
-			if len(held) > 0 {
-				if tv, ok := info.Types[s.X]; ok {
-					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-						reportHeld(pass, s.X.Pos(), held, "a channel range")
-					}
-				}
-			}
-			walkBlock(pass, info, s.Body.List, clone(held))
-			continue
-		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-			scanIfHeld(pass, info, s, held)
-			continue
-		}
-		scanIfHeld(pass, info, stmt, held)
-	}
-}
-
-// scanIfHeld looks for blocking operations inside node while any lock
-// is held. Function literals are skipped: their bodies run elsewhere.
-func scanIfHeld(pass *analysis.Pass, info *types.Info, node ast.Node, held map[string]bool) {
-	if node == nil || len(held) == 0 {
-		return
-	}
-	switch node.(type) {
-	case ast.Expr, ast.Stmt:
-	default:
-		return
-	}
-	ast.Inspect(node, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.SendStmt:
-			reportHeld(pass, n.Arrow, held, "a channel send")
-		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
-				reportHeld(pass, n.OpPos, held, "a channel receive")
-			}
-		case *ast.SelectStmt:
-			if !hasDefault(n) {
-				reportHeld(pass, n.Select, held, "a blocking select")
-			}
-		case *ast.CallExpr:
-			if name, blocking := blockingCall(info, n); blocking {
-				reportHeld(pass, n.Pos(), held, name)
-			}
-		}
-		return true
-	})
-}
-
-func reportHeld(pass *analysis.Pass, pos token.Pos, held map[string]bool, what string) {
-	names := make([]string, 0, len(held))
-	for name := range held {
-		names = append(names, name)
-	}
-	slices.Sort(names)
-	pass.Reportf(pos, "%s is held across %s; shrink the critical section",
-		strings.Join(names, ", "), what)
-}
-
-// lockCall matches expr against recv.{Lock,RLock,Unlock,RUnlock}() where
-// the method comes from package sync (directly or via embedding).
-func lockCall(info *types.Info, expr ast.Expr) (recv, op string, ok bool) {
-	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	fn, isFn := info.Uses[sel.Sel].(*types.Func)
-	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-		return types.ExprString(sel.X), fn.Name(), true
-	}
-	return "", "", false
-}
-
-// blockingCall recognizes calls that can block indefinitely.
-func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
-	fn := analysis.Callee(info, call)
-	if fn == nil {
-		return "", false
-	}
-	if analysis.IsPkgFunc(fn, "time", "Sleep") {
-		return "time.Sleep", true
-	}
-	recv := analysis.ReceiverNamed(fn)
-	if recv == nil {
-		return "", false
-	}
-	if analysis.NamedFrom(recv, "sync", "WaitGroup") && fn.Name() == "Wait" {
-		return "WaitGroup.Wait", true
-	}
-	if blockingMethods[fn.Name()] {
-		return "network I/O (" + fn.Name() + ")", true
-	}
-	if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "net" &&
-		(fn.Name() == "Read" || fn.Name() == "Write") {
-		return "network I/O (" + fn.Name() + ")", true
-	}
-	return "", false
-}
-
-func hasDefault(sel *ast.SelectStmt) bool {
-	for _, clause := range sel.Body.List {
-		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
-			return true
-		}
-	}
-	return false
-}
-
-func clone(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }

@@ -1,0 +1,13 @@
+package lockspan_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/lockspan"
+)
+
+func TestLockSpan(t *testing.T) {
+	analysistest.Run(t, "../../testdata", lockspan.Analyzer,
+		"example.com/internal/trace/spanfx", "lockspanfx")
+}

@@ -1,0 +1,125 @@
+// Package timetaint is the flow-aware successor to the determinism
+// pass's syntactic ban-list. determinism flags a *direct* call to
+// time.Now or global math/rand inside the simulator core; timetaint
+// closes the laundering hole: a helper in an unrestricted package that
+// reads the wall clock taints every function that calls it, and a call
+// from a restricted package into any tainted out-of-core function is a
+// finding.
+//
+// Taint is computed as a cross-package fact (facts.WallClock,
+// facts.GlobalRand, facts.Env) during the fact phase, which the
+// framework runs in import order: by the time internal/sim is
+// analyzed, internal/obs's fact set is already in the store. Within a
+// package, taint iterates to a fixpoint, so mutually recursive helpers
+// converge. Propagation follows static calls only — an ambient read
+// behind an injected func value or interface is the sanctioned
+// pattern, precisely because injection makes the dependency visible at
+// the construction site, where determinism polices it.
+package timetaint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+	"github.com/magellan-p2p/magellan/internal/analysis/facts"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/determinism"
+)
+
+// Analyzer is the transitive-ambient-state checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "timetaint",
+	Doc: "flag calls from the simulator core into functions that " +
+		"transitively read the wall clock, the global math/rand state, or " +
+		"the process environment (cross-package taint propagation)",
+	Facts: computeFacts,
+	Run:   run,
+}
+
+// computeFacts publishes the ambient-taint fact set of every function
+// defined in this package: the union of seed taints (direct stdlib
+// ambient reads) and the taints of statically-called functions whose
+// facts are already known.
+func computeFacts(pass *analysis.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files() {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := facts.KeyOf(fn)
+				var bits facts.Bits
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := analysis.Callee(info, call)
+					if callee == nil {
+						return true
+					}
+					bits |= facts.Seed(callee)
+					bits |= pass.Facts.Get(facts.KeyOf(callee)) & facts.Ambient
+					return true
+				})
+				if pass.Facts.Add(key, bits) {
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InInternalSegment(pass.Path(), determinism.Restricted) {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if facts.Seed(callee) != 0 {
+				return true // a direct ambient read is determinism's finding
+			}
+			// Callees inside the restricted core are analyzed (and
+			// their own ambient reads flagged) where they are defined;
+			// flagging every caller too would only repeat the root
+			// cause up the call chain.
+			if analysis.InInternalSegment(callee.Pkg().Path(), determinism.Restricted) {
+				return true
+			}
+			taint := pass.Facts.Get(facts.KeyOf(callee)) & facts.Ambient
+			if taint == 0 {
+				return true
+			}
+			pass.Reportf(call.Pos(), "call to %s transitively reads ambient state (%s) "+
+				"inside the simulator core; inject the dependency instead",
+				calleeLabel(callee), taint)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeLabel renders pkg.Func or pkg.(Recv).Method for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	if recv := analysis.ReceiverNamed(fn); recv != nil {
+		return fn.Pkg().Name() + "." + recv.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,15 @@
+package timetaint_test
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/analysistest"
+	"github.com/magellan-p2p/magellan/internal/analysis/passes/timetaint"
+)
+
+func TestTimeTaint(t *testing.T) {
+	analysistest.Run(t, "../../testdata", timetaint.Analyzer,
+		"example.com/internal/obsfx",
+		"example.com/internal/sim/taintfx",
+		"example.com/internal/viz/taintfx")
+}

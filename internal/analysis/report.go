@@ -1,0 +1,230 @@
+// Machine-readable emitters and the findings baseline: the JSON report
+// is what CI archives, SARIF is what code-review UIs ingest, and the
+// baseline lets a new analyzer land strict — existing findings are
+// recorded and suppressed while new ones still fail the build.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/load"
+)
+
+// A Finding is one diagnostic in position-resolved, serializable form.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Findings resolves diagnostics into serializable findings with paths
+// relative to root (when possible).
+func Findings(diags []Diagnostic, pkgs []*load.Package, root string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		out = append(out, Finding{
+			File:     name,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// jsonReport is the shape of `magellan-vet -json` output.
+type jsonReport struct {
+	Tool     string    `json:"tool"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteJSON emits the findings as a single JSON document.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if findings == nil {
+		findings = []Finding{}
+	}
+	return enc.Encode(jsonReport{Tool: "magellan-vet", Findings: findings})
+}
+
+// sarif 2.1.0 skeleton, the minimum a viewer needs.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string            `json:"id"`
+	ShortDesc map[string]string `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string            `json:"ruleId"`
+	Level     string            `json:"level"`
+	Message   map[string]string `json:"message"`
+	Locations []sarifLocation   `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log. Analyzer docs
+// become rule descriptions.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: map[string]string{"text": a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: map[string]string{"text": f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "magellan-vet", Rules: rules}}, Results: results}},
+	})
+}
+
+// A Baseline is a recorded set of accepted findings. Entries match on
+// file, analyzer, and message — deliberately not on line number, so
+// unrelated edits that shift a file do not resurrect baselined
+// findings.
+type Baseline struct {
+	entries map[baselineKey]bool
+}
+
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+// baselineEntry is the serialized form.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: make(map[baselineKey]bool, len(entries))}
+	for _, e := range entries {
+		b.entries[baselineKey{File: e.File, Analyzer: e.Analyzer, Message: e.Message}] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline records findings to path, sorted and deduplicated.
+func WriteBaseline(path string, findings []Finding) error {
+	seen := make(map[baselineKey]bool, len(findings))
+	entries := make([]baselineEntry, 0, len(findings))
+	for _, f := range findings {
+		k := baselineKey{File: f.File, Analyzer: f.Analyzer, Message: f.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		entries = append(entries, baselineEntry{File: f.File, Analyzer: f.Analyzer, Message: f.Message})
+	}
+	slices.SortFunc(entries, func(a, b baselineEntry) int {
+		if a.File != b.File {
+			return strings.Compare(a.File, b.File)
+		}
+		if a.Analyzer != b.Analyzer {
+			return strings.Compare(a.Analyzer, b.Analyzer)
+		}
+		return strings.Compare(a.Message, b.Message)
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Covers reports whether f is in the baseline.
+func (b *Baseline) Covers(f Finding) bool {
+	if b == nil {
+		return false
+	}
+	return b.entries[baselineKey{File: f.File, Analyzer: f.Analyzer, Message: f.Message}]
+}
+
+// Filter splits findings into new (not baselined) and accepted.
+func (b *Baseline) Filter(findings []Finding) (fresh, accepted []Finding) {
+	for _, f := range findings {
+		if b.Covers(f) {
+			accepted = append(accepted, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, accepted
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/magellan-p2p/magellan/internal/analysis/cfg"
+	"github.com/magellan-p2p/magellan/internal/analysis/facts"
+)
+
+// exitFuncs are package-level stdlib functions that never return but do
+// terminate the process (or, for Goexit, the goroutine).
+var exitFuncs = map[string]bool{
+	"os.Exit": true, "runtime.Goexit": true,
+	"log.Fatal": true, "log.Fatalf": true, "log.Fatalln": true,
+	"log.Panic": true, "log.Panicf": true, "log.Panicln": true,
+}
+
+// CallTerminator returns a cfg CallTerm classifier: process-exiting
+// stdlib calls are TermExits, and calls to functions carrying the
+// facts.NoExit fact — local or imported — are TermHangs. The builtin
+// panic is handled by the cfg package itself.
+func CallTerminator(info *types.Info, store *facts.Store) func(*ast.CallExpr) cfg.TermKind {
+	return func(call *ast.CallExpr) cfg.TermKind {
+		fn := Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return cfg.TermNone
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			if exitFuncs[fn.Pkg().Path()+"."+fn.Name()] {
+				return cfg.TermExits
+			}
+		}
+		if store != nil && store.Get(facts.KeyOf(fn))&facts.NoExit != 0 {
+			return cfg.TermHangs
+		}
+		return cfg.TermNone
+	}
+}

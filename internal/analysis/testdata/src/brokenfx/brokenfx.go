@@ -1,0 +1,11 @@
+// Package brokenfx deliberately fails to type-check: it is the
+// regression fixture pinning magellan-vet's refusal to analyze broken
+// packages (exit 2, no findings printed). It lives under testdata so
+// ./... wildcards never see it; the driver test loads it by explicit
+// path.
+package brokenfx
+
+// Mismatched returns a string where an int is promised.
+func Mismatched() int {
+	return "not an int"
+}

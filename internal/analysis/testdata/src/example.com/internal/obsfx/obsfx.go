@@ -1,0 +1,44 @@
+// Package obsfx is a stand-in for an unrestricted observability
+// helper package. It legitimately reads ambient state — wall clock,
+// global rand, environment — and exports those taints as cross-package
+// facts. Nothing here is flagged; the findings appear at call sites in
+// restricted packages.
+package obsfx
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// StampMillis reads the wall clock directly: carries WallClock taint.
+func StampMillis() int64 {
+	return time.Now().UnixMilli()
+}
+
+// Elapsed launders the wall clock through one more hop: same taint,
+// found by the package-local fixpoint.
+func Elapsed(start int64) int64 {
+	return StampMillis() - start
+}
+
+// Jitter draws from the global generator: carries GlobalRand taint.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}
+
+// DebugDir reads the environment: carries Env taint.
+func DebugDir() string {
+	return os.Getenv("MAGELLAN_DEBUG_DIR")
+}
+
+// Scale is pure arithmetic: no taint, callable from anywhere.
+func Scale(v, num, den int64) int64 {
+	return v * num / den
+}
+
+// WithClock takes the clock as an injected dependency: no taint — this
+// is the sanctioned pattern the analyzer steers callers toward.
+func WithClock(now func() time.Time) int64 {
+	return now().UnixMilli()
+}

@@ -1,0 +1,45 @@
+// Package taintfx sits inside the restricted simulator core
+// (internal/sim path segment): any call into an out-of-core function
+// that transitively reads ambient state is flagged, even though the
+// ambient read itself happens two packages away.
+package taintfx
+
+import (
+	"time"
+
+	"example.com/internal/obsfx"
+)
+
+// Tainted calls helpers that transitively read the wall clock, the
+// global generator, and the environment: all flagged.
+func Tainted(start int64) int64 {
+	t := obsfx.StampMillis()          // want `call to obsfx\.StampMillis transitively reads ambient state \(wall-clock\)`
+	t += obsfx.Elapsed(start)         // want `call to obsfx\.Elapsed transitively reads ambient state \(wall-clock\)`
+	t += int64(obsfx.Jitter(10))      // want `call to obsfx\.Jitter transitively reads ambient state \(global-rand\)`
+	t += int64(len(obsfx.DebugDir())) // want `call to obsfx\.DebugDir transitively reads ambient state \(env\)`
+	return t
+}
+
+// localHop launders the taint through a package-local helper; the
+// call into obsfx is the finding, attributed where the escape happens.
+func localHop() int64 {
+	return obsfx.StampMillis() // want `call to obsfx\.StampMillis transitively reads ambient state \(wall-clock\)`
+}
+
+// UseLocalHop calls a restricted-core function; the root cause is
+// flagged inside localHop, not repeated here: clean at this site.
+func UseLocalHop() int64 {
+	return localHop()
+}
+
+// Pure calls an untainted helper: clean.
+func Pure(v int64) int64 {
+	return obsfx.Scale(v, 3, 2)
+}
+
+// Injected passes the clock explicitly; obsfx.WithClock carries no
+// taint, and the func value itself is the sanctioned escape: clean
+// here (the determinism pass polices the construction site).
+func Injected(now func() time.Time) int64 {
+	return obsfx.WithClock(now)
+}

@@ -1,0 +1,20 @@
+// Package spanfx is a stand-in for the measurement plane's ingest
+// surface: Submit and Seal do I/O and take their own locks, so callers
+// must never invoke them with a lock held. The lockspan analyzer keys
+// on the internal/trace path segment of the receiver's package.
+package spanfx
+
+// Recorder mimics the trace collector's ingest API.
+type Recorder struct {
+	n int
+}
+
+// Submit ingests one report.
+func (r *Recorder) Submit(v int) {
+	r.n += v
+}
+
+// Seal closes the recorder's current epoch.
+func (r *Recorder) Seal() {
+	r.n = 0
+}

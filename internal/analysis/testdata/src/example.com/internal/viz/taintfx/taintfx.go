@@ -1,0 +1,17 @@
+// Package taintfx (viz flavor) lives outside the restricted core:
+// identical calls into tainted helpers are legal here, because the
+// analysis plane may read wall clocks and environments freely.
+package taintfx
+
+import "example.com/internal/obsfx"
+
+// Stamp calls the same tainted helper the sim fixture does: clean,
+// because internal/viz is not a restricted segment.
+func Stamp() int64 {
+	return obsfx.StampMillis()
+}
+
+// Noise is likewise clean outside the core.
+func Noise(n int) int {
+	return obsfx.Jitter(n)
+}

@@ -1,0 +1,42 @@
+// Package goroleakdepfx is the cross-package half of the goroleak
+// fixture: it defines functions with and without a reachable stop
+// path. Nothing is reported here — the NoExit facts it publishes are
+// consumed at the `go` statements in package goroleakfx.
+package goroleakdepfx
+
+// Forever spins with no stop path: publishes the NoExit fact.
+func Forever(work func()) {
+	for {
+		work()
+	}
+}
+
+// ForeverWrapped only calls Forever; the fixpoint marks it NoExit too.
+func ForeverWrapped(work func()) {
+	ForeverWrapped2(work)
+}
+
+// ForeverWrapped2 is one more hop for the package-local fixpoint.
+func ForeverWrapped2(work func()) {
+	Forever(work)
+}
+
+// Bounded drains a channel and returns when it closes: has a stop
+// path, no fact.
+func Bounded(ch chan int, work func(int)) {
+	for v := range ch {
+		work(v)
+	}
+}
+
+// Stoppable observes a stop channel: has a stop path, no fact.
+func Stoppable(stop chan struct{}, work func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}

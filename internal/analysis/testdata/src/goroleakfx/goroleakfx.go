@@ -1,0 +1,117 @@
+// Package goroleakfx exercises the goroleak analyzer: goroutines whose
+// body can never reach its exit — no return, no closing channel, no
+// observed stop signal on any control-flow path — are flagged, both
+// for function literals and for named callees whose NoExit fact
+// crossed a package boundary.
+package goroleakfx
+
+import (
+	"os"
+
+	"goroleakdepfx"
+)
+
+// SpinLoop launches a bare busy loop: flagged.
+func SpinLoop(work func()) {
+	go func() { // want `goroutine body has no reachable stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+// EmptySelect blocks forever on select{}: flagged.
+func EmptySelect() {
+	go func() { // want `goroutine body has no reachable stop path`
+		select {}
+	}()
+}
+
+// CrossPackage launches a dependency's non-returning function: flagged
+// via the imported NoExit fact.
+func CrossPackage(work func()) {
+	go goroleakdepfx.Forever(work) // want `goroutine runs goroleakdepfx\.Forever, which can never return`
+}
+
+// CrossPackageWrapped reaches the same loop through two wrappers: the
+// fact fixpoint still marks the entry point: flagged.
+func CrossPackageWrapped(work func()) {
+	go goroleakdepfx.ForeverWrapped(work) // want `goroutine runs goroleakdepfx\.ForeverWrapped, which can never return`
+}
+
+// localForever can never return; launching it is flagged via the
+// package-local fact.
+func localForever(work func()) {
+	for {
+		work()
+	}
+}
+
+// LocalNamed launches the local non-returning function: flagged.
+func LocalNamed(work func()) {
+	go localForever(work) // want `goroutine runs goroleakfx\.localForever, which can never return`
+}
+
+// TailHang calls a non-returning function as its last act, so it is
+// itself non-returning; the CFG severs fall-through after the call:
+// flagged.
+func TailHang(work func()) {
+	go func() { // want `goroutine body has no reachable stop path`
+		goroleakdepfx.Forever(work)
+	}()
+}
+
+// StopChannel observes a stop signal: clean.
+func StopChannel(work func()) (stop chan struct{}) {
+	stop = make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	return stop
+}
+
+// DrainRange ends when the channel closes: clean.
+func DrainRange(ch chan int, work func(int)) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// BoundedCallee launches a function with a stop path: clean.
+func BoundedCallee(ch chan int, work func(int)) {
+	go goroleakdepfx.Bounded(ch, work)
+}
+
+// ConditionalReturn has a path out through the condition: clean.
+func ConditionalReturn(done func() bool, work func()) {
+	go func() {
+		for {
+			if done() {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// ExitingLoop ends the process on a condition; os.Exit terminates, so
+// the body has a stop path: clean.
+func ExitingLoop(fatal func() bool, work func()) {
+	go func() {
+		for {
+			if fatal() {
+				os.Exit(1)
+			}
+			work()
+		}
+	}()
+}

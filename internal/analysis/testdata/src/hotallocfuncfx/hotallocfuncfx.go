@@ -1,0 +1,26 @@
+// Package hotallocfuncfx exercises the function-level
+// //magellan:hotpath directive: only the tagged function is checked;
+// identical allocation patterns in untagged siblings stay silent.
+package hotallocfuncfx
+
+import "fmt"
+
+// HotEncode is on the per-tick path.
+//
+//magellan:hotpath
+func HotEncode(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("%d", id)) // want `append to out grows an unpreallocated slice` `fmt\.Sprintf allocates on every loop iteration`
+	}
+	return out
+}
+
+// ColdEncode does the same work off the hot path: untagged, clean.
+func ColdEncode(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("%d", id))
+	}
+	return out
+}

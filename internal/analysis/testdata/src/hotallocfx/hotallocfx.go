@@ -1,0 +1,110 @@
+// Package hotallocfx exercises the hotalloc analyzer inside a
+// file-level //magellan:hotpath scope: per-iteration allocation —
+// growth appends, fmt.Sprint*, escaping closures — is flagged inside
+// loops; preallocated appends, hoisted formatting, and
+// immediately-invoked literals stay clean.
+//
+//magellan:hotpath
+package hotallocfx
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// GrowAppend appends into an unpreallocated slice: flagged.
+func GrowAppend(in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v*2) // want `append to out grows an unpreallocated slice`
+	}
+	return out
+}
+
+// GrowEmptyLiteral starts from an empty literal: flagged.
+func GrowEmptyLiteral(in []int) []int {
+	out := []int{}
+	for _, v := range in {
+		out = append(out, v) // want `append to out grows an unpreallocated slice`
+	}
+	return out
+}
+
+// GrowZeroMake starts from make with no capacity: flagged.
+func GrowZeroMake(in []int) []int {
+	out := make([]int, 0)
+	for _, v := range in {
+		out = append(out, v) // want `append to out grows an unpreallocated slice`
+	}
+	return out
+}
+
+// PreallocAppend sizes the backing array up front: clean.
+func PreallocAppend(in []int) []int {
+	out := make([]int, 0, len(in))
+	for _, v := range in {
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// SprintfPerIteration formats inside the loop: flagged.
+func SprintfPerIteration(ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("peer-%d", id)) // want `fmt\.Sprintf allocates on every loop iteration`
+	}
+	return out
+}
+
+// StrconvPerIteration uses the allocation-light primitive: clean.
+func StrconvPerIteration(ids []int) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, "peer-"+strconv.Itoa(id))
+	}
+	return out
+}
+
+// ClosurePerIteration hands a fresh closure to a sink every pass:
+// flagged.
+func ClosurePerIteration(in []int, sink func(func() int)) {
+	for _, v := range in {
+		sink(func() int { return v }) // want `closure allocated per loop iteration`
+	}
+}
+
+// HoistedClosure allocates the closure once, outside the loop: clean.
+func HoistedClosure(in []int, sink func(func(int) int)) {
+	double := func(v int) int { return v * 2 }
+	for range in {
+		sink(double)
+	}
+}
+
+// ImmediateClosure invokes the literal on the spot; it does not
+// outlive the iteration: clean.
+func ImmediateClosure(in []int) int {
+	total := 0
+	for _, v := range in {
+		total += func() int { return v * v }()
+	}
+	return total
+}
+
+// InnerFresh builds a scratch slice per iteration; sizing it is a
+// different decision and rule 1 stays quiet: clean.
+func InnerFresh(in [][]int) int {
+	total := 0
+	for _, row := range in {
+		var scratch []int
+		scratch = append(scratch, row...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// OutsideLoop formats and appends outside any loop: clean.
+func OutsideLoop(id int) string {
+	return fmt.Sprintf("peer-%d", id)
+}

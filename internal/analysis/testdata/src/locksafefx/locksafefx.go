@@ -1,15 +1,11 @@
 // Package locksafefx exercises the locksafe analyzer: lock-bearing
 // values copied as parameters, receivers, assignments, range values, or
-// call arguments are flagged, as are mutexes held across blocking
-// channel/network operations. Pointer passing and short critical
-// sections stay clean.
+// call arguments are flagged. Pointer passing stays clean. The
+// held-across-blocking cases live in the lockspanfx fixture, which
+// exercises the flow-sensitive lockspan analyzer.
 package locksafefx
 
-import (
-	"net"
-	"sync"
-	"time"
-)
+import "sync"
 
 // Guarded is a typical mutex-bearing aggregate.
 type Guarded struct {
@@ -57,61 +53,11 @@ func ByPointer(mu *sync.Mutex) {
 	mu.Unlock()
 }
 
-// SendWhileLocked holds the mutex across a channel send: flagged.
-func SendWhileLocked(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	ch <- g.n // want `g\.mu is held across a channel send`
-	g.mu.Unlock()
-}
-
-// ReceiveWhileLocked holds the mutex across a channel receive: flagged.
-func ReceiveWhileLocked(g *Guarded, ch chan int) int {
-	g.mu.Lock()
-	v := <-ch // want `g\.mu is held across a channel receive`
-	g.mu.Unlock()
-	return v
-}
-
-// UDPWhileLocked holds the mutex across a UDP read, the exact shape
-// that stalls a trace-server ingest loop: flagged.
-func UDPWhileLocked(g *Guarded, conn *net.UDPConn, buf []byte) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, _, err := conn.ReadFromUDP(buf); err != nil { // want `g\.mu is held across network I/O \(ReadFromUDP\)`
-		return
+// PointerRange iterates by pointer, never copying the aggregate: clean.
+func PointerRange(gs []*Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
 	}
-	g.n++
-}
-
-// SleepWhileLocked holds the mutex across time.Sleep: flagged.
-func SleepWhileLocked(g *Guarded) {
-	g.mu.Lock()
-	time.Sleep(time.Millisecond) // want `g\.mu is held across time\.Sleep`
-	g.mu.Unlock()
-}
-
-// UnlockFirst shrinks the critical section before blocking: clean.
-func UnlockFirst(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	n := g.n
-	g.mu.Unlock()
-	ch <- n
-}
-
-// LockedCompute does plain work under the lock: clean.
-func LockedCompute(g *Guarded) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.n * 2
-}
-
-// InnerBlock takes and releases a lock inside a nested block; the send
-// after the block runs with no lock held: clean.
-func InnerBlock(g *Guarded, ch chan int) {
-	if g != nil {
-		g.mu.Lock()
-		g.n++
-		g.mu.Unlock()
-	}
-	ch <- 1
+	return total
 }

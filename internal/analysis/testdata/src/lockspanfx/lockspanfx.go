@@ -1,0 +1,197 @@
+// Package lockspanfx exercises the lockspan analyzer: a mutex provably
+// held (on any path) across a channel operation, network or file I/O,
+// time.Sleep, WaitGroup.Wait, or a Submit/Seal ingest boundary is
+// flagged. The cases cover the flow-sensitive upgrades over the old
+// same-block heuristic: locks acquired in one branch are still held
+// after the join, held-sets survive loop back-edges, and a deferred
+// Unlock keeps the lock held to every exit.
+package lockspanfx
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"example.com/internal/trace/spanfx"
+)
+
+// Guarded is a typical mutex-bearing aggregate.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// SendWhileLocked holds the mutex across a channel send: flagged.
+func SendWhileLocked(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want `g\.mu is held across a channel send`
+	g.mu.Unlock()
+}
+
+// ReceiveWhileLocked holds the mutex across a channel receive: flagged.
+func ReceiveWhileLocked(g *Guarded, ch chan int) int {
+	g.mu.Lock()
+	v := <-ch // want `g\.mu is held across a channel receive`
+	g.mu.Unlock()
+	return v
+}
+
+// UDPWhileLocked holds the mutex across a UDP read under a deferred
+// unlock, the exact shape that stalls an ingest loop: flagged.
+func UDPWhileLocked(g *Guarded, conn *net.UDPConn, buf []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, _, err := conn.ReadFromUDP(buf); err != nil { // want `g\.mu is held across network I/O \(ReadFromUDP\)`
+		return
+	}
+	g.n++
+}
+
+// SleepWhileLocked holds the mutex across time.Sleep: flagged.
+func SleepWhileLocked(g *Guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `g\.mu is held across time\.Sleep`
+	g.mu.Unlock()
+}
+
+// BranchThenSend locks on one branch only; the send after the join is
+// still reached with the lock held on that path. The old same-block
+// heuristic missed this shape: flagged.
+func BranchThenSend(g *Guarded, ch chan int, fast bool) {
+	if !fast {
+		g.mu.Lock()
+	}
+	ch <- g.n // want `g\.mu is held across a channel send`
+	if !fast {
+		g.mu.Unlock()
+	}
+}
+
+// LoopCarried acquires the lock before the loop; every iteration's
+// receive runs with it held, including via the back-edge: flagged.
+func LoopCarried(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	for i := 0; i < 4; i++ {
+		g.n += <-ch // want `g\.mu is held across a channel receive`
+	}
+	g.mu.Unlock()
+}
+
+// SelectWhileLocked blocks in a select with no default: flagged.
+func SelectWhileLocked(g *Guarded, a, b chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `g\.mu is held across a blocking select`
+	case v := <-a:
+		g.n = v
+	case v := <-b:
+		g.n = v
+	}
+}
+
+// PollWhileLocked uses a default clause, so the select cannot block:
+// clean.
+func PollWhileLocked(g *Guarded, a chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-a:
+		g.n = v
+	default:
+	}
+}
+
+// RangeChanWhileLocked drains a channel with the lock held: flagged.
+func RangeChanWhileLocked(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range ch { // want `g\.mu is held across a channel range`
+		g.n += v
+	}
+}
+
+// FileWhileLocked reads a file with the lock held: flagged.
+func FileWhileLocked(g *Guarded, path string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	data, err := os.ReadFile(path) // want `g\.mu is held across file I/O \(os\.ReadFile\)`
+	if err != nil {
+		return err
+	}
+	g.n = len(data)
+	return nil
+}
+
+// WaitWhileLocked waits on a WaitGroup with the lock held: flagged.
+func WaitWhileLocked(g *Guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want `g\.mu is held across WaitGroup\.Wait`
+	g.mu.Unlock()
+}
+
+// SubmitWhileLocked crosses the ingest boundary with the lock held:
+// flagged.
+func SubmitWhileLocked(g *Guarded, rec *spanfx.Recorder) {
+	g.mu.Lock()
+	rec.Submit(g.n) // want `g\.mu is held across Recorder\.Submit`
+	g.mu.Unlock()
+}
+
+// SealAfterUnlock crosses the ingest boundary only after releasing:
+// clean.
+func SealAfterUnlock(g *Guarded, rec *spanfx.Recorder) {
+	g.mu.Lock()
+	g.n = 0
+	g.mu.Unlock()
+	rec.Seal()
+}
+
+// ClosureWhileLocked blocks inside a function literal that takes its
+// own lock; literals are analyzed as functions in their own right:
+// flagged.
+func ClosureWhileLocked(g *Guarded, ch chan int) func() {
+	return func() {
+		g.mu.Lock()
+		ch <- g.n // want `g\.mu is held across a channel send`
+		g.mu.Unlock()
+	}
+}
+
+// UnlockFirst shrinks the critical section before blocking: clean.
+func UnlockFirst(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// LockedCompute does plain work under the lock: clean.
+func LockedCompute(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n * 2
+}
+
+// InnerBlock takes and releases a lock inside a nested block; the send
+// after the block runs with no lock held: clean.
+func InnerBlock(g *Guarded, ch chan int) {
+	if g != nil {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+	ch <- 1
+}
+
+// BothBranchesRelease unlocks on every path before the send: clean.
+func BothBranchesRelease(g *Guarded, ch chan int, fast bool) {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+	} else {
+		g.n++
+		g.mu.Unlock()
+	}
+	ch <- g.n
+}

@@ -1,0 +1,196 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/analysis"
+	"github.com/magellan-p2p/magellan/internal/analysis/load"
+)
+
+// markAnalyzer reports one finding per call to a function with the
+// given name — a controllable finding source for waiver-matching
+// tests.
+func markAnalyzer(name, funcName string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging calls to " + funcName,
+		Run: func(pass *analysis.Pass) error {
+			for _, file := range pass.Files() {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == funcName {
+						pass.Reportf(call.Pos(), "call to %s", funcName)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// loadSrc writes src as a one-file package in a temp dir and loads it.
+func loadSrc(t *testing.T, src string) *load.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "w.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.Dir(dir, "example.com/waiverfx")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	return pkg
+}
+
+func runWith(t *testing.T, src string, analyzers ...*analysis.Analyzer) *analysis.Result {
+	t.Helper()
+	res, err := analysis.RunAll([]*load.Package{loadSrc(t, src)}, analyzers)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return res
+}
+
+// TestWaiverSuppressesBothFindingsOnOneLine: two findings by two
+// analyzers on the same line, one directive naming both — both are
+// suppressed and the directive counts two uses.
+func TestWaiverSuppressesBothFindingsOnOneLine(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+func beta()  {}
+
+func f() {
+	alpha(); beta() //magellan:allow alpha,beta — test double waiver
+}
+`, markAnalyzer("alpha", "alpha"), markAnalyzer("beta", "beta"))
+	if len(res.Diags) != 0 {
+		t.Errorf("%d findings survived, want 0: %v", len(res.Diags), res.Diags)
+	}
+	if len(res.Waivers) != 1 {
+		t.Fatalf("%d waivers, want 1", len(res.Waivers))
+	}
+	if got := res.Waivers[0].Suppressed; got != 2 {
+		t.Errorf("Suppressed = %d, want 2", got)
+	}
+}
+
+// TestWaiverWrongAnalyzerName: a directive naming a different analyzer
+// suppresses nothing — the finding survives and the directive is stale.
+func TestWaiverWrongAnalyzerName(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+
+func f() {
+	alpha() //magellan:allow beta — names the wrong analyzer
+}
+`, markAnalyzer("alpha", "alpha"))
+	if len(res.Diags) != 1 {
+		t.Fatalf("%d findings, want 1 (wrong-name directive must not suppress)", len(res.Diags))
+	}
+	if len(res.Waivers) != 1 {
+		t.Fatalf("%d waivers, want 1", len(res.Waivers))
+	}
+	if !res.Waivers[0].Stale() {
+		t.Error("wrong-name directive is not reported stale")
+	}
+}
+
+// TestWaiverAdjacentLinesChargeOwnDirectives: directives trailing two
+// adjacent flagged lines each suppress their own line's finding — the
+// first directive's spillover onto the next line must not starve the
+// second directive.
+func TestWaiverAdjacentLinesChargeOwnDirectives(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+
+func f() {
+	alpha() //magellan:allow alpha — first of two adjacent lines
+	alpha() //magellan:allow alpha — second of two adjacent lines
+}
+`, markAnalyzer("alpha", "alpha"))
+	if len(res.Diags) != 0 {
+		t.Errorf("%d findings survived, want 0", len(res.Diags))
+	}
+	if len(res.Waivers) != 2 {
+		t.Fatalf("%d waivers, want 2", len(res.Waivers))
+	}
+	for i, w := range res.Waivers {
+		if w.Suppressed != 1 {
+			t.Errorf("waiver %d at line %d: Suppressed = %d, want 1 each",
+				i, w.Position.Line, w.Suppressed)
+		}
+	}
+}
+
+// TestWaiverOwnLineAboveCoversNextLine: the own-line directive style
+// covers the statement directly below it.
+func TestWaiverOwnLineAboveCoversNextLine(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+
+func f() {
+	//magellan:allow alpha — own-line style
+	alpha()
+}
+`, markAnalyzer("alpha", "alpha"))
+	if len(res.Diags) != 0 {
+		t.Errorf("%d findings survived, want 0", len(res.Diags))
+	}
+	if len(res.Waivers) != 1 || res.Waivers[0].Suppressed != 1 {
+		t.Fatalf("waivers = %+v, want one with Suppressed 1", res.Waivers)
+	}
+}
+
+// TestWaiverDoesNotReachTwoLinesDown: coverage stops at the line
+// directly below the directive.
+func TestWaiverDoesNotReachTwoLinesDown(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+
+func f() {
+	//magellan:allow alpha — too far from the finding
+	_ = 0
+	alpha()
+}
+`, markAnalyzer("alpha", "alpha"))
+	if len(res.Diags) != 1 {
+		t.Errorf("%d findings, want 1 (directive two lines up must not cover)", len(res.Diags))
+	}
+	if len(res.Waivers) != 1 || !res.Waivers[0].Stale() {
+		t.Fatalf("waivers = %+v, want one stale", res.Waivers)
+	}
+}
+
+// TestWaiverAllKeyword: the "all" name suppresses any analyzer.
+func TestWaiverAllKeyword(t *testing.T) {
+	res := runWith(t, `package waiverfx
+
+func alpha() {}
+func beta()  {}
+
+func f() {
+	alpha(); beta() //magellan:allow all — blanket waiver
+}
+`, markAnalyzer("alpha", "alpha"), markAnalyzer("beta", "beta"))
+	if len(res.Diags) != 0 {
+		t.Errorf("%d findings survived under a blanket waiver", len(res.Diags))
+	}
+	if len(res.Waivers) != 1 || res.Waivers[0].Suppressed != 2 {
+		t.Fatalf("waivers = %+v, want one with Suppressed 2", res.Waivers)
+	}
+}

@@ -1,7 +1,9 @@
+//magellan:hotpath
 package core
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/graph"
@@ -60,6 +62,14 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 		delete(liveEdges, e)
 	}
 
+	// cur and record are hoisted out of the epoch loop (one closure and
+	// one map for the whole trace, cleared per epoch) so the per-tick
+	// path allocates nothing for edge collection.
+	cur := make(map[edge]struct{})
+	record := func(from, to isp.Addr) {
+		cur[edge{from, to}] = struct{}{}
+	}
+
 	for _, ep := range epochs {
 		v := NewEpochView(store, ep)
 
@@ -109,10 +119,8 @@ func AnalyzeDynamics(store *trace.Store, threshold uint32) (*DynamicsResult, err
 		prevPartners = curPartners
 
 		// Active-edge lifetimes.
-		cur := make(map[edge]struct{})
-		v.ActiveEdges(threshold, func(from, to isp.Addr) {
-			cur[edge{from, to}] = struct{}{}
-		})
+		clear(cur)
+		v.ActiveEdges(threshold, record)
 		for e := range cur {
 			liveEdges[e]++
 		}
@@ -168,11 +176,15 @@ func AnalyzeSnapshotBias(store *trace.Store, threshold uint32, windows []int) ([
 		}
 	}
 
-	var out []SnapshotBias
-	for _, w := range windows {
-		if w < 1 {
+	// Validate up front so the merge loop below stays allocation-free.
+	if len(windows) > 0 {
+		if w := slices.Min(windows); w < 1 {
 			return nil, fmt.Errorf("core: bias window %d < 1", w)
 		}
+	}
+
+	out := make([]SnapshotBias, 0, len(windows))
+	for _, w := range windows {
 		lo := anchor - w + 1
 		if lo < 0 {
 			lo = 0

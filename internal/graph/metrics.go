@@ -1,3 +1,4 @@
+//magellan:hotpath
 package graph
 
 import (

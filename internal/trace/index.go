@@ -1,3 +1,4 @@
+//magellan:hotpath
 package trace
 
 import (
@@ -58,10 +59,20 @@ func (s *Store) Seal() *Index {
 // reports sit in arrival order.
 func buildIndex(interval time.Duration, epochs map[int64][]Report, j *obs.Journal) *Index {
 	keys := make([]int64, 0, len(epochs))
-	total := 0
+	total, maxLatest, maxVisible := 0, 0, 0
 	for e, reports := range epochs {
 		keys = append(keys, e)
 		total += len(reports)
+		// Size the per-epoch scratch buffers to the worst epoch up
+		// front: maxLatest bounds the dedup buffer (before dedup),
+		// maxVisible bounds reporters plus everyone on their partner
+		// lists, so the loop below never grows either slice.
+		visible := len(reports)
+		for k := range reports {
+			visible += len(reports[k].Partners)
+		}
+		maxLatest = max(maxLatest, len(reports))
+		maxVisible = max(maxVisible, visible)
 	}
 	slices.Sort(keys)
 
@@ -76,8 +87,9 @@ func buildIndex(interval time.Duration, epochs map[int64][]Report, j *obs.Journa
 	}
 
 	slot := make(map[isp.Addr]int32)
-	var latest []Report
-	var all []isp.Addr
+	latest := make([]Report, 0, maxLatest)
+	all := make([]isp.Addr, 0, maxVisible)
+	byAddr := func(a, b Report) int { return cmp.Compare(a.Addr, b.Addr) }
 	for i, e := range keys {
 		ix.pos[e] = i
 
@@ -95,7 +107,7 @@ func buildIndex(interval time.Duration, epochs map[int64][]Report, j *obs.Journa
 				latest = append(latest, r)
 			}
 		}
-		slices.SortFunc(latest, func(a, b Report) int { return cmp.Compare(a.Addr, b.Addr) })
+		slices.SortFunc(latest, byAddr)
 		ix.reports = append(ix.reports, latest...)
 		for k := range latest {
 			ix.addrs = append(ix.addrs, latest[k].Addr)
