@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/faults"
@@ -40,6 +41,8 @@ func run(args []string) error {
 		duration    = fs.Duration("duration", 14*24*time.Hour, "simulated span")
 		tick        = fs.Duration("tick", time.Minute, "bandwidth integration step")
 		concurrency = fs.Float64("concurrency", 600, "target mean simultaneous peers")
+		peersTarget = fs.Float64("peers-target", 0, "target mean simultaneous peers (overrides -concurrency; 0: use -concurrency)")
+		shards      = fs.Int("shards", 1, "exchange-tick worker goroutines (0: GOMAXPROCS); the trace is byte-identical for any value")
 		channels    = fs.Int("channels", 48, "extra channels besides CCTV1/CCTV4")
 		flashcrowd  = fs.Bool("flashcrowd", true, "inject the Oct 6 9pm mid-autumn flash crowd")
 		mode        = fs.String("mode", "mesh", "exchange mode: mesh or tree")
@@ -73,11 +76,27 @@ func run(args []string) error {
 		return nil
 	}
 
+	target := *concurrency
+	if *peersTarget != 0 {
+		if *peersTarget < 0 {
+			return fmt.Errorf("-peers-target must be positive, got %v", *peersTarget)
+		}
+		target = *peersTarget
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", *shards)
+	}
+	workers := *shards
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	cfg := sim.Config{
 		Seed:             *seed,
 		Duration:         *duration,
 		Tick:             *tick,
-		MeanConcurrency:  *concurrency,
+		MeanConcurrency:  target,
+		Shards:           workers,
 		ExtraChannels:    *channels,
 		ISPBlind:         *ispBlind,
 		NoRecommendation: *noRecommend,
@@ -127,14 +146,17 @@ func run(args []string) error {
 	}
 	cfg.Sink = writer
 
+	start := time.Now()
 	if *verbose {
 		cfg.Progress = func(st sim.Stats) {
-			fmt.Fprintf(os.Stderr, "%s online=%d stable=%d joins=%d reports=%d\n",
-				st.Now.Format("2006-01-02 15:04"), st.Online, st.Stable, st.Joins, st.Reports)
+			// peers/sec-of-virtual-time: peer-seconds of overlay simulated
+			// per wall second — the engine-throughput number long runs are
+			// watched by.
+			pvsRate := st.PeerVirtualSeconds / time.Since(start).Seconds()
+			fmt.Fprintf(os.Stderr, "%s online=%d stable=%d joins=%d reports=%d peers/s=%.0f\n",
+				st.Now.Format("2006-01-02 15:04"), st.Online, st.Stable, st.Joins, st.Reports, pvsRate)
 		}
 	}
-
-	start := time.Now()
 	var metricsSrv *http.Server
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()

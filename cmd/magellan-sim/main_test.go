@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -57,6 +58,47 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 func TestRunRejectsBadMode(t *testing.T) {
 	if err := run([]string{"-mode", "carrier-pigeon"}); err == nil {
 		t.Error("bad -mode accepted")
+	}
+}
+
+func TestRunRejectsBadScaleFlags(t *testing.T) {
+	if err := run([]string{"-shards", "-2"}); err == nil {
+		t.Error("negative -shards accepted")
+	}
+	if err := run([]string{"-peers-target", "-50"}); err == nil {
+		t.Error("negative -peers-target accepted")
+	}
+}
+
+// TestShardsProduceIdenticalTrace is the CLI half of the sharding
+// contract: -shards changes throughput, never the trace bytes.
+func TestShardsProduceIdenticalTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := func(name string, shards string) []byte {
+		tracePath := filepath.Join(dir, name+".trace")
+		err := run([]string{
+			"-seed", "5",
+			"-duration", "1h",
+			"-peers-target", "100",
+			"-channels", "2",
+			"-flashcrowd=false",
+			"-shards", shards,
+			"-trace", tracePath,
+			"-ispdb", filepath.Join(dir, name+".ispdb"),
+		})
+		if err != nil {
+			t.Fatalf("run -shards %s: %v", shards, err)
+		}
+		b, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq := out("seq", "1")
+	par := out("par", "0") // GOMAXPROCS workers
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-shards 0 trace differs from -shards 1: %d vs %d bytes", len(par), len(seq))
 	}
 }
 

@@ -20,14 +20,14 @@ var Analyzer = &analysis.Analyzer{
 		"and friends, os environment reads, and obs wall-clock constructors " +
 		"(StartTimer, NewStageProfile, NewLogger, NewWallJournal) inside the " +
 		"simulator core " +
-		"(internal/{sim,des,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
+		"(internal/{sim,des,sched,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
 	Run: run,
 }
 
 // Restricted names the internal/<segment> packages the invariant covers.
 // Everything else (cmd, report, trace, viz) may read the wall clock.
 var Restricted = []string{
-	"sim", "des", "protocol", "stream", "workload",
+	"sim", "des", "sched", "protocol", "stream", "workload",
 	"graph", "isp", "netsim", "core", "gnutella", "faults",
 }
 

@@ -9,7 +9,8 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "../../testdata", determinism.Analyzer,
-		"example.com/internal/sim/detfx", // restricted: flags expected
-		"example.com/internal/viz/detfx", // unrestricted: must stay silent
+		"example.com/internal/sim/detfx",   // restricted: flags expected
+		"example.com/internal/sched/detfx", // restricted: the event scheduler itself
+		"example.com/internal/viz/detfx",   // unrestricted: must stay silent
 	)
 }

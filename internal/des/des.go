@@ -7,24 +7,38 @@
 // than parallelism here, because a reproduction must regenerate identical
 // traces from identical seeds. Events at the same instant fire in
 // scheduling order.
+//
+// Internally events sit in a calendar queue (internal/sched) keyed on
+// (UnixNano, sequence), which keeps per-operation cost O(1) amortized as
+// the pending-event population grows to paper scale. Cancellation is
+// lazy: a canceled event stays queued and is discarded when it surfaces,
+// which is cheaper than heap removal and does not disturb the order of
+// live events.
 package des
 
 import (
-	"container/heap"
 	"time"
+
+	"github.com/magellan-p2p/magellan/internal/sched"
 )
 
 // Handler is an event callback. It receives the virtual time the event
 // fires at.
 type Handler func(now time.Time)
 
+// Event lifecycle states.
+const (
+	statePending = iota
+	stateFired
+	stateCanceled
+)
+
 // Event is a scheduled callback. It can be canceled until it fires.
 type Event struct {
-	at       time.Time
-	seq      uint64
-	fn       Handler
-	canceled bool
-	index    int // heap index, -1 once popped
+	at    time.Time
+	seq   uint64
+	fn    Handler
+	state uint8
 }
 
 // Time returns the instant the event is scheduled for.
@@ -32,31 +46,23 @@ func (e *Event) Time() time.Time { return e.at }
 
 // Scheduler orders events over virtual time.
 type Scheduler struct {
-	now  time.Time
-	pq   eventQueue
-	seq  uint64
-	runs uint64
+	now     time.Time
+	q       *sched.Queue[*Event]
+	seq     uint64
+	runs    uint64
+	pending int
 }
 
 // NewScheduler starts virtual time at the given instant.
 func NewScheduler(start time.Time) *Scheduler {
-	return &Scheduler{now: start}
+	return &Scheduler{now: start, q: sched.NewQueue[*Event]()}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time { return s.now }
 
-// Len returns the number of pending (non-canceled) events. Canceled
-// events still in the heap are not counted.
-func (s *Scheduler) Len() int {
-	n := 0
-	for _, e := range s.pq {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending (non-canceled) events.
+func (s *Scheduler) Len() int { return s.pending }
 
 // Fired returns how many events have executed so far.
 func (s *Scheduler) Fired() uint64 { return s.runs }
@@ -69,7 +75,8 @@ func (s *Scheduler) At(t time.Time, fn Handler) *Event {
 	}
 	s.seq++
 	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.pq, e)
+	s.q.Push(t.UnixNano(), e.seq, e)
+	s.pending++
 	return e
 }
 
@@ -79,41 +86,49 @@ func (s *Scheduler) After(d time.Duration, fn Handler) *Event {
 }
 
 // Cancel prevents a pending event from firing. Canceling a fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. The event slot is reclaimed lazily
+// when it reaches the front of the queue.
 func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
+	if e == nil || e.state != statePending {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.pq, e.index)
+	e.state = stateCanceled
+	s.pending--
 }
 
 // Peek returns the instant of the next pending event.
 func (s *Scheduler) Peek() (time.Time, bool) {
-	for len(s.pq) > 0 {
-		if s.pq[0].canceled {
-			heap.Pop(&s.pq)
+	for {
+		_, _, e, ok := s.q.PeekMin()
+		if !ok {
+			return time.Time{}, false
+		}
+		if e.state == stateCanceled {
+			s.q.PopMin()
 			continue
 		}
-		return s.pq[0].at, true
+		return e.at, true
 	}
-	return time.Time{}, false
 }
 
 // Step fires the next event, advancing virtual time to it. It reports
 // whether an event was fired.
 func (s *Scheduler) Step() bool {
-	for len(s.pq) > 0 {
-		e, _ := heap.Pop(&s.pq).(*Event)
-		if e.canceled {
+	for {
+		_, _, e, ok := s.q.PopMin()
+		if !ok {
+			return false
+		}
+		if e.state == stateCanceled {
 			continue
 		}
+		e.state = stateFired
+		s.pending--
 		s.now = e.at
 		s.runs++
 		e.fn(s.now)
 		return true
 	}
-	return false
 }
 
 // RunUntil fires every event scheduled at or before t (including events
@@ -172,38 +187,4 @@ func (t *Ticker) Stop() {
 	}
 	t.stopped = true
 	t.s.Cancel(t.ev)
-}
-
-// eventQueue is a min-heap on (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e, _ := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
 }

@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"cmp"
 	"math/rand"
 	"slices"
 	"time"
@@ -15,10 +14,11 @@ import (
 // keeps per partner (Sec. 3.2: "the number of sent/received segments over
 // the TCP connection").
 type Partner struct {
-	ID    isp.Addr
-	Port  uint16
-	Link  netsim.Link
-	Added time.Time
+	ID   isp.Addr
+	Port uint16
+	Link netsim.Link
+	// Added is the virtual time the partnership formed, in Unix nanos.
+	Added int64
 
 	// Cumulative segment counters over the connection's lifetime.
 	CumSent float64
@@ -27,37 +27,54 @@ type Partner struct {
 	// carries these and resets them.
 	WinSent float64
 	WinRecv float64
+
+	// peer is the other endpoint's boundary object; Table.PartnerPeer
+	// resolves it with a liveness check, replacing the index-map lookup
+	// the exchange used to do per request.
+	peer *Peer
+	// score is the supplier-selection score, frozen when the
+	// partnership forms: Link.Score is pure and LocalityBias is fixed
+	// before a peer connects, so computing it once replaces a per-tick
+	// recomputation.
+	score float64
+	// recip is the slot of the reciprocal entry in peer's storage.
+	// Slots never move, so the index stays valid for the partnership's
+	// lifetime — the grant path follows it instead of searching by ID.
+	recip int32
+}
+
+// Reciprocal returns the far side's entry for this edge: slots never
+// move, so the stored index resolves without a search. Valid only while
+// the partnership exists.
+func (pt *Partner) Reciprocal() *Partner { return &pt.peer.partners[pt.recip] }
+
+// idEntry pairs a partner ID with its storage slot — the ascending-ID
+// view, 8 bytes per partner, so searches and in-order iteration touch
+// one compact cache-friendly column.
+type idEntry struct {
+	id   isp.Addr
+	slot int32
+}
+
+// rankEntry pairs a frozen selection score with its storage slot — the
+// (score desc, ID asc) supplier-ranking view.
+type rankEntry struct {
+	score float64
+	slot  int32
 }
 
 // MaxDepth is the depth assigned to peers with no supply path from an
 // origin server; only the tree-push ablation consults depths.
 const MaxDepth = 1 << 30
 
-// Peer is a UUSee client's protocol state.
+// Peer is a UUSee client's protocol-state boundary object: the cold
+// identity and partner-list state, plus a handle into the Table holding
+// the hot per-tick columns (rates, quality, throughput accumulators).
 type Peer struct {
 	Host     netsim.Host
 	Port     uint16
 	Channel  string
-	RateKbps float64
 	JoinedAt time.Time
-	// IsServer marks UUSee origin streaming servers: they never depart,
-	// never consume, and never report.
-	IsServer bool
-	// Depth is the peer's hop distance from the origin servers over the
-	// current supply mesh; only the tree-push ablation consults it.
-	Depth int
-
-	// QualityEWMA tracks smoothed playback quality (received rate over
-	// stream rate, capped at 1).
-	QualityEWMA float64
-	// LastSentKbps and LastRecvKbps are the aggregate instantaneous
-	// throughputs measured over the previous tick, as reported to the
-	// trace server.
-	LastSentKbps float64
-	LastRecvKbps float64
-	// ShareEstimate is the per-receiver upload share this peer advertised
-	// after the last tick; receivers use it to size their requests.
-	ShareEstimate float64
 	// StarveCount counts consecutive maintenance rounds below the
 	// starvation quality threshold.
 	StarveCount int
@@ -65,10 +82,6 @@ type Peer struct {
 	// future-work ISP-aware client). 0 reproduces the deployed,
 	// ISP-oblivious selection.
 	LocalityBias float64
-	// TickRecvSeg and TickSentSeg accumulate segments moved during the
-	// current exchange tick; the stream package owns and resets them.
-	TickRecvSeg float64
-	TickSentSeg float64
 
 	// Buffer and PlaySeg are the block-mode state: the sliding-window
 	// buffer map the client advertises to partners, and the playback
@@ -77,131 +90,514 @@ type Peer struct {
 	Buffer  Window
 	PlaySeg float64
 
-	partners map[isp.Addr]*Partner
-	ids      []isp.Addr // sorted partner IDs, rebuilt lazily
-	idsDirty bool
+	tab *Table
+	h   Handle
+	srv bool // mirror of the table's server column; see IsServer
+
+	// The partner-list storage is embedded so its arrays can be parked
+	// in the table when the peer departs and recycled by the slot's
+	// next occupant — under sustained churn the event plane stops
+	// allocating entirely.
+	partnerStore
 }
 
-// NewPeer initializes protocol state for a joining peer (or server).
+// partnerStore is a peer's partner-list storage, built for churn.
+// partners is slot storage: entries are allocated on connect, freed to
+// a free list on disconnect, and never move — which is what lets each
+// edge carry a reciprocal slot index. idcol is the ascending-ID view;
+// searches probe only this compact column, which also keeps the
+// sharded grant phase race-free (concurrent workers write counter
+// fields of entries, never IDs or view columns).
+//
+// rankcol is a bounded window of the (score desc, ID asc) supplier
+// ranking: it holds exactly the top-len(rankcol) edges, and unranked
+// counts the edges ranked strictly after it. The exchange only ever
+// reads the top TargetActive suppliers, so the full ranking is never
+// materialized: an edge scoring below the window costs one comparison
+// to add or remove, and the window itself is a couple of cache lines
+// instead of a cold MaxPartners-sized column. When deletions shrink
+// the window below the table's rank floor while unranked edges remain,
+// it is rebuilt from the slot storage.
+// Removals tombstone instead of deleting: the entry's peer pointer is
+// nilled and dead counts it, leaving the ID column untouched until an
+// amortized compaction sweep reclaims the slots. A teardown therefore
+// never shifts the far peer's columns, and through the reciprocal slot
+// index it never searches them either.
+type partnerStore struct {
+	partners []Partner
+	free     []int32
+	idcol    []idEntry
+	rankcol  []rankEntry
+	unranked int32
+	dead     int32
+}
+
+// reset empties the storage for reuse, dropping any references the
+// entries held.
+func (s *partnerStore) reset() {
+	clear(s.partners)
+	s.partners = s.partners[:0]
+	s.free = s.free[:0]
+	s.idcol = s.idcol[:0]
+	s.rankcol = s.rankcol[:0]
+	s.unranked = 0
+	s.dead = 0
+}
+
+// NewPeer initializes protocol state for a standalone peer (or server)
+// in its own single-slot table. Population-scale callers use Table.Add
+// so all peers share one column set.
 func NewPeer(host netsim.Host, port uint16, channel string, rateKbps float64, joined time.Time) *Peer {
-	return &Peer{
-		Host:          host,
-		Port:          port,
-		Channel:       channel,
-		RateKbps:      rateKbps,
-		JoinedAt:      joined,
-		Depth:         MaxDepth,
-		QualityEWMA:   1, // optimistic start; decays immediately if unserved
-		ShareEstimate: host.Cap.UpKbps / 4,
-		partners:      make(map[isp.Addr]*Partner),
-	}
+	return NewTable(1).Add(host, port, channel, rateKbps, joined)
 }
 
 // ID returns the peer's identity — its IP address, as in the traces.
 func (p *Peer) ID() isp.Addr { return p.Host.Addr }
 
-// PartnerCount returns the size of the partner list.
-func (p *Peer) PartnerCount() int { return len(p.partners) }
+// Handle returns the peer's slot in its table, or NoPeer after removal.
+func (p *Peer) Handle() Handle { return p.h }
 
-// Partner returns the partner entry for id, or nil.
-func (p *Peer) Partner(id isp.Addr) *Partner { return p.partners[id] }
+// Table returns the table holding the peer's hot state.
+func (p *Peer) Table() *Table { return p.tab }
+
+// RateKbps returns the streaming rate of the peer's channel.
+func (p *Peer) RateKbps() float64 { return p.tab.rate[p.h] }
+
+// IsServer reports whether the peer is a UUSee origin streaming server:
+// servers never depart, never consume, and never report. The flag is
+// mirrored on the peer (srv) so partner-list paths read it without the
+// table indirection; the column copy feeds the exchange kernels.
+func (p *Peer) IsServer() bool { return p.srv }
+
+// MarkServer flags the peer as an origin server. Servers never rank
+// suppliers, so any ranking built before the flag is dropped.
+func (p *Peer) MarkServer() {
+	p.tab.server[p.h] = true
+	p.srv = true
+	p.rankcol = nil
+	p.unranked = 0
+}
+
+// Depth is the peer's hop distance from the origin servers over the
+// current supply mesh; only the tree-push ablation consults it.
+func (p *Peer) Depth() int { return int(p.tab.depth[p.h]) }
+
+// SetDepth records the peer's supply-mesh depth.
+func (p *Peer) SetDepth(d int) { p.tab.depth[p.h] = int32(d) }
+
+// QualityEWMA returns the smoothed playback quality (received rate over
+// stream rate, capped at 1).
+func (p *Peer) QualityEWMA() float64 { return p.tab.quality[p.h] }
+
+// SetQualityEWMA overrides the quality EWMA (tests and scenario setup).
+func (p *Peer) SetQualityEWMA(q float64) { p.tab.quality[p.h] = q }
+
+// LastSentKbps returns the aggregate instantaneous send throughput
+// measured over the previous tick, as reported to the trace server.
+func (p *Peer) LastSentKbps() float64 { return p.tab.lastSent[p.h] }
+
+// SetLastSentKbps overrides the measured send throughput (tests).
+func (p *Peer) SetLastSentKbps(v float64) { p.tab.lastSent[p.h] = v }
+
+// LastRecvKbps returns the aggregate instantaneous receive throughput
+// measured over the previous tick.
+func (p *Peer) LastRecvKbps() float64 { return p.tab.lastRecv[p.h] }
+
+// ShareEstimate returns the per-receiver upload share this peer
+// advertised after the last tick; receivers use it to size requests.
+func (p *Peer) ShareEstimate() float64 { return p.tab.share[p.h] }
+
+// TickRecvSeg returns the segments received during the current exchange
+// tick. The stream package owns and resets the accumulator.
+func (p *Peer) TickRecvSeg() float64 { return p.tab.tickRecv[p.h] }
+
+// TickSentSeg returns the segments sent during the current exchange
+// tick.
+func (p *Peer) TickSentSeg() float64 { return p.tab.tickSent[p.h] }
+
+// PartnerCount returns the size of the partner list.
+func (p *Peer) PartnerCount() int { return len(p.idcol) - int(p.dead) }
+
+// findPartner returns id's position in the sorted ID column. The
+// search is hand-rolled over the compact column rather than
+// slices.BinarySearchFunc over partner entries: the generic comparator
+// receives elements by value, and copying a whole Partner reads its
+// segment counters, which a concurrent sharded-grant worker may be
+// writing on a disjoint field of the same element. Probing only the
+// column is both race-free (IDs are immutable for a partnership's
+// lifetime) and an order of magnitude lighter on cache lines.
+// The loop shape is the branchless lower-bound: the conditional add
+// compiles to a CMOV, so the ~7 probes per call pay dependent-load
+// latency instead of a mispredicted branch each.
+func (p *Peer) findPartner(id isp.Addr) (int, bool) {
+	base, n := 0, len(p.idcol)
+	for n > 1 {
+		half := n >> 1
+		if p.idcol[base+half-1].id < id {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && p.idcol[base].id < id {
+		base++
+	}
+	return base, base < len(p.idcol) && p.idcol[base].id == id
+}
+
+// Partner returns the partner entry for id, or nil. The pointer aliases
+// the peer's partner storage and is invalidated by the next
+// partner-list mutation.
+func (p *Peer) Partner(id isp.Addr) *Partner {
+	if i, ok := p.findPartner(id); ok {
+		if pt := &p.partners[p.idcol[i].slot]; pt.peer != nil {
+			return pt
+		}
+	}
+	return nil
+}
 
 // PartnerIDs returns the partner IDs in ascending order. The slice is
-// owned by the peer and must not be mutated by callers.
+// freshly allocated; hot paths iterate the ID column in place via
+// Partners or PartnerIDAt instead.
 func (p *Peer) PartnerIDs() []isp.Addr {
-	if p.idsDirty {
-		p.ids = p.ids[:0]
-		for id := range p.partners {
-			p.ids = append(p.ids, id)
+	out := make([]isp.Addr, 0, p.PartnerCount())
+	for _, e := range p.idcol {
+		if p.partners[e.slot].peer != nil {
+			out = append(out, e.id)
 		}
-		slices.Sort(p.ids)
-		p.idsDirty = false
 	}
-	return p.ids
+	return out
 }
 
-// Partners calls fn for every partner in ascending ID order.
+// PartnerIDAt returns the i-th live partner ID in ascending order.
+func (p *Peer) PartnerIDAt(i int) isp.Addr {
+	if p.dead == 0 {
+		return p.idcol[i].id
+	}
+	for _, e := range p.idcol {
+		if p.partners[e.slot].peer == nil {
+			continue
+		}
+		if i == 0 {
+			return e.id
+		}
+		i--
+	}
+	panic("protocol: PartnerIDAt out of range")
+}
+
+// Partners calls fn for every live partner in ascending ID order.
 func (p *Peer) Partners(fn func(*Partner)) {
-	for _, id := range p.PartnerIDs() {
-		fn(p.partners[id])
+	for _, e := range p.idcol {
+		if pt := &p.partners[e.slot]; pt.peer != nil {
+			fn(pt)
+		}
 	}
 }
 
-// addPartner inserts a partner entry. It does not check limits; Connect
-// does.
-func (p *Peer) addPartner(q *Peer, link netsim.Link, now time.Time) {
-	p.partners[q.ID()] = &Partner{ID: q.ID(), Port: q.Port, Link: link, Added: now}
-	p.idsDirty = true
+// rankPos returns the slot of (score, id) in the ranked order
+// (score desc, ID asc). Scores are frozen per edge and IDs are unique,
+// so the pair addresses exactly one slot for present partners and the
+// insertion point for absent ones. The fat partner entry is consulted
+// only to break exact score ties.
+// The common path is a branchless (CMOV) lower bound on score alone;
+// exact score ties — essentially impossible with continuous link jitter
+// — fall through to a short forward walk that orders by ID.
+func (p *Peer) rankPos(score float64, id isp.Addr) int {
+	base, n := 0, len(p.rankcol)
+	for n > 1 {
+		half := n >> 1
+		if p.rankcol[base+half-1].score > score {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && p.rankcol[base].score > score {
+		base++
+	}
+	for base < len(p.rankcol) {
+		e := p.rankcol[base]
+		if e.score != score || p.partners[e.slot].ID >= id {
+			break
+		}
+		base++
+	}
+	return base
+}
+
+// allocSlot returns a free storage slot, growing the storage if the
+// free list is empty.
+func (p *Peer) allocSlot() int32 {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	// Fresh storage jumps straight to a churn-typical capacity: peers
+	// bootstrap tens of partners at once, so doubling up from nil would
+	// pay several reallocations per joining peer.
+	if cap(p.partners) < 96 && len(p.partners) == cap(p.partners) {
+		grown := make([]Partner, len(p.partners), 96)
+		copy(grown, p.partners)
+		p.partners = grown
+	}
+	p.partners = append(p.partners, Partner{})
+	return int32(len(p.partners) - 1)
+}
+
+// addPartner fills slot with the edge to q and indexes it in both the
+// ID view (at position i, from the caller's duplicate check) and the
+// rank view. revive means position i is the pair's own tombstone — the
+// ID column already carries the entry, so only the slot is refilled.
+// It does not check limits; Connect does.
+func (p *Peer) addPartner(i int, slot int32, q *Peer, link netsim.Link, now time.Time, recip int32, revive bool) {
+	score := link.Score()
+	if link.SameISP {
+		score *= 1 + p.LocalityBias
+	}
+	// Field-by-field writes: a composite literal would materialize a
+	// temporary and copy it per edge, and freed slots are only
+	// peer-marked, so every field is (re)set here.
+	pt := &p.partners[slot]
+	pt.ID, pt.Port, pt.Link, pt.Added = q.ID(), q.Port, link, now.UnixNano()
+	pt.CumSent, pt.CumRecv, pt.WinSent, pt.WinRecv = 0, 0, 0, 0
+	pt.peer, pt.score, pt.recip = q, score, recip
+	if !revive {
+		p.idcol = slices.Insert(p.idcol, i, idEntry{id: q.ID(), slot: slot})
+	}
+	// Servers never rank suppliers — they are sources, excluded from
+	// every receiver loop — so their ranking is not maintained at all.
+	if !p.IsServer() {
+		p.rankInsert(score, q.ID(), slot)
+	}
+}
+
+// rankInsert folds a new edge into the bounded ranking window,
+// preserving the invariant that rankcol holds exactly the
+// top-len(rankcol) edges by (score desc, ID asc). An edge ranking
+// below a window that already shadows unranked edges (or is full)
+// just bumps the unranked count.
+func (p *Peer) rankInsert(score float64, id isp.Addr, slot int32) {
+	m := len(p.rankcol)
+	// Quick reject: an edge ranking after the window's last entry goes
+	// straight to the unranked tail without a position search.
+	if m > 0 && (p.unranked > 0 || m == p.tab.rankCap) {
+		last := p.rankcol[m-1]
+		if score < last.score || (score == last.score && id > p.partners[last.slot].ID) {
+			p.unranked++
+			return
+		}
+	}
+	pos := p.rankPos(score, id)
+	if pos < m || (p.unranked == 0 && m < p.tab.rankCap) {
+		p.rankcol = slices.Insert(p.rankcol, pos, rankEntry{score: score, slot: slot})
+		if len(p.rankcol) > p.tab.rankCap {
+			p.rankcol = p.rankcol[:p.tab.rankCap]
+			p.unranked++
+		}
+	} else {
+		p.unranked++
+	}
+}
+
+// rankDelete drops an edge from the ranking. Edges below the window
+// only decrement the unranked count; a window that falls below the
+// table's rank floor while unranked edges remain is rebuilt.
+func (p *Peer) rankDelete(score float64, id isp.Addr) {
+	m := len(p.rankcol)
+	if m > 0 {
+		last := p.rankcol[m-1]
+		if score > last.score || (score == last.score && id <= p.partners[last.slot].ID) {
+			pos := p.rankPos(score, id)
+			p.rankcol = slices.Delete(p.rankcol, pos, pos+1)
+			if p.unranked > 0 && len(p.rankcol) < p.tab.rankFloor {
+				p.rebuildRank()
+			}
+			return
+		}
+	}
+	p.unranked--
+}
+
+// rebuildRank rescans the live edges and refills the window with the
+// top-min(rankCap, live) of them.
+func (p *Peer) rebuildRank() {
+	p.rankcol = p.rankcol[:0]
+	p.unranked = 0
+	cap := p.tab.rankCap
+	for _, e := range p.idcol {
+		if p.partners[e.slot].peer == nil {
+			continue
+		}
+		score := p.partners[e.slot].score
+		pos, m := p.rankPos(score, e.id), len(p.rankcol)
+		if pos < m || m < cap {
+			p.rankcol = slices.Insert(p.rankcol, pos, rankEntry{score: score, slot: e.slot})
+			if len(p.rankcol) > cap {
+				p.rankcol = p.rankcol[:cap]
+				p.unranked++
+			}
+		} else {
+			p.unranked++
+		}
+	}
 }
 
 // RemovePartner drops one side of a partnership. Disconnect removes both.
 func (p *Peer) RemovePartner(id isp.Addr) {
-	if _, ok := p.partners[id]; ok {
-		delete(p.partners, id)
-		p.idsDirty = true
+	i, ok := p.findPartner(id)
+	if !ok {
+		return
 	}
+	pt := &p.partners[p.idcol[i].slot]
+	if pt.peer == nil {
+		return // already tombstoned
+	}
+	p.tombstone(pt, id)
+}
+
+// tombstone marks one resolved edge dead — O(1) apart from the bounded
+// ranking update — and compacts the columns once tombstones pile up.
+// Entries are marked by a nil peer, not zeroed: addPartner rewrites
+// every field on slot reuse, and nothing reads dead or free slots
+// except nil checks (ResetWindow writes them harmlessly).
+func (p *Peer) tombstone(pt *Partner, id isp.Addr) {
+	// The edge dies before the ranking update: rankDelete can rebuild
+	// the window from the slot storage, and a rebuild must not see the
+	// dying edge as live and resurrect it.
+	pt.peer = nil
+	p.dead++
+	if !p.srv {
+		p.rankDelete(pt.score, id)
+	}
+	if d := int(p.dead); d >= 16 && 2*d >= len(p.idcol) {
+		p.compact()
+	}
+}
+
+// compact sweeps tombstoned entries out of the ID column and returns
+// their slots to the free list.
+func (p *Peer) compact() {
+	kept := p.idcol[:0]
+	for _, e := range p.idcol {
+		if p.partners[e.slot].peer == nil {
+			p.free = append(p.free, e.slot)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	p.idcol = kept
+	p.dead = 0
 }
 
 // HasPartner reports whether id is in the partner list.
 func (p *Peer) HasPartner(id isp.Addr) bool {
-	_, ok := p.partners[id]
-	return ok
+	i, ok := p.findPartner(id)
+	return ok && p.partners[p.idcol[i].slot].peer != nil
 }
 
 // AcceptsConnection reports whether the peer will accept one more
 // partner. Origin servers always accept; regular peers refuse beyond
 // MaxPartners, mirroring the deployed client's connection cap.
 func (p *Peer) AcceptsConnection(cfg Config) bool {
-	if p.IsServer {
+	if p.IsServer() {
 		return true
 	}
-	return len(p.partners) < cfg.MaxPartners
+	return p.PartnerCount() < cfg.MaxPartners
 }
 
 // SpareUploadKbps estimates unused upload capacity from the last tick's
 // aggregate sending throughput — the quantity each UUSee peer
 // continuously monitors to decide whether to volunteer at the tracker.
 func (p *Peer) SpareUploadKbps() float64 {
-	spare := p.Host.Cap.UpKbps - p.LastSentKbps
+	spare := p.Host.Cap.UpKbps - p.LastSentKbps()
 	if spare < 0 {
 		return 0
 	}
 	return spare
 }
 
-// TopSuppliers returns up to k partners ranked by link score (best
-// first), ties broken by ID — the "most suitable peers from which it
-// actually requests media blocks".
-func (p *Peer) TopSuppliers(k int) []*Partner {
-	ranked := make([]*Partner, 0, len(p.partners))
-	for _, id := range p.PartnerIDs() {
-		ranked = append(ranked, p.partners[id])
+// Ranked pairs a partner with its precomputed selection score, letting
+// the exchange hot path rank suppliers into a reusable buffer.
+type Ranked struct {
+	Pt    *Partner
+	Score float64
+}
+
+// RankSuppliers appends up to k partners ranked by link score (best
+// first, ties broken by ID) to dst and returns it — the "most suitable
+// peers from which it actually requests media blocks". Scores are
+// frozen when each partnership forms (Link.Score is pure and
+// LocalityBias is fixed before any connect), so the ranking window is
+// maintained incrementally and each call is a read-only copy of the
+// cached order — safe from concurrent shard workers. A k deeper than
+// the window (possible only above the table's rank floor) falls back
+// to a full sort into fresh storage, still without mutating the peer.
+// Servers return nothing: they are sources, and their ranking is
+// never maintained.
+func (p *Peer) RankSuppliers(dst []Ranked, k int) []Ranked {
+	if k > len(p.rankcol) && p.unranked > 0 {
+		return p.rankSlow(dst, k)
 	}
-	score := func(pt *Partner) float64 {
-		s := pt.Link.Score()
-		if pt.Link.SameISP {
-			s *= 1 + p.LocalityBias
-		}
-		return s
+	n := len(p.rankcol)
+	if n > k {
+		n = k
 	}
-	slices.SortFunc(ranked, func(a, b *Partner) int {
-		sa, sb := score(a), score(b)
-		if sa != sb {
-			return cmp.Compare(sb, sa)
+	for _, e := range p.rankcol[:n] {
+		dst = append(dst, Ranked{Pt: &p.partners[e.slot], Score: e.score})
+	}
+	return dst
+}
+
+// rankSlow ranks the full partner list into caller-owned storage for
+// k beyond the cached window.
+func (p *Peer) rankSlow(dst []Ranked, k int) []Ranked {
+	all := make([]Ranked, 0, p.PartnerCount())
+	for _, e := range p.idcol {
+		pt := &p.partners[e.slot]
+		if pt.peer == nil {
+			continue
 		}
-		return cmp.Compare(a.ID, b.ID)
+		all = append(all, Ranked{Pt: pt, Score: pt.score})
+	}
+	slices.SortFunc(all, func(a, b Ranked) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		if a.Pt.ID != b.Pt.ID {
+			if a.Pt.ID < b.Pt.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	if len(ranked) > k {
-		ranked = ranked[:k]
+	if len(all) > k {
+		all = all[:k]
 	}
-	return ranked
+	return append(dst, all...)
+}
+
+// TopSuppliers returns up to k partners ranked by link score (best
+// first), ties broken by ID.
+func (p *Peer) TopSuppliers(k int) []*Partner {
+	ranked := p.RankSuppliers(make([]Ranked, 0, p.PartnerCount()), k)
+	out := make([]*Partner, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Pt
+	}
+	return out
 }
 
 // ResetWindow clears the per-report-window segment counters, called after
-// the peer emits a trace report.
+// the peer emits a trace report. Free slots are already zero; clearing
+// them again is harmless and keeps the loop branch-free.
 func (p *Peer) ResetWindow() {
-	for _, pt := range p.partners {
-		pt.WinSent, pt.WinRecv = 0, 0
+	for i := range p.partners {
+		p.partners[i].WinSent, p.partners[i].WinRecv = 0, 0
 	}
 }
 
@@ -211,18 +607,18 @@ func (p *Peer) UpdateQuality(fraction float64) {
 		fraction = 1
 	}
 	const alpha = 0.3
-	p.QualityEWMA = (1-alpha)*p.QualityEWMA + alpha*fraction
+	q := &p.tab.quality[p.h]
+	*q = (1-alpha)*(*q) + alpha*fraction
 }
 
 // Recommend samples up to n of the peer's partners, excluding the
 // requester — the "recommend known partners to each other" mechanism.
 // Sampling is uniform over the partner list.
 func (p *Peer) Recommend(rng *rand.Rand, requester isp.Addr, n int) []isp.Addr {
-	ids := p.PartnerIDs()
-	candidates := make([]isp.Addr, 0, len(ids))
-	for _, id := range ids {
-		if id != requester {
-			candidates = append(candidates, id)
+	candidates := make([]isp.Addr, 0, p.PartnerCount())
+	for _, e := range p.idcol {
+		if e.id != requester && p.partners[e.slot].peer != nil {
+			candidates = append(candidates, e.id)
 		}
 	}
 	rng.Shuffle(len(candidates), func(i, j int) {
@@ -242,17 +638,43 @@ func Connect(p, q *Peer, link netsim.Link, cfg Config, now time.Time) bool {
 	if p == nil || q == nil || p == q || p.ID() == q.ID() {
 		return false
 	}
-	if p.Channel != q.Channel && !p.IsServer && !q.IsServer {
+	if p.Channel != q.Channel && !p.IsServer() && !q.IsServer() {
 		return false
 	}
-	if p.HasPartner(q.ID()) {
-		return false
+	i, dup := p.findPartner(q.ID())
+	ps := int32(-1)
+	if dup {
+		ps = p.idcol[i].slot
+		if p.partners[ps].peer != nil {
+			return false
+		}
+		// A tombstone of the same pair: revive it in place below.
 	}
 	if !p.AcceptsConnection(cfg) || !q.AcceptsConnection(cfg) {
 		return false
 	}
-	p.addPartner(q, link, now)
-	q.addPartner(p, link, now)
+	j, dupq := q.findPartner(p.ID())
+	qs := int32(-1)
+	if dupq {
+		qs = q.idcol[j].slot
+		if q.partners[qs].peer == nil {
+			q.dead--
+		} else if !q.srv {
+			// One-sided removal left q's half of an old pairing live;
+			// unrank it before the slot is overwritten.
+			q.rankDelete(q.partners[qs].score, p.ID())
+		}
+	}
+	if ps < 0 {
+		ps = p.allocSlot()
+	} else {
+		p.dead--
+	}
+	if qs < 0 {
+		qs = q.allocSlot()
+	}
+	p.addPartner(i, ps, q, link, now, qs, dup)
+	q.addPartner(j, qs, p, link, now, ps, dupq)
 	return true
 }
 
@@ -263,4 +685,27 @@ func Disconnect(p, q *Peer) {
 	}
 	p.RemovePartner(q.ID())
 	q.RemovePartner(p.ID())
+}
+
+// DisconnectAll tears down every partnership of p in one sweep: each
+// partner's reciprocal entry is tombstoned directly through the stored
+// slot index — no search and no column shift on the far side — and p's
+// own state is cleared wholesale. The far side is skipped for entries
+// whose peer has already left the table (their lists are gone with the
+// slot). Per-q effects are independent, so the result is identical to
+// disconnecting each edge one at a time.
+func DisconnectAll(p *Peer) {
+	if p == nil {
+		return
+	}
+	id := p.ID()
+	for i := range p.partners {
+		pt := &p.partners[i]
+		q := pt.peer // nil on free and tombstoned slots
+		if q == nil || q.h == NoPeer || q.tab != p.tab {
+			continue
+		}
+		q.tombstone(&q.partners[pt.recip], id)
+	}
+	p.partnerStore.reset()
 }

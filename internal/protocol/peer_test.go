@@ -68,7 +68,7 @@ func TestConnectRejections(t *testing.T) {
 func TestConnectServerCrossesChannels(t *testing.T) {
 	cfg := DefaultConfig()
 	server := testPeer(100, "")
-	server.IsServer = true
+	server.MarkServer()
 	p := testPeer(1, "CCTV1")
 	if !Connect(p, server, testLink(5000), cfg, _t0) {
 		t.Error("server connection refused")
@@ -88,7 +88,7 @@ func TestConnectRespectsMaxPartners(t *testing.T) {
 		t.Error("connection accepted beyond MaxPartners")
 	}
 	server := testPeer(200, "")
-	server.IsServer = true
+	server.MarkServer()
 	for i := 0; i < 5; i++ {
 		q := testPeer(uint32(300+i), "CCTV1")
 		if !Connect(q, server, testLink(500), cfg, _t0) {
@@ -188,28 +188,28 @@ func TestResetWindowPreservesCumulative(t *testing.T) {
 
 func TestUpdateQuality(t *testing.T) {
 	p := testPeer(1, "CCTV1")
-	p.QualityEWMA = 1
+	p.SetQualityEWMA(1)
 	for i := 0; i < 50; i++ {
 		p.UpdateQuality(0)
 	}
-	if p.QualityEWMA > 0.01 {
-		t.Errorf("EWMA after sustained starvation = %.3f, want ≈ 0", p.QualityEWMA)
+	if p.QualityEWMA() > 0.01 {
+		t.Errorf("EWMA after sustained starvation = %.3f, want ≈ 0", p.QualityEWMA())
 	}
 	for i := 0; i < 50; i++ {
 		p.UpdateQuality(5) // capped at 1
 	}
-	if p.QualityEWMA > 1.0001 {
-		t.Errorf("EWMA exceeded 1: %.3f", p.QualityEWMA)
+	if p.QualityEWMA() > 1.0001 {
+		t.Errorf("EWMA exceeded 1: %.3f", p.QualityEWMA())
 	}
 }
 
 func TestSpareUploadKbps(t *testing.T) {
 	p := testPeer(1, "CCTV1")
-	p.LastSentKbps = 100
+	p.SetLastSentKbps(100)
 	if got := p.SpareUploadKbps(); got != 348 {
 		t.Errorf("SpareUploadKbps = %v, want 348", got)
 	}
-	p.LastSentKbps = 1000
+	p.SetLastSentKbps(1000)
 	if got := p.SpareUploadKbps(); got != 0 {
 		t.Errorf("oversubscribed spare = %v, want 0", got)
 	}

@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/netsim"
+)
+
+// checkRankInvariant verifies the bounded-window contract for one peer:
+// the window holds exactly the top-len(rankcol) live edges by
+// (score desc, ID asc), every window entry resolves to a live slot, and
+// unranked counts exactly the live edges ranked after the window.
+func checkRankInvariant(t *testing.T, p *Peer, step int) {
+	t.Helper()
+	if p.IsServer() {
+		return
+	}
+	// Brute-force ranking of the live edges.
+	type edge struct {
+		id    isp.Addr
+		slot  int32
+		score float64
+	}
+	var live []edge
+	for _, e := range p.idcol {
+		pt := &p.partners[e.slot]
+		if pt.peer == nil {
+			continue
+		}
+		live = append(live, edge{id: e.id, slot: e.slot, score: pt.score})
+	}
+	slices.SortFunc(live, func(a, b edge) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		}
+		if a.id < b.id {
+			return -1
+		}
+		if a.id > b.id {
+			return 1
+		}
+		return 0
+	})
+
+	m := len(p.rankcol)
+	if m+int(p.unranked) != len(live) {
+		t.Fatalf("step %d peer %v: window %d + unranked %d != live %d",
+			step, p.ID(), m, p.unranked, len(live))
+	}
+	for i, e := range p.rankcol {
+		pt := &p.partners[e.slot]
+		if pt.peer == nil {
+			t.Fatalf("step %d peer %v: window[%d] references dead slot %d",
+				step, p.ID(), i, e.slot)
+		}
+		if e.slot != live[i].slot || e.score != live[i].score {
+			t.Fatalf("step %d peer %v: window[%d] = (slot %d, score %v), want top-ranked (slot %d id %v score %v)",
+				step, p.ID(), i, e.slot, e.score, live[i].slot, live[i].id, live[i].score)
+		}
+	}
+}
+
+// TestRankWindowFuzz drives a small population through randomized
+// connect/disconnect/depart churn and validates the ranking window
+// against a brute-force oracle after every operation. Scores mix a
+// locality multiplier so the window sees the same spread the biased
+// sim produces.
+func TestRankWindowFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := DefaultConfig()
+	cfg.MaxPartners = 64 // deep lists so the window saturates (floor 16, cap 32)
+	cfg.TargetActive = 16
+
+	tab := NewTable(32)
+	now := time.Unix(0, 0)
+	var peers []*Peer
+	for i := 0; i < 48; i++ {
+		host := netsim.Host{Addr: isp.Addr(i + 1), Cap: netsim.Capacity{UpKbps: 1000, DownKbps: 2000}}
+		p := tab.Add(host, 0, "CCTV1", 500, now)
+		p.LocalityBias = 0.8
+		peers = append(peers, p)
+	}
+
+	link := func() netsim.Link {
+		l := netsim.Link{RTT: time.Duration(1+rng.Intn(200)) * time.Millisecond,
+			CapacityKbps: 200 + rng.Float64()*2000}
+		l.SameISP = rng.Intn(2) == 0
+		return l
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(12); {
+		case op < 6: // bootstrap burst: one peer connects to many others,
+			// as the sim's tracker bootstrap does, saturating windows
+			p := peers[rng.Intn(len(peers))]
+			for c := 0; c < 20; c++ {
+				Connect(p, peers[rng.Intn(len(peers))], link(), cfg, now)
+			}
+		case op < 9: // tear down a random live edge
+			p := peers[rng.Intn(len(peers))]
+			if n := p.PartnerCount(); n > 0 {
+				Disconnect(p, tab.Lookup(p.PartnerIDAt(rng.Intn(n))))
+			}
+		case op < 11: // drain burst: one peer loses most of its edges,
+			// driving its window below the rebuild floor while
+			// unranked edges remain.
+			p := peers[rng.Intn(len(peers))]
+			for p.PartnerCount() > 4 {
+				Disconnect(p, tab.Lookup(p.PartnerIDAt(rng.Intn(p.PartnerCount()))))
+			}
+		default: // full departure and rejoin in (likely) the same slot
+			i := rng.Intn(len(peers))
+			p := peers[i]
+			DisconnectAll(p)
+			host := p.Host
+			tab.Remove(p)
+			peers[i] = tab.Add(host, 0, "CCTV1", 500, now)
+			peers[i].LocalityBias = 0.8
+		}
+		for _, p := range peers {
+			checkRankInvariant(t, p, step)
+		}
+	}
+}

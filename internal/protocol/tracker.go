@@ -20,6 +20,11 @@ type Tracker struct {
 
 	channels map[string]*channelState
 	isps     map[isp.Addr]isp.ISP
+
+	// bootOut is the reused Bootstrap result buffer: one bootstrap per
+	// join at paper scale makes the per-call slice+map scratch a top
+	// allocation source, and the result is always consumed immediately.
+	bootOut []isp.Addr
 }
 
 type channelState struct {
@@ -115,23 +120,16 @@ func (t *Tracker) SetAvailable(channel string, id isp.Addr, available bool) {
 // channel members if availability is scarce. The requester itself is
 // excluded. The tracker is ISP-oblivious, as the paper emphasises — any
 // ISP locality in the topology must emerge later from peer selection.
+//
+// The returned slice is owned by the tracker and valid until the next
+// Bootstrap call. Samples are deduplicated by scanning the result
+// itself — n is small, so a linear scan beats per-call set scratch.
 func (t *Tracker) Bootstrap(channel string, self isp.Addr, n int) []isp.Addr {
 	if n <= 0 {
 		n = t.cfg.MaxBootstrap
 	}
 	cs := t.channel(channel)
-
-	var out []isp.Addr
-	seen := make(map[isp.Addr]struct{}, n)
-	take := func(ids []isp.Addr) {
-		for _, id := range ids {
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			out = append(out, id)
-		}
-	}
+	t.bootOut = t.bootOut[:0]
 
 	// Future-work extension: draw a configured fraction of the sample
 	// from the requester's own ISP first.
@@ -139,16 +137,16 @@ func (t *Tracker) Bootstrap(channel string, self isp.Addr, n int) []isp.Addr {
 		if own, ok := t.isps[self]; ok {
 			if set := cs.availISP[own]; set != nil {
 				local := int(float64(n)*t.cfg.LocalityBias + 0.5)
-				take(set.sample(t.rng, local, self, nil))
+				t.bootOut = set.sample(t.rng, local, self, t.bootOut)
 			}
 		}
 	}
 
-	take(cs.available.sample(t.rng, n-len(out), self, seen))
-	if len(out) < n {
-		take(cs.members.sample(t.rng, n-len(out), self, seen))
+	t.bootOut = cs.available.sample(t.rng, n-len(t.bootOut), self, t.bootOut)
+	if len(t.bootOut) < n {
+		t.bootOut = cs.members.sample(t.rng, n-len(t.bootOut), self, t.bootOut)
 	}
-	return out
+	return t.bootOut
 }
 
 // MemberCount returns the channel's registered peer count.
@@ -178,6 +176,9 @@ func (t *Tracker) Channels() []string {
 type addrSet struct {
 	ids []isp.Addr
 	idx map[isp.Addr]int
+	// scratch is the reused shuffle buffer for the small-set sample
+	// path (bounded by the 4n threshold, so it stays small).
+	scratch []isp.Addr
 }
 
 func newAddrSet() *addrSet {
@@ -211,57 +212,44 @@ func (s *addrSet) remove(id isp.Addr) {
 	delete(s.idx, id)
 }
 
-// sample draws up to n distinct addresses uniformly, excluding self and
-// anything in skip. It uses a partial Fisher–Yates over a scratch copy
-// when the set is small, or rejection sampling when n is much smaller
-// than the set.
-func (s *addrSet) sample(rng *rand.Rand, n int, self isp.Addr, skip map[isp.Addr]struct{}) []isp.Addr {
+// sample appends up to n distinct addresses drawn uniformly to dst,
+// excluding self and anything already in dst, and returns dst. It uses
+// a partial Fisher–Yates over a reused scratch copy when the set is
+// small, or rejection sampling when n is much smaller than the set.
+// Exclusion and in-call deduplication are one linear scan of dst —
+// bootstrap batches are small, so the scan is cheaper than set scratch.
+func (s *addrSet) sample(rng *rand.Rand, n int, self isp.Addr, dst []isp.Addr) []isp.Addr {
 	if n <= 0 || len(s.ids) == 0 {
-		return nil
+		return dst
 	}
 	excluded := func(id isp.Addr) bool {
-		if id == self {
-			return true
-		}
-		if skip != nil {
-			if _, ok := skip[id]; ok {
-				return true
-			}
-		}
-		return false
+		return id == self || slices.Contains(dst, id)
 	}
+	start := len(dst)
 
 	if len(s.ids) <= 4*n {
-		scratch := make([]isp.Addr, len(s.ids))
-		copy(scratch, s.ids)
-		rng.Shuffle(len(scratch), func(i, j int) { scratch[i], scratch[j] = scratch[j], scratch[i] })
-		out := make([]isp.Addr, 0, n)
-		for _, id := range scratch {
+		s.scratch = append(s.scratch[:0], s.ids...)
+		rng.Shuffle(len(s.scratch), func(i, j int) { s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i] })
+		for _, id := range s.scratch {
 			if excluded(id) {
 				continue
 			}
-			out = append(out, id)
-			if len(out) == n {
+			dst = append(dst, id)
+			if len(dst)-start == n {
 				break
 			}
 		}
-		return out
+		return dst
 	}
 
-	out := make([]isp.Addr, 0, n)
-	chosen := make(map[isp.Addr]struct{}, n)
 	// n ≪ set size: rejection sampling terminates quickly; the attempt
 	// cap guards degenerate exclusion sets.
-	for attempts := 0; len(out) < n && attempts < 20*n; attempts++ {
+	for attempts := 0; len(dst)-start < n && attempts < 20*n; attempts++ {
 		id := s.ids[rng.Intn(len(s.ids))]
 		if excluded(id) {
 			continue
 		}
-		if _, dup := chosen[id]; dup {
-			continue
-		}
-		chosen[id] = struct{}{}
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	return out
+	return dst
 }

@@ -256,9 +256,13 @@ func TestLocalitySelectionBias(t *testing.T) {
 	if len(top) != 1 || top[0].ID != intra.ID() {
 		t.Errorf("biased TopSuppliers ranked %v first, want the same-ISP partner", top[0].ID)
 	}
-	// Without bias, raw quality wins.
-	p.LocalityBias = 0
-	top = p.TopSuppliers(1)
+	// Without bias, raw quality wins. Scores freeze when a partnership
+	// forms, so the unbiased case needs its own peer: the sim fixes
+	// LocalityBias before any connect and never changes it afterwards.
+	q := testPeer(4, "CCTV1")
+	Connect(q, intra, linkIntra, cfg, _t0)
+	Connect(q, inter, linkInter, cfg, _t0)
+	top = q.TopSuppliers(1)
 	if top[0].ID != inter.ID() {
 		t.Errorf("unbiased TopSuppliers ranked %v first, want the faster link", top[0].ID)
 	}
@@ -281,10 +285,12 @@ func TestAddrSetSampleRejectionPath(t *testing.T) {
 		s.add(i)
 	}
 	rng := rand.New(rand.NewSource(7))
-	got := s.sample(rng, 10, 5, map[isp.Addr]struct{}{6: {}, 7: {}})
-	if len(got) != 10 {
-		t.Fatalf("sample returned %d, want 10", len(got))
+	// Pre-seeding dst with 6 and 7 excludes them from the draw.
+	got := s.sample(rng, 10, 5, []isp.Addr{6, 7})
+	if len(got) != 12 {
+		t.Fatalf("sample returned %d new+seed entries, want 12", len(got))
 	}
+	got = got[2:]
 	seen := make(map[isp.Addr]bool)
 	for _, id := range got {
 		if id == 5 || id == 6 || id == 7 {

@@ -1,0 +1,249 @@
+// Package sched provides the calendar queue backing the discrete-event
+// scheduler: a priority queue over (instant, sequence) keys with O(1)
+// amortized insert and pop-min under the access pattern a simulation
+// produces (events clustered around the advancing virtual "now").
+//
+// The structure is R. Brown's calendar queue (CACM '88): a ring of
+// buckets, each one bucket-width of virtual time wide, events hashed
+// into bucket (at / width) mod nbuckets. Popping scans forward from the
+// current bucket, taking an event only if it falls inside the bucket's
+// current "year" window; a full fruitless rotation falls back to a
+// direct minimum search (rare — it means the queue is sparse relative
+// to its width, which the next resize corrects). The bucket count and
+// width adapt to the live event population, so a 100k-peer simulation
+// with hundreds of thousands of pending timers pays a handful of
+// comparisons per operation where a binary heap pays log₂(n) ≈ 18.
+//
+// Determinism: the pop order is the unique total order by (at, seq) —
+// identical to the heap scheduler it replaces — and every operation is
+// a pure function of the push/pop history. The package never reads the
+// wall clock and draws no randomness.
+package sched
+
+import "slices"
+
+// entry is one queued item. Buckets keep entries sorted descending by
+// key so the minimum sits at the end and pops are O(1).
+type entry[T any] struct {
+	at  int64
+	seq uint64
+	v   T
+}
+
+// before reports whether a orders strictly before b in (at, seq) order.
+func (a entry[T]) before(b entry[T]) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+const (
+	minBuckets = 16
+	// sampleMax bounds the resize-time width sample.
+	sampleMax = 64
+	// defaultWidth is the bucket width before the first resize has seen
+	// enough events to measure real inter-event gaps (1s in nanoseconds).
+	defaultWidth = int64(1e9)
+)
+
+// Queue is a calendar queue over (at, seq) keys carrying values of type
+// T. The zero value is not ready; use NewQueue. Not safe for concurrent
+// use.
+type Queue[T any] struct {
+	buckets [][]entry[T]
+	mask    int64 // len(buckets)-1, len is a power of two
+	width   int64 // virtual-time width of one bucket, > 0
+	size    int
+
+	// cur is the bucket the pop scan stands in and top the exclusive
+	// upper bound of cur's current-year window: an entry in cur
+	// qualifies iff entry.at < top.
+	cur int64
+	top int64
+}
+
+// NewQueue returns an empty calendar queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{
+		buckets: make([][]entry[T], minBuckets),
+		mask:    minBuckets - 1,
+		width:   defaultWidth,
+	}
+	q.rewind(0)
+	return q
+}
+
+// Len returns the number of queued entries.
+func (q *Queue[T]) Len() int { return q.size }
+
+// bucketOf maps an instant to its bucket index.
+func (q *Queue[T]) bucketOf(at int64) int64 {
+	b := at / q.width
+	if at < 0 && at%q.width != 0 {
+		b-- // floor division for pre-epoch instants
+	}
+	return b & q.mask
+}
+
+// rewind points the pop scan at the window containing at.
+func (q *Queue[T]) rewind(at int64) {
+	q.cur = q.bucketOf(at)
+	w := at / q.width
+	if at < 0 && at%q.width != 0 {
+		w--
+	}
+	q.top = (w + 1) * q.width
+}
+
+// Push inserts an entry. Keys may arrive in any order; seq must be
+// unique per queue for the pop order to be total.
+func (q *Queue[T]) Push(at int64, seq uint64, v T) {
+	e := entry[T]{at: at, seq: seq, v: v}
+	b := q.bucketOf(at)
+	q.insert(b, e)
+	q.size++
+	if at < q.top-q.width {
+		// Earlier than the scan's current window: rewind so the scan
+		// cannot walk past it.
+		q.rewind(at)
+	}
+	if q.size > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// insert places e into bucket b keeping the bucket sorted descending.
+func (q *Queue[T]) insert(b int64, e entry[T]) {
+	bucket := q.buckets[b]
+	// Common case: e is the earliest in its bucket (events are pushed
+	// near the advancing now) — append to the tail.
+	if n := len(bucket); n == 0 || e.before(bucket[n-1]) {
+		q.buckets[b] = append(bucket, e)
+		return
+	}
+	lo, hi := 0, len(bucket)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucket[mid].before(e) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.buckets[b] = slices.Insert(bucket, lo, e)
+}
+
+// PeekMin returns the earliest entry without removing it.
+func (q *Queue[T]) PeekMin() (at int64, seq uint64, v T, ok bool) {
+	if q.size == 0 {
+		var zero T
+		return 0, 0, zero, false
+	}
+	b := q.findMin()
+	e := q.buckets[b][len(q.buckets[b])-1]
+	return e.at, e.seq, e.v, true
+}
+
+// PopMin removes and returns the earliest entry.
+func (q *Queue[T]) PopMin() (at int64, seq uint64, v T, ok bool) {
+	if q.size == 0 {
+		var zero T
+		return 0, 0, zero, false
+	}
+	b := q.findMin()
+	bucket := q.buckets[b]
+	e := bucket[len(bucket)-1]
+	q.buckets[b] = bucket[:len(bucket)-1]
+	q.size--
+	if q.size < len(q.buckets)/2 && len(q.buckets) > minBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return e.at, e.seq, e.v, true
+}
+
+// findMin advances the scan to the bucket holding the minimum entry and
+// returns its index. The queue must be non-empty.
+func (q *Queue[T]) findMin() int64 {
+	for rounds := 0; rounds <= len(q.buckets); rounds++ {
+		bucket := q.buckets[q.cur]
+		if n := len(bucket); n > 0 && bucket[n-1].at < q.top {
+			return q.cur
+		}
+		q.cur = (q.cur + 1) & q.mask
+		q.top += q.width
+	}
+	// A full fruitless rotation: the next event lies beyond the scanned
+	// year. Find the global minimum directly and park the scan on it.
+	var best entry[T]
+	found := false
+	for _, bucket := range q.buckets {
+		if n := len(bucket); n > 0 {
+			if e := bucket[n-1]; !found || e.before(best) {
+				best, found = e, true
+			}
+		}
+	}
+	q.rewind(best.at)
+	return q.bucketOf(best.at)
+}
+
+// resize rebuilds the ring with n buckets and a width fitted to the
+// current event spacing.
+func (q *Queue[T]) resize(n int) {
+	var all []entry[T]
+	if q.size > 0 {
+		all = make([]entry[T], 0, q.size)
+		for _, bucket := range q.buckets {
+			all = append(all, bucket...)
+		}
+	}
+	q.width = q.fitWidth(all)
+	q.buckets = make([][]entry[T], n)
+	q.mask = int64(n - 1)
+	for _, e := range all {
+		q.insert(q.bucketOf(e.at), e)
+	}
+	if q.size > 0 {
+		min := all[0]
+		for _, e := range all[1:] {
+			if e.before(min) {
+				min = e
+			}
+		}
+		q.rewind(min.at)
+	} else {
+		q.rewind(q.top - q.width)
+	}
+}
+
+// fitWidth estimates a bucket width of about three mean inter-event
+// gaps, measured over a sample of queued entries — Brown's rule, which
+// keeps the expected bucket occupancy near one.
+func (q *Queue[T]) fitWidth(all []entry[T]) int64 {
+	if len(all) < 2 {
+		return q.width
+	}
+	sample := all
+	if len(sample) > sampleMax {
+		stride := len(all) / sampleMax
+		sample = make([]entry[T], 0, sampleMax)
+		for i := 0; i < len(all) && len(sample) < sampleMax; i += stride {
+			sample = append(sample, all[i])
+		}
+	}
+	ats := make([]int64, len(sample))
+	for i, e := range sample {
+		ats[i] = e.at
+	}
+	slices.Sort(ats)
+	span := ats[len(ats)-1] - ats[0]
+	if span <= 0 {
+		return q.width
+	}
+	w := 3 * span / int64(len(ats)-1)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

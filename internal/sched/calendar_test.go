@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refItem / refHeap: a container/heap reference implementation with the
+// same (at, seq) total order, used as the oracle in property tests.
+type refItem struct {
+	at  int64
+	seq uint64
+	v   int
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := NewQueue[int]()
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+	if _, _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty queue returned ok")
+	}
+	if _, _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty queue returned ok")
+	}
+}
+
+func TestOrderedDrain(t *testing.T) {
+	q := NewQueue[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Push(int64(i)*1e6, uint64(i), i)
+	}
+	for i := 0; i < n; i++ {
+		at, seq, v, ok := q.PopMin()
+		if !ok || at != int64(i)*1e6 || seq != uint64(i) || v != i {
+			t.Fatalf("pop %d: got (%d,%d,%d,%v)", i, at, seq, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after drain", q.Len())
+	}
+}
+
+// TestSameTimestampOrdering: entries pushed at one instant must drain in
+// sequence order regardless of push order.
+func TestSameTimestampOrdering(t *testing.T) {
+	q := NewQueue[int]()
+	const at = int64(1234567890)
+	order := []uint64{7, 2, 9, 0, 5, 3, 8, 1, 6, 4}
+	for _, seq := range order {
+		q.Push(at, seq, int(seq))
+	}
+	for want := uint64(0); want < 10; want++ {
+		_, seq, v, ok := q.PopMin()
+		if !ok || seq != want || v != int(want) {
+			t.Fatalf("pop: got seq=%d v=%d ok=%v, want seq=%d", seq, v, ok, want)
+		}
+	}
+}
+
+// TestPushBelowFloor: a push earlier than everything already popped-to
+// must still surface before later entries (the scan rewinds).
+func TestPushBelowFloor(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(int64(i)*1e9, uint64(i), i)
+	}
+	// Drain halfway so the scan stands around t=50s.
+	for i := 0; i < 50; i++ {
+		q.PopMin()
+	}
+	q.Push(3, 1000, -1) // far below the scan position
+	at, _, v, ok := q.PeekMin()
+	if !ok || at != 3 || v != -1 {
+		t.Fatalf("PeekMin after below-floor push: got (%d,%d,%v)", at, v, ok)
+	}
+	q.PopMin()
+	at, _, v, _ = q.PopMin()
+	if at != 50*1e9 || v != 50 {
+		t.Fatalf("next pop: got (%d,%d), want (50e9,50)", at, v)
+	}
+}
+
+// TestChurnInterleaved drives heavy interleaved push/pop churn (the
+// join/depart/reschedule pattern) against the heap oracle.
+func TestChurnInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	q := NewQueue[int]()
+	ref := &refHeap{}
+	var seq uint64
+	now := int64(0)
+	for step := 0; step < 200000; step++ {
+		if ref.Len() == 0 || rng.Intn(3) != 0 {
+			// Push near now, occasionally far ahead, rarely at now exactly
+			// (same-timestamp collisions).
+			var at int64
+			switch rng.Intn(10) {
+			case 0:
+				at = now // collision
+			case 1:
+				at = now + rng.Int63n(1e12) // far future
+			default:
+				at = now + rng.Int63n(1e9)
+			}
+			q.Push(at, seq, int(seq))
+			heap.Push(ref, refItem{at: at, seq: seq, v: int(seq)})
+			seq++
+		} else {
+			at, gseq, v, ok := q.PopMin()
+			want := heap.Pop(ref).(refItem)
+			if !ok || at != want.at || gseq != want.seq || v != want.v {
+				t.Fatalf("step %d: pop (%d,%d,%d,%v), want (%d,%d,%d)",
+					step, at, gseq, v, ok, want.at, want.seq, want.v)
+			}
+			if at < now {
+				t.Fatalf("step %d: time went backwards: %d < %d", step, at, now)
+			}
+			now = at
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("step %d: Len %d != ref %d", step, q.Len(), ref.Len())
+		}
+	}
+}
+
+// TestPropertyVsHeap is the seeded property test from the issue: for a
+// batch of random seeds, a random push/pop program must produce an event
+// order identical to the container/heap scheduler.
+func TestPropertyVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQueue[int]()
+		ref := &refHeap{}
+		var seq uint64
+		n := 500 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			at := rng.Int63n(1 << uint(20+rng.Intn(30)))
+			q.Push(at, seq, int(seq))
+			heap.Push(ref, refItem{at: at, seq: seq, v: int(seq)})
+			seq++
+			// Interleave some pops mid-build.
+			if rng.Intn(4) == 0 && ref.Len() > 0 {
+				at, gseq, v, ok := q.PopMin()
+				want := heap.Pop(ref).(refItem)
+				if !ok || at != want.at || gseq != want.seq || v != want.v {
+					t.Fatalf("seed %d: mid pop mismatch", seed)
+				}
+			}
+		}
+		for ref.Len() > 0 {
+			at, gseq, v, ok := q.PopMin()
+			want := heap.Pop(ref).(refItem)
+			if !ok || at != want.at || gseq != want.seq || v != want.v {
+				t.Fatalf("seed %d: drain mismatch: (%d,%d,%d,%v) want (%d,%d,%d)",
+					seed, at, gseq, v, ok, want.at, want.seq, want.v)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: residue %d", seed, q.Len())
+		}
+	}
+}
+
+// TestShrinkGrow exercises the resize path both directions.
+func TestShrinkGrow(t *testing.T) {
+	q := NewQueue[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q.Push(int64(i%97)*1e7, uint64(i), i)
+	}
+	var prev int64 = -1
+	var prevSeq uint64
+	for i := 0; i < n; i++ {
+		at, seq, _, ok := q.PopMin()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if at < prev || (at == prev && seq <= prevSeq && i > 0) {
+			t.Fatalf("pop %d: order violation (%d,%d) after (%d,%d)", i, at, seq, prev, prevSeq)
+		}
+		prev, prevSeq = at, seq
+	}
+}
+
+func BenchmarkQueueHold(b *testing.B) {
+	// Classic hold model: steady-state queue of 10k entries, each
+	// operation pops the min and pushes a successor a random-ish offset
+	// ahead (deterministic LCG so the benchmark is stable).
+	q := NewQueue[int]()
+	const hold = 10000
+	lcg := uint64(12345)
+	next := func() int64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int64(lcg % 1e9)
+	}
+	var seq uint64
+	for i := 0; i < hold; i++ {
+		q.Push(next(), seq, i)
+		seq++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, _, v, _ := q.PopMin()
+		q.Push(at+next(), seq, v)
+		seq++
+	}
+}

@@ -31,6 +31,11 @@ type Config struct {
 	Duration time.Duration
 	// Tick is the bandwidth-integration step; defaults to one minute.
 	Tick time.Duration
+	// Shards is the number of worker goroutines the exchange tick fans
+	// out across. 0 or 1 runs sequentially; any value produces
+	// byte-identical traces (the tick's order-sensitive steps run on a
+	// sequential spine regardless). Negative values are rejected.
+	Shards int
 
 	// MeanConcurrency is the target average online population (the paper
 	// observes ~100,000; scaled runs use hundreds to thousands).
@@ -136,6 +141,12 @@ func (c Config) sanitize() (Config, error) {
 		// fit in the 64-segment window.
 		return c, fmt.Errorf("sim: block mode needs Tick ≤ 6s, got %v", c.Tick)
 	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("sim: negative Shards")
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.ExtraChannels < 0 {
 		return c, fmt.Errorf("sim: negative ExtraChannels")
 	}
@@ -234,6 +245,12 @@ type Stats struct {
 	// full tally; both stay zero with injection disabled.
 	TornReports uint64
 	Faults      faults.Tally
+
+	// PeerVirtualSeconds is the cumulative integral of the online
+	// population over virtual time (Σ online × tick). Divided by wall
+	// time it yields the engine's peers/sec-of-virtual-time throughput,
+	// the scaling metric long runs report.
+	PeerVirtualSeconds float64
 }
 
 // ISPShares returns the population shares used for peer placement (the

@@ -27,10 +27,15 @@ type Simulation struct {
 	trackers []*protocol.Tracker
 	ex       *stream.Exchange
 
+	// tab holds every live peer's hot state as struct-of-arrays columns;
+	// peers is the live list in insertion-with-swap-removal order (the
+	// order the exchange and maintenance walk). posH and runH are the
+	// position index and per-peer runtime, both indexed by table handle —
+	// handles are dense, so these are flat slices, not maps.
+	tab   *protocol.Table
 	peers []*protocol.Peer
-	pos   map[isp.Addr]int
-	index map[isp.Addr]*protocol.Peer
-	run   map[isp.Addr]*peerRuntime
+	posH  []int32
+	runH  []*peerRuntime
 
 	// pipe is the fault-injected report path; nil when injection is
 	// disabled, in which case reports go straight to the sink.
@@ -46,6 +51,16 @@ type Simulation struct {
 	// so the disabled path allocates nothing.
 	journal *obs.Journal
 	seqs    map[isp.Addr]uint32
+
+	// Incrementally maintained aggregates: Stats() is O(1) amortized
+	// instead of a full-population scan per tick. online counts live
+	// non-server peers; stable counts those past the initial report
+	// delay, advanced lazily by drainStable over the join-order queue.
+	online     int
+	stable     int
+	stableQ    []*peerRuntime
+	stableHead int
+	pvs        float64 // cumulative peer-virtual-seconds integrated per tick
 
 	servers      int
 	joins        uint64
@@ -63,6 +78,12 @@ type peerRuntime struct {
 	// it returns to and how many bounces remain.
 	channel   workload.Channel
 	flapsLeft int
+	// departed and stable drive the incremental online/stable counters:
+	// departed marks a queue entry dead before the stability frontier
+	// reaches it; stable records that the peer was counted, so removal
+	// knows to decrement.
+	departed bool
+	stable   bool
 }
 
 // New builds a simulation: generates the ISP database, seeds the origin
@@ -104,11 +125,13 @@ func New(cfg Config) (*Simulation, error) {
 		ex: stream.NewExchange(stream.Config{
 			Mode:         cfg.Mode,
 			TargetActive: cfg.Protocol.TargetActive,
+			Shards:       cfg.Shards,
 		}, rand.New(rand.NewSource(cfg.Seed+6))),
-		pos:   make(map[isp.Addr]int),
-		index: make(map[isp.Addr]*protocol.Peer),
-		run:   make(map[isp.Addr]*peerRuntime),
+		tab: protocol.NewTable(int(cfg.MeanConcurrency)),
 	}
+	// The exchange ranks TargetActive suppliers per receiver per tick;
+	// sizing the window up front keeps that read on the cached path.
+	s.tab.SetRankWindow(cfg.Protocol.TargetActive)
 
 	for i := 0; i < cfg.Trackers; i++ {
 		s.trackers = append(s.trackers,
@@ -159,29 +182,52 @@ func (s *Simulation) trackerFor(addr isp.Addr) *protocol.Tracker {
 	return s.trackers[int(uint32(addr))%len(s.trackers)]
 }
 
-// Stats summarizes the live overlay.
+// drainStable advances the stability frontier. Peers enter stableQ in
+// join order, and virtual time only moves forward, so JoinedAt is
+// non-decreasing along the queue: every entry up to the first live peer
+// still inside its initial report delay is exactly the set the old
+// full-population scan counted with JoinedAt ≤ now−delay.
+func (s *Simulation) drainStable() {
+	cutoff := s.sched.Now().Add(-s.cfg.InitialReportDelay)
+	for s.stableHead < len(s.stableQ) {
+		rt := s.stableQ[s.stableHead]
+		if !rt.departed && rt.peer.JoinedAt.After(cutoff) {
+			break
+		}
+		s.stableHead++
+		if rt.departed {
+			continue
+		}
+		rt.stable = true
+		s.stable++
+	}
+	// Compact once the drained prefix dominates, keeping the queue
+	// proportional to the undrained population.
+	if s.stableHead > 1024 && 2*s.stableHead >= len(s.stableQ) {
+		s.stableQ = append(s.stableQ[:0], s.stableQ[s.stableHead:]...)
+		s.stableHead = 0
+	}
+}
+
+// Stats summarizes the live overlay. All aggregates are maintained
+// incrementally at join/depart events, so this is O(1) amortized — no
+// population scan.
 func (s *Simulation) Stats() Stats {
+	s.drainStable()
 	st := Stats{
-		Now:          s.sched.Now(),
-		Servers:      s.servers,
-		Joins:        s.joins,
-		Reports:      s.reports,
-		Flaps:        s.flaps,
-		MassDeparted: s.massDeparted,
-		TornReports:  s.torn,
+		Now:                s.sched.Now(),
+		Online:             s.online,
+		Stable:             s.stable,
+		Servers:            s.servers,
+		Joins:              s.joins,
+		Reports:            s.reports,
+		Flaps:              s.flaps,
+		MassDeparted:       s.massDeparted,
+		TornReports:        s.torn,
+		PeerVirtualSeconds: s.pvs,
 	}
 	if s.pipe != nil {
 		st.Faults = s.pipe.Tally()
-	}
-	cutoff := s.sched.Now().Add(-s.cfg.InitialReportDelay)
-	for _, p := range s.peers {
-		if p.IsServer {
-			continue
-		}
-		st.Online++
-		if !p.JoinedAt.After(cutoff) {
-			st.Stable++
-		}
 	}
 	return st
 }
@@ -198,7 +244,9 @@ func (s *Simulation) Run() error {
 			tickEnd = end
 		}
 		s.sched.RunUntil(tickEnd)
-		s.ex.Tick(s.peers, s.index, tickEnd.Sub(now))
+		dt := tickEnd.Sub(now)
+		s.ex.Tick(s.tab, s.peers, dt)
+		s.pvs += float64(s.online) * dt.Seconds()
 		now = tickEnd
 
 		if s.metrics != nil {
@@ -240,9 +288,9 @@ func (s *Simulation) seedServers() error {
 				ISP:  owner,
 				Cap:  netsim.Capacity{UpKbps: s.cfg.ServerUpKbps, DownKbps: s.cfg.ServerUpKbps},
 			}
-			srv := protocol.NewPeer(host, 8000, ch.Name, 0, s.cfg.Start)
-			srv.IsServer = true
-			srv.Depth = 0
+			srv := s.tab.Add(host, 8000, ch.Name, 0, s.cfg.Start)
+			srv.MarkServer()
+			srv.SetDepth(0)
 			s.insert(srv)
 			s.servers++
 			for _, tr := range s.trackers {
@@ -283,10 +331,10 @@ func (s *Simulation) handleArrival(now time.Time) {
 // arm its departure and report timers. Shared by first arrivals and
 // flapper rejoins.
 func (s *Simulation) joinPeer(host netsim.Host, ch workload.Channel, session time.Duration, flapsLeft int, now time.Time) {
-	p := protocol.NewPeer(host, uint16(1024+s.rng.Intn(60000)), ch.Name, ch.RateKbps, now)
+	p := s.tab.Add(host, uint16(1024+s.rng.Intn(60000)), ch.Name, ch.RateKbps, now)
 	p.LocalityBias = s.cfg.Protocol.LocalityBias
 
-	s.insert(p)
+	rt := s.insert(p)
 	s.joins++
 	tr := s.trackerFor(host.Addr)
 	tr.Join(ch.Name, host.Addr)
@@ -295,7 +343,6 @@ func (s *Simulation) joinPeer(host netsim.Host, ch workload.Channel, session tim
 
 	s.bootstrap(p, s.cfg.Protocol.MaxBootstrap, now)
 
-	rt := s.run[host.Addr]
 	rt.channel = ch
 	rt.flapsLeft = flapsLeft
 	rt.depart = s.sched.At(now.Add(session), func(t time.Time) { s.handleDeparture(p, t) })
@@ -306,8 +353,8 @@ func (s *Simulation) joinPeer(host netsim.Host, ch workload.Channel, session tim
 // bootstrap asks the tracker for candidates and connects to them.
 func (s *Simulation) bootstrap(p *protocol.Peer, n int, now time.Time) {
 	for _, id := range s.trackerFor(p.ID()).Bootstrap(p.Channel, p.ID(), n) {
-		q, ok := s.index[id]
-		if !ok {
+		q := s.tab.Lookup(id)
+		if q == nil {
 			continue
 		}
 		link := s.network.Link(p.Host, q.Host)
@@ -321,17 +368,20 @@ func (s *Simulation) bootstrap(p *protocol.Peer, n int, now time.Time) {
 // events (a mass departure already removed the peer, or a rejoin reused
 // its address) harmless no-ops.
 func (s *Simulation) handleDeparture(p *protocol.Peer, now time.Time) {
-	addr := p.ID()
-	rt, ok := s.run[addr]
-	if !ok || rt.peer != p {
+	h := p.Handle()
+	if h == protocol.NoPeer {
 		return
 	}
-	for _, id := range append([]isp.Addr(nil), p.PartnerIDs()...) {
-		if q, live := s.index[id]; live {
-			protocol.Disconnect(p, q)
-		}
+	rt := s.runH[h]
+	if rt == nil || rt.peer != p {
+		return
 	}
-	if p.IsServer {
+	addr := p.ID()
+	// Hot-state reads are invalid once the table slot is freed; capture
+	// what the teardown needs first.
+	isServer := p.IsServer()
+	protocol.DisconnectAll(p)
+	if isServer {
 		for _, tr := range s.trackers {
 			tr.Leave(p.Channel, addr)
 		}
@@ -342,9 +392,9 @@ func (s *Simulation) handleDeparture(p *protocol.Peer, now time.Time) {
 		rt.report.Stop()
 	}
 	s.sched.Cancel(rt.depart)
-	s.remove(addr)
+	s.remove(p)
 
-	if !p.IsServer && rt.flapsLeft > 0 {
+	if !isServer && rt.flapsLeft > 0 {
 		f := s.cfg.Churn.Flapping
 		host, ch, left := p.Host, rt.channel, rt.flapsLeft-1
 		s.flaps++
@@ -354,7 +404,7 @@ func (s *Simulation) handleDeparture(p *protocol.Peer, now time.Time) {
 
 // rejoin brings a flapper back with the same address and channel.
 func (s *Simulation) rejoin(host netsim.Host, ch workload.Channel, flapsLeft int, now time.Time) {
-	if _, live := s.index[host.Addr]; live {
+	if s.tab.Lookup(host.Addr) != nil {
 		// The address is somehow occupied (cannot happen today: the
 		// allocator never reissues addresses); joining twice would
 		// corrupt the live set, so skip the bounce.
@@ -368,7 +418,7 @@ func (s *Simulation) rejoin(host netsim.Host, ch workload.Channel, flapsLeft int
 func (s *Simulation) massDepart(md MassDeparture, now time.Time) {
 	var victims []*protocol.Peer
 	for _, p := range s.peers {
-		if !p.IsServer && s.rng.Float64() < md.Fraction {
+		if !p.IsServer() && s.rng.Float64() < md.Fraction {
 			victims = append(victims, p)
 		}
 	}
@@ -387,16 +437,16 @@ func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
 		Channel:  p.Channel,
 		UpKbps:   p.Host.Cap.UpKbps,
 		DownKbps: p.Host.Cap.DownKbps,
-		RecvKbps: p.LastRecvKbps,
-		SentKbps: p.LastSentKbps,
+		RecvKbps: p.LastRecvKbps(),
+		SentKbps: p.LastSentKbps(),
 	}
 	if p.Buffer.Valid() {
 		// Block mode: the report carries the peer's real buffer map.
 		rep.BufferMap = p.Buffer.Bitmap()
 		rep.PlayPoint = uint32(p.PlaySeg)
 	} else {
-		rep.BufferMap = s.synthBufferMap(p.QualityEWMA)
-		rep.PlayPoint = uint32(stream.SegOf(p.RateKbps, now.Sub(s.cfg.Start)))
+		rep.BufferMap = s.synthBufferMap(p.QualityEWMA())
+		rep.PlayPoint = uint32(stream.SegOf(p.RateKbps(), now.Sub(s.cfg.Start)))
 	}
 	rep.Partners = make([]trace.PartnerRecord, 0, p.PartnerCount())
 	p.Partners(func(pt *protocol.Partner) {
@@ -515,13 +565,13 @@ func (s *Simulation) synthBufferMap(quality float64) uint64 {
 // availability registration. In tree mode it also refreshes depths.
 func (s *Simulation) maintain(now time.Time) {
 	if s.cfg.Mode == stream.ModeTreePush {
-		stream.ComputeDepths(s.peers, s.index)
+		stream.ComputeDepths(s.tab, s.peers)
 	}
 	cfg := s.cfg.Protocol
 	// Iterate over a stable copy: connects mutate partner lists but not
 	// membership; departures cannot happen mid-maintenance.
 	for _, p := range s.peers {
-		if p.IsServer {
+		if p.IsServer() {
 			continue
 		}
 
@@ -531,10 +581,10 @@ func (s *Simulation) maintain(now time.Time) {
 		// not the full stream rate — no client keeps re-bootstrapping
 		// over a structural last-mile limit.
 		starveBar := cfg.StarveQuality
-		if p.RateKbps > 0 && p.Host.Cap.DownKbps < p.RateKbps {
-			starveBar *= p.Host.Cap.DownKbps / p.RateKbps
+		if rate := p.RateKbps(); rate > 0 && p.Host.Cap.DownKbps < rate {
+			starveBar *= p.Host.Cap.DownKbps / rate
 		}
-		if p.QualityEWMA < starveBar {
+		if p.QualityEWMA() < starveBar {
 			p.StarveCount++
 			if p.StarveCount >= cfg.StarveRounds {
 				s.bootstrap(p, cfg.TrackerRefill, now)
@@ -548,12 +598,11 @@ func (s *Simulation) maintain(now time.Time) {
 		// random partner for known peers, building the triangles behind
 		// the paper's clustering observations.
 		if !s.cfg.NoRecommendation && p.PartnerCount() > 0 && p.PartnerCount() < cfg.TargetActive {
-			ids := p.PartnerIDs()
-			helper := s.index[ids[s.rng.Intn(len(ids))]]
+			helper := s.tab.Lookup(p.PartnerIDAt(s.rng.Intn(p.PartnerCount())))
 			if helper != nil {
 				for _, id := range helper.Recommend(s.rng, p.ID(), cfg.RecommendSize) {
-					q, ok := s.index[id]
-					if !ok || p.HasPartner(id) {
+					q := s.tab.Lookup(id)
+					if q == nil || p.HasPartner(id) {
 						continue
 					}
 					link := s.network.Link(p.Host, q.Host)
@@ -569,27 +618,49 @@ func (s *Simulation) maintain(now time.Time) {
 	}
 }
 
-// insert adds a peer to the live set.
-func (s *Simulation) insert(p *protocol.Peer) {
-	addr := p.ID()
-	s.pos[addr] = len(s.peers)
+// insert adds a peer to the live set, registers its runtime under its
+// table handle, and updates the incremental aggregates. The peer must
+// already be in the table (tab.Add).
+func (s *Simulation) insert(p *protocol.Peer) *peerRuntime {
+	h := int(p.Handle())
+	for len(s.runH) <= h {
+		s.runH = append(s.runH, nil)
+		s.posH = append(s.posH, 0)
+	}
+	s.posH[h] = int32(len(s.peers))
 	s.peers = append(s.peers, p)
-	s.index[addr] = p
-	s.run[addr] = &peerRuntime{peer: p}
+	rt := &peerRuntime{peer: p}
+	s.runH[h] = rt
+	if !p.IsServer() {
+		s.online++
+		s.stableQ = append(s.stableQ, rt)
+	}
+	return rt
 }
 
-// remove deletes a peer from the live set by swap-removal.
-func (s *Simulation) remove(addr isp.Addr) {
-	i, ok := s.pos[addr]
-	if !ok {
+// remove deletes a peer from the live set by swap-removal, frees its
+// table slot, and updates the incremental aggregates. The table slot is
+// freed last: the swapped-in peer's handle must still resolve.
+func (s *Simulation) remove(p *protocol.Peer) {
+	h := p.Handle()
+	if h == protocol.NoPeer {
 		return
 	}
+	i := int(s.posH[h])
+	rt := s.runH[h]
+	if !p.IsServer() {
+		s.online--
+		if rt.stable {
+			s.stable--
+		}
+	}
+	rt.departed = true
+	s.runH[h] = nil
 	last := len(s.peers) - 1
-	s.peers[i] = s.peers[last]
-	s.pos[s.peers[i].ID()] = i
+	q := s.peers[last]
+	s.peers[i] = q
+	s.posH[q.Handle()] = int32(i)
 	s.peers[last] = nil
 	s.peers = s.peers[:last]
-	delete(s.pos, addr)
-	delete(s.index, addr)
-	delete(s.run, addr)
+	s.tab.Remove(p)
 }

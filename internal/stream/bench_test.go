@@ -12,12 +12,12 @@ import (
 
 // buildSwarm wires n peers (plus a few servers) into a random mesh with
 // about degree partners each.
-func buildSwarm(n, degree int, seed int64) ([]*protocol.Peer, map[isp.Addr]*protocol.Peer) {
+func buildSwarm(n, degree int, seed int64) (*protocol.Table, []*protocol.Peer) {
 	rng := rand.New(rand.NewSource(seed))
 	cfg := protocol.DefaultConfig()
 	cfg.MaxPartners = degree * 4
+	tab := protocol.NewTable(n + 4)
 	var peers []*protocol.Peer
-	index := make(map[isp.Addr]*protocol.Peer, n+4)
 	add := func(addr uint32, up float64, server bool) *protocol.Peer {
 		host := netsim.Host{
 			Addr: isp.Addr(addr),
@@ -28,10 +28,11 @@ func buildSwarm(n, degree int, seed int64) ([]*protocol.Peer, map[isp.Addr]*prot
 		if server {
 			rate = 0
 		}
-		p := protocol.NewPeer(host, 9000, "CCTV1", rate, time.Time{})
-		p.IsServer = server
+		p := tab.Add(host, 9000, "CCTV1", rate, time.Time{})
+		if server {
+			p.MarkServer()
+		}
 		peers = append(peers, p)
-		index[p.ID()] = p
 		return p
 	}
 	for s := 0; s < 4; s++ {
@@ -47,7 +48,7 @@ func buildSwarm(n, degree int, seed int64) ([]*protocol.Peer, map[isp.Addr]*prot
 			protocol.Connect(p, q, link, cfg, time.Time{})
 		}
 	}
-	return peers, index
+	return tab, peers
 }
 
 func BenchmarkExchangeTick(b *testing.B) {
@@ -61,20 +62,20 @@ func BenchmarkExchangeTick(b *testing.B) {
 	}
 	for _, sz := range sizes {
 		b.Run(sz.name, func(b *testing.B) {
-			peers, index := buildSwarm(sz.n, sz.degree, 1)
+			tab, peers := buildSwarm(sz.n, sz.degree, 1)
 			e := NewExchange(Config{}, rand.New(rand.NewSource(2)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.Tick(peers, index, time.Minute)
+				e.Tick(tab, peers, time.Minute)
 			}
 		})
 	}
 }
 
 func BenchmarkComputeDepths(b *testing.B) {
-	peers, index := buildSwarm(2000, 30, 3)
+	tab, peers := buildSwarm(2000, 30, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComputeDepths(peers, index)
+		ComputeDepths(tab, peers)
 	}
 }

@@ -3,7 +3,6 @@ package stream
 import (
 	"time"
 
-	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/protocol"
 )
 
@@ -15,7 +14,9 @@ import (
 // expensive per simulated second than ModeMesh and needs ticks short
 // enough that a tick's worth of stream (rate × tick) fits inside the
 // 64-segment window; use it for protocol-fidelity studies at small
-// scale.
+// scale. Block mode always runs sequentially regardless of
+// Config.Shards: segment delivery mutates shared buffer maps and
+// budgets as it scans, so its loop carries a true order dependence.
 const ModeBlock Mode = 3
 
 // _playbackDelay is how far behind the live edge a joining peer sets
@@ -31,17 +32,22 @@ const _prefetchMargin = 56
 
 // blockTick runs one block-mode exchange round. elapsed is total virtual
 // time since the stream began (the live edge is at SegOf(rate, elapsed)).
-func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer, dt, elapsed time.Duration) {
-	// Budgets per supplier and per link, in whole segments.
-	budget := make(map[isp.Addr]float64, len(peers))
+func (e *Exchange) blockTick(tab *protocol.Table, peers []*protocol.Peer, dt, elapsed time.Duration) {
+	cols := tab.Cols()
+
+	// Budgets per supplier slot, in whole segments.
+	if cap(e.budget) < tab.Cap() {
+		e.budget = make([]float64, tab.Cap())
+	}
+	e.budget = e.budget[:tab.Cap()]
 	for _, p := range peers {
-		budget[p.ID()] = SegOf(p.Host.Cap.UpKbps, dt)
+		e.budget[p.Handle()] = SegOf(cols.Up[p.Handle()], dt)
 	}
 
 	// Servers hold every segment up to the live edge; their windows
 	// trail it so buffer-map checks work uniformly.
 	for _, p := range peers {
-		if !p.IsServer {
+		if !cols.Server[p.Handle()] {
 			continue
 		}
 		edge := uint64(SegOf(400, elapsed)) // channels share the 400 kbps rate
@@ -57,18 +63,19 @@ func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protoco
 
 	e.order = e.order[:0]
 	for _, p := range peers {
-		if !p.IsServer {
+		if !cols.Server[p.Handle()] {
 			e.order = append(e.order, p)
 		}
 	}
 	e.rng.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
 
-	var missing []uint64
+	missing := e.missing
 	for _, p := range e.order {
-		if p.RateKbps <= 0 {
+		rate := cols.Rate[p.Handle()]
+		if rate <= 0 {
 			continue
 		}
-		liveEdge := SegOf(p.RateKbps, elapsed)
+		liveEdge := SegOf(rate, elapsed)
 
 		// Fresh peer: position the window behind the live edge.
 		if !p.Buffer.Valid() {
@@ -91,7 +98,7 @@ func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protoco
 		if len(missing) > 0 {
 			suppliers := p.TopSuppliers(e.cfg.TargetActive)
 			perLink := make([]float64, len(suppliers))
-			stripe := SegOf(p.RateKbps, dt) * e.cfg.SpreadFraction * 2
+			stripe := SegOf(rate, dt) * e.cfg.SpreadFraction * 2
 			for i, pt := range suppliers {
 				perLink[i] = SegOf(pt.Link.CapacityKbps, dt)
 				if perLink[i] > stripe {
@@ -103,15 +110,15 @@ func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protoco
 					if perLink[i] < 1 {
 						continue
 					}
-					sp, ok := index[pt.ID]
-					if !ok || budget[sp.ID()] < 1 || !sp.Buffer.Has(seg) {
+					sp := tab.PartnerPeer(pt)
+					if sp == nil || e.budget[sp.Handle()] < 1 || !sp.Buffer.Has(seg) {
 						continue
 					}
 					// Deliver the segment.
 					p.Buffer.Set(seg)
-					budget[sp.ID()]--
+					e.budget[sp.Handle()]--
 					perLink[i]--
-					e.apply(sp, p, 1)
+					applySeq(cols, sp, p, 1)
 					break
 				}
 			}
@@ -123,7 +130,7 @@ func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protoco
 		// missing segment crossed is a loss; quality is playback
 		// continuity.
 		maxPlay := liveEdge - _playbackDelay
-		newPlay := p.PlaySeg + SegOf(p.RateKbps, dt)
+		newPlay := p.PlaySeg + SegOf(rate, dt)
 		if newPlay > maxPlay {
 			newPlay = maxPlay
 		}
@@ -146,9 +153,11 @@ func (e *Exchange) blockTick(peers []*protocol.Peer, index map[isp.Addr]*protoco
 			p.Buffer.AdvanceTo(uint64(p.PlaySeg - 8))
 		}
 	}
+	e.missing = missing
 
 	for _, p := range peers {
-		p.LastRecvKbps = KbpsOf(p.TickRecvSeg, dt)
-		p.LastSentKbps = KbpsOf(p.TickSentSeg, dt)
+		h := p.Handle()
+		cols.LastRecv[h] = KbpsOf(cols.TickRecv[h], dt)
+		cols.LastSent[h] = KbpsOf(cols.TickSent[h], dt)
 	}
 }

@@ -23,7 +23,7 @@ func TestBlockModeDeliversSegments(t *testing.T) {
 
 	e := blockExchange()
 	for i := 0; i < 60; i++ {
-		e.Tick(m.peers, m.index, 5*time.Second)
+		e.Tick(m.tab, m.peers, 5*time.Second)
 	}
 	if !p.Buffer.Valid() {
 		t.Fatal("receiver window never initialized")
@@ -31,8 +31,8 @@ func TestBlockModeDeliversSegments(t *testing.T) {
 	if p.Buffer.Fill() < 0.3 {
 		t.Errorf("window fill %.2f after 5 minutes with an idle server", p.Buffer.Fill())
 	}
-	if p.QualityEWMA < 0.8 {
-		t.Errorf("playback continuity %.2f with ample supply", p.QualityEWMA)
+	if p.QualityEWMA() < 0.8 {
+		t.Errorf("playback continuity %.2f with ample supply", p.QualityEWMA())
 	}
 	if p.Partner(server.ID()).WinRecv == 0 {
 		t.Error("per-link segment counters untouched in block mode")
@@ -54,16 +54,16 @@ func TestBlockModeRespectsBudget(t *testing.T) {
 	}
 	e := newExchange(ModeBlock)
 	for i := 0; i < 24; i++ {
-		e.Tick(m.peers, m.index, 5*time.Second)
+		e.Tick(m.tab, m.peers, 5*time.Second)
 	}
 	budgetPerTick := SegOf(400, 5*time.Second)
-	if s.TickSentSeg > budgetPerTick+1 {
-		t.Errorf("supplier sent %.0f segments in a tick, budget %.0f", s.TickSentSeg, budgetPerTick)
+	if s.TickSentSeg() > budgetPerTick+1 {
+		t.Errorf("supplier sent %.0f segments in a tick, budget %.0f", s.TickSentSeg(), budgetPerTick)
 	}
 	// With one 400 kbps uploader for eight receivers, most must starve.
 	starving := 0
 	for _, r := range receivers {
-		if r.QualityEWMA < 0.5 {
+		if r.QualityEWMA() < 0.5 {
 			starving++
 		}
 	}
@@ -83,10 +83,10 @@ func TestBlockModePropagatesThroughMesh(t *testing.T) {
 
 	e := blockExchange()
 	for i := 0; i < 60; i++ {
-		e.Tick(m.peers, m.index, 5*time.Second)
+		e.Tick(m.tab, m.peers, 5*time.Second)
 	}
-	if bPeer.QualityEWMA < 0.5 {
-		t.Errorf("second-hop peer continuity %.2f; relay failed", bPeer.QualityEWMA)
+	if bPeer.QualityEWMA() < 0.5 {
+		t.Errorf("second-hop peer continuity %.2f; relay failed", bPeer.QualityEWMA())
 	}
 	if got := bPeer.Partner(a.ID()).WinRecv; got == 0 {
 		t.Error("no segments relayed a→b")
@@ -105,7 +105,7 @@ func TestBlockModeReportsRealBufferMap(t *testing.T) {
 	m.connect(p, server, 4000)
 	e := blockExchange()
 	for i := 0; i < 24; i++ {
-		e.Tick(m.peers, m.index, 5*time.Second)
+		e.Tick(m.tab, m.peers, 5*time.Second)
 	}
 	if p.Buffer.Bitmap() == 0 {
 		t.Error("buffer map empty after two minutes of delivery")
@@ -122,7 +122,7 @@ func TestFlowModeLeavesWindowUntouched(t *testing.T) {
 	m.connect(p, server, 4000)
 	e := newExchange(ModeMesh)
 	for i := 0; i < 5; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	if p.Buffer.Valid() {
 		t.Error("flow mode initialized a block-mode window")

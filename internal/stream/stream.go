@@ -12,15 +12,34 @@
 // thought experiment of Sec. 4.4 — content only flows from peers closer
 // to the origin servers toward peers farther away — used by the ablation
 // bench to show that tree-like propagation drives reciprocity below zero.
+//
+// # Sharded ticks
+//
+// The mesh tick is phased so it can fan out across Config.Shards worker
+// goroutines and still produce byte-identical traces for every shard
+// count, including the old sequential engine's output. Everything whose
+// order can influence the result stays on a sequential spine:
+//
+//   - the receiver shuffle (the tick's only RNG use),
+//   - the merge that builds per-supplier request lists in first-request
+//     order, and
+//   - the fold that accumulates receiver-side segment counts in exactly
+//     the (supplier, sorted-request) order the sequential engine applied
+//     them, so float addition order is unchanged.
+//
+// The parallel phases — per-receiver request computation, per-supplier
+// water-filling, per-peer finalization — are pure per-item functions of
+// state frozen before the phase starts, writing only item-owned slots.
+// Partitioning them cannot reorder any observable arithmetic.
 package stream
 
 import (
 	"cmp"
 	"math/rand"
 	"slices"
+	"sync"
 	"time"
 
-	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/protocol"
 )
 
@@ -71,6 +90,10 @@ type Config struct {
 	// could carry the whole stream. Defaults to 0.15 (so a receiver
 	// needs ≈ 8 suppliers to cover its demand).
 	SpreadFraction float64
+	// Shards is the number of worker goroutines the mesh tick fans out
+	// to. 1 (the default) runs fully sequentially; any value produces
+	// byte-identical results. Block mode is always sequential.
+	Shards int
 }
 
 func (c Config) sanitize() Config {
@@ -86,6 +109,9 @@ func (c Config) sanitize() Config {
 	if c.SpreadFraction <= 0 || c.SpreadFraction > 1 {
 		c.SpreadFraction = 0.15
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -96,104 +122,208 @@ type Exchange struct {
 	rng     *rand.Rand
 	elapsed time.Duration // stream age, drives the block-mode live edge
 
-	order    []*protocol.Peer // scratch: shuffled receiver order
-	reqOrder []*protocol.Peer // scratch: suppliers in first-request order
-	requests map[isp.Addr][]grantReq
+	order    []*protocol.Peer    // scratch: shuffled receiver order
+	perRecv  [][]request         // scratch: requests per shuffled position
+	perSup   [][]grantReq        // scratch: requests per supplier slot
+	touched  []protocol.Handle   // scratch: supplier slots used this tick
+	supOrder []*protocol.Peer    // scratch: suppliers in first-request order
+	ranked   [][]protocol.Ranked // per-worker supplier-ranking scratch
+	budget   []float64           // block-mode per-slot upload budget
+	missing  []uint64            // block-mode scratch
 }
 
+// request is one receiver→supplier pull, recorded during the parallel
+// request phase and merged on the sequential spine. rp is the
+// receiver-side partner entry for the supplier — partner lists never
+// mutate during a tick, so the pointer stays valid through the grant
+// phase and saves the supplier a by-ID search per grant.
+type request struct {
+	sup *protocol.Peer
+	rp  *protocol.Partner
+	seg float64
+}
+
+// grantReq is one entry of a supplier's per-tick request list. granted
+// is filled by the parallel grant phase and folded into the receiver's
+// accumulator on the sequential spine.
 type grantReq struct {
-	recv *protocol.Peer
-	seg  float64
+	recv    *protocol.Peer
+	rp      *protocol.Partner
+	seg     float64
+	granted float64
 }
 
 // NewExchange builds an exchange engine.
 func NewExchange(cfg Config, rng *rand.Rand) *Exchange {
+	cfg = cfg.sanitize()
 	return &Exchange{
-		cfg:      cfg.sanitize(),
-		rng:      rng,
-		requests: make(map[isp.Addr][]grantReq),
+		cfg:    cfg,
+		rng:    rng,
+		ranked: make([][]protocol.Ranked, cfg.Shards),
 	}
+}
+
+// parallel partitions [0,n) into contiguous chunks across the
+// configured shard count and runs fn(lo, hi, worker) for each. With one
+// shard (or one item) it runs inline.
+func (e *Exchange) parallel(n int, fn func(lo, hi, worker int)) {
+	w := e.cfg.Shards
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n, 0)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, i int) {
+			defer wg.Done()
+			fn(lo, hi, i)
+		}(lo, hi, i)
+	}
+	wg.Wait()
 }
 
 // Tick advances the exchange by dt: receivers issue pull requests to
 // their best suppliers, suppliers water-fill their upload budgets across
 // requesters, and all per-link and per-peer counters are updated.
 //
-// index must resolve every live partner ID; entries missing from it are
-// treated as departed and skipped.
-func (e *Exchange) Tick(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer, dt time.Duration) {
+// tab holds the live population's hot columns; partner entries that no
+// longer resolve in it are treated as departed and skipped.
+func (e *Exchange) Tick(tab *protocol.Table, peers []*protocol.Peer, dt time.Duration) {
 	e.elapsed += dt
+	cols := tab.Cols()
 
-	// Phase 0: reset tick accumulators.
-	for _, p := range peers {
-		p.TickRecvSeg, p.TickSentSeg = 0, 0
-	}
+	// Phase 0: reset tick accumulators. Clearing whole columns also
+	// touches free slots, which is harmless: they are re-initialized on
+	// reuse.
+	clear(cols.TickRecv)
+	clear(cols.TickSent)
 
 	if e.cfg.Mode == ModeBlock {
-		e.blockTick(peers, index, dt, e.elapsed)
+		e.blockTick(tab, peers, dt, e.elapsed)
 		return
 	}
 
-	// Phase 1: receivers request, in random order so no peer has a
-	// systematic first-mover advantage across a run.
+	// Phase 1a (sequential): shuffled receiver order, so no peer has a
+	// systematic first-mover advantage across a run. The tick's only
+	// RNG draw.
 	e.order = e.order[:0]
 	for _, p := range peers {
-		if !p.IsServer {
+		if !cols.Server[p.Handle()] {
 			e.order = append(e.order, p)
 		}
 	}
 	e.rng.Shuffle(len(e.order), func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
 
-	e.reqOrder = e.reqOrder[:0]
-	for k := range e.requests {
-		delete(e.requests, k)
+	// Phase 1b (parallel): each receiver computes its request list from
+	// state frozen at the end of the previous tick (partner scores,
+	// advertised shares, depths). Results land in per-position slots.
+	n := len(e.order)
+	for len(e.perRecv) < n {
+		e.perRecv = append(e.perRecv, nil)
 	}
-	for _, p := range e.order {
-		e.collectRequests(p, index, dt)
+	e.parallel(n, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			e.perRecv[i] = e.collectInto(e.perRecv[i][:0], e.order[i], tab, cols, dt, w)
+		}
+	})
+
+	// Phase 1c (sequential spine): merge per-receiver lists into
+	// per-supplier lists. Walking positions in shuffle order recreates
+	// the exact first-request supplier order of the sequential engine.
+	for _, h := range e.touched {
+		e.perSup[h] = e.perSup[h][:0]
+	}
+	e.touched = e.touched[:0]
+	e.supOrder = e.supOrder[:0]
+	for len(e.perSup) < tab.Cap() {
+		e.perSup = append(e.perSup, nil)
+	}
+	for i := 0; i < n; i++ {
+		p := e.order[i]
+		for _, rq := range e.perRecv[i] {
+			h := rq.sup.Handle()
+			if len(e.perSup[h]) == 0 {
+				e.supOrder = append(e.supOrder, rq.sup)
+				e.touched = append(e.touched, h)
+			}
+			e.perSup[h] = append(e.perSup[h], grantReq{recv: p, rp: rq.rp, seg: rq.seg})
+		}
 	}
 
-	// Phase 2: suppliers grant. reqOrder preserves first-request order,
-	// which is deterministic given the seeded shuffle.
-	for _, s := range e.reqOrder {
-		e.grant(s, dt)
+	// Phase 2a (parallel): suppliers water-fill. Each writes only
+	// supplier-owned state: its request list (sort + granted amounts),
+	// its tick-sent/share columns, its own partner counters, and the
+	// receiver-side counter of the partner edge pointing back at it —
+	// distinct memory per (supplier, receiver) pair.
+	e.parallel(len(e.supOrder), func(lo, hi, w int) {
+		for _, s := range e.supOrder[lo:hi] {
+			e.grant(s, cols, dt)
+		}
+	})
+
+	// Phase 2b (sequential spine): fold granted segments into receiver
+	// accumulators in the exact (first-request supplier, sorted request)
+	// order the sequential engine applied them, so float addition order
+	// is bit-identical.
+	for _, s := range e.supOrder {
+		for _, r := range e.perSup[s.Handle()] {
+			if r.granted > 0 {
+				cols.TickRecv[r.recv.Handle()] += r.granted
+			}
+		}
 	}
 
-	// Phase 3: finalize per-peer aggregates and quality.
-	for _, p := range peers {
-		p.LastRecvKbps = KbpsOf(p.TickRecvSeg, dt)
-		p.LastSentKbps = KbpsOf(p.TickSentSeg, dt)
-		if p.IsServer {
-			continue
-		}
-		demand := SegOf(p.RateKbps, dt)
-		if demand > 0 {
-			p.UpdateQuality(p.TickRecvSeg / demand)
-		}
-	}
+	// Phase 3 (parallel): finalize per-peer aggregates and quality.
+	e.parallel(len(peers), func(lo, hi, w int) {
+		finalizeMesh(peers[lo:hi], cols, dt)
+	})
 }
 
-func (e *Exchange) collectRequests(p *protocol.Peer, index map[isp.Addr]*protocol.Peer, dt time.Duration) {
-	demand := SegOf(p.RateKbps, dt)
+// collectInto computes one receiver's pull requests — a pure function
+// of previous-tick state — appending them to dst.
+//
+//magellan:hotpath
+func (e *Exchange) collectInto(dst []request, p *protocol.Peer, tab *protocol.Table, cols protocol.Cols, dt time.Duration, worker int) []request {
+	h := p.Handle()
+	demand := SegOf(cols.Rate[h], dt)
 	if demand <= 0 {
-		return
+		return dst
 	}
 	want := demand * e.cfg.OverRequest
 	// A receiver cannot aggregate beyond its own downlink; peers on weak
 	// access links are structurally capped below the stream rate.
-	if lim := SegOf(p.Host.Cap.DownKbps, dt); want > lim {
+	if lim := SegOf(cols.Down[h], dt); want > lim {
 		want = lim
 	}
 	covered := 0.0
-	for _, pt := range p.TopSuppliers(e.cfg.TargetActive) {
-		sp, ok := index[pt.ID]
-		if !ok {
+	ranked := p.RankSuppliers(e.ranked[worker][:0], e.cfg.TargetActive)
+	for _, rk := range ranked {
+		pt := rk.Pt
+		sp := tab.PartnerPeer(pt)
+		if sp == nil {
 			continue
 		}
-		if e.cfg.Mode == ModeTreePush && !sp.IsServer && sp.Depth >= p.Depth {
+		sh := sp.Handle()
+		if e.cfg.Mode == ModeTreePush && !cols.Server[sh] && cols.Depth[sh] >= cols.Depth[h] {
 			continue
 		}
 		est := SegOf(pt.Link.CapacityKbps, dt)
-		if share := SegOf(sp.ShareEstimate, dt); share < est {
+		if share := SegOf(cols.Share[sh], dt); share < est {
 			est = share
 		}
 		if lim := demand * e.cfg.SpreadFraction; est > lim {
@@ -212,26 +342,30 @@ func (e *Exchange) collectRequests(p *protocol.Peer, index map[isp.Addr]*protoco
 		if amount <= 0 {
 			break
 		}
-		if _, seen := e.requests[sp.ID()]; !seen {
-			e.reqOrder = append(e.reqOrder, sp)
-		}
-		e.requests[sp.ID()] = append(e.requests[sp.ID()], grantReq{recv: p, seg: amount})
+		dst = append(dst, request{sup: sp, rp: pt, seg: amount})
 		covered += amount
 		if covered >= want {
 			break
 		}
 	}
+	e.ranked[worker] = ranked[:0]
+	return dst
 }
 
 // grant water-fills the supplier's upload budget across its requesters:
 // requests smaller than the fair share are fully served, and the freed
-// budget is redistributed among the rest.
-func (e *Exchange) grant(s *protocol.Peer, dt time.Duration) {
-	reqs := e.requests[s.ID()]
+// budget is redistributed among the rest. Receiver-side tick
+// accumulators are NOT touched here — the granted amounts are folded on
+// the sequential spine.
+//
+//magellan:hotpath
+func (e *Exchange) grant(s *protocol.Peer, cols protocol.Cols, dt time.Duration) {
+	h := s.Handle()
+	reqs := e.perSup[h]
 	if len(reqs) == 0 {
 		return
 	}
-	budget := SegOf(s.Host.Cap.UpKbps, dt)
+	budget := SegOf(cols.Up[h], dt)
 	slices.SortFunc(reqs, func(a, b grantReq) int {
 		if a.seg != b.seg {
 			return cmp.Compare(a.seg, b.seg)
@@ -239,7 +373,8 @@ func (e *Exchange) grant(s *protocol.Peer, dt time.Duration) {
 		return cmp.Compare(a.recv.ID(), b.recv.ID())
 	})
 	remaining := budget
-	for i, r := range reqs {
+	for i := range reqs {
+		r := &reqs[i]
 		fair := remaining / float64(len(reqs)-i)
 		g := r.seg
 		if g > fair {
@@ -249,13 +384,40 @@ func (e *Exchange) grant(s *protocol.Peer, dt time.Duration) {
 			continue
 		}
 		remaining -= g
-		e.apply(s, r.recv, g)
+		r.granted = g
+		sp := r.rp.Reciprocal()
+		sp.WinSent += g
+		sp.CumSent += g
+		r.rp.WinRecv += g
+		r.rp.CumRecv += g
+		cols.TickSent[h] += g
 	}
 	// Advertise next tick's expected per-receiver share.
-	s.ShareEstimate = s.Host.Cap.UpKbps / float64(len(reqs))
+	cols.Share[h] = cols.Up[h] / float64(len(reqs))
 }
 
-func (e *Exchange) apply(s, r *protocol.Peer, seg float64) {
+// finalizeMesh updates throughput aggregates and quality for one chunk
+// of the population.
+//
+//magellan:hotpath
+func finalizeMesh(peers []*protocol.Peer, cols protocol.Cols, dt time.Duration) {
+	for _, p := range peers {
+		h := p.Handle()
+		cols.LastRecv[h] = KbpsOf(cols.TickRecv[h], dt)
+		cols.LastSent[h] = KbpsOf(cols.TickSent[h], dt)
+		if cols.Server[h] {
+			continue
+		}
+		demand := SegOf(cols.Rate[h], dt)
+		if demand > 0 {
+			p.UpdateQuality(cols.TickRecv[h] / demand)
+		}
+	}
+}
+
+// applySeq transfers seg segments from s to r with all counters updated
+// immediately — the sequential (block-mode) path.
+func applySeq(cols protocol.Cols, s, r *protocol.Peer, seg float64) {
 	if sp := s.Partner(r.ID()); sp != nil {
 		sp.WinSent += seg
 		sp.CumSent += seg
@@ -264,32 +426,33 @@ func (e *Exchange) apply(s, r *protocol.Peer, seg float64) {
 		rp.WinRecv += seg
 		rp.CumRecv += seg
 	}
-	s.TickSentSeg += seg
-	r.TickRecvSeg += seg
+	cols.TickSent[s.Handle()] += seg
+	cols.TickRecv[r.Handle()] += seg
 }
 
 // ComputeDepths assigns every peer its hop distance from the nearest
 // origin server over the partner mesh (servers are depth 0, unreachable
 // peers protocol.MaxDepth). The tree-push mode consults these depths; the
 // mesh mode ignores them.
-func ComputeDepths(peers []*protocol.Peer, index map[isp.Addr]*protocol.Peer) {
+func ComputeDepths(tab *protocol.Table, peers []*protocol.Peer) {
 	queue := make([]*protocol.Peer, 0, len(peers))
 	for _, p := range peers {
-		if p.IsServer {
-			p.Depth = 0
+		if p.IsServer() {
+			p.SetDepth(0)
 			queue = append(queue, p)
 		} else {
-			p.Depth = protocol.MaxDepth
+			p.SetDepth(protocol.MaxDepth)
 		}
 	}
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
+		d := cur.Depth() + 1
 		for _, id := range cur.PartnerIDs() {
-			next, ok := index[id]
-			if !ok || next.Depth <= cur.Depth+1 {
+			next := tab.Lookup(id)
+			if next == nil || next.Depth() <= d {
 				continue
 			}
-			next.Depth = cur.Depth + 1
+			next.SetDepth(d)
 			queue = append(queue, next)
 		}
 	}

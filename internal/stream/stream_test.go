@@ -14,12 +14,12 @@ import (
 var _t0 = time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
 
 type mesh struct {
+	tab   *protocol.Table
 	peers []*protocol.Peer
-	index map[isp.Addr]*protocol.Peer
 }
 
 func newMesh() *mesh {
-	return &mesh{index: make(map[isp.Addr]*protocol.Peer)}
+	return &mesh{tab: protocol.NewTable(8)}
 }
 
 func (m *mesh) add(addr uint32, upKbps float64, server bool) *protocol.Peer {
@@ -32,10 +32,11 @@ func (m *mesh) add(addr uint32, upKbps float64, server bool) *protocol.Peer {
 	if server {
 		rate = 0
 	}
-	p := protocol.NewPeer(host, 10000, "CCTV1", rate, _t0)
-	p.IsServer = server
+	p := m.tab.Add(host, 10000, "CCTV1", rate, _t0)
+	if server {
+		p.MarkServer()
+	}
 	m.peers = append(m.peers, p)
-	m.index[p.ID()] = p
 	return p
 }
 
@@ -79,19 +80,19 @@ func TestSingleSupplierServesDemand(t *testing.T) {
 	// SpreadFraction 1 lets one supplier carry the whole stream, which
 	// isolates the capacity/allocation path from request striping.
 	e := NewExchange(Config{SpreadFraction: 1}, rand.New(rand.NewSource(1)))
-	e.Tick(m.peers, m.index, time.Minute)
+	e.Tick(m.tab, m.peers, time.Minute)
 
 	demand := SegOf(400, time.Minute)
-	if math.Abs(p.TickRecvSeg-demand*1.2) > demand*0.25 {
-		t.Errorf("received %.1f seg, want ≈ demand*overrequest %.1f", p.TickRecvSeg, demand*1.2)
+	if math.Abs(p.TickRecvSeg()-demand*1.2) > demand*0.25 {
+		t.Errorf("received %.1f seg, want ≈ demand*overrequest %.1f", p.TickRecvSeg(), demand*1.2)
 	}
-	if p.QualityEWMA < 0.9 {
-		t.Errorf("quality EWMA %.3f after a fully-served tick, want high", p.QualityEWMA)
+	if p.QualityEWMA() < 0.9 {
+		t.Errorf("quality EWMA %.3f after a fully-served tick, want high", p.QualityEWMA())
 	}
-	if p.LastRecvKbps < 350 {
-		t.Errorf("LastRecvKbps = %.1f, want ≈ 400+", p.LastRecvKbps)
+	if p.LastRecvKbps() < 350 {
+		t.Errorf("LastRecvKbps = %.1f, want ≈ 400+", p.LastRecvKbps())
 	}
-	if server.LastSentKbps <= 0 {
+	if server.LastSentKbps() <= 0 {
 		t.Error("server recorded no sending throughput")
 	}
 }
@@ -105,7 +106,7 @@ func TestSpreadFractionStripesAcrossSuppliers(t *testing.T) {
 	}
 	e := newExchange(ModeMesh) // default SpreadFraction 0.15
 	for i := 0; i < 3; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	suppliers := 0
 	demand := SegOf(400, time.Minute)
@@ -121,8 +122,8 @@ func TestSpreadFractionStripesAcrossSuppliers(t *testing.T) {
 	if suppliers < 6 {
 		t.Errorf("striping engaged only %d suppliers, want ≈ 8", suppliers)
 	}
-	if p.QualityEWMA < 0.8 {
-		t.Errorf("striped receiver quality %.2f, want served", p.QualityEWMA)
+	if p.QualityEWMA() < 0.8 {
+		t.Errorf("striped receiver quality %.2f, want served", p.QualityEWMA())
 	}
 }
 
@@ -133,7 +134,7 @@ func TestCountersMatchBothSides(t *testing.T) {
 	m.connect(p, server, 4000)
 
 	e := newExchange(ModeMesh)
-	e.Tick(m.peers, m.index, time.Minute)
+	e.Tick(m.tab, m.peers, time.Minute)
 
 	sent := server.Partner(p.ID()).WinSent
 	recv := p.Partner(server.ID()).WinRecv
@@ -158,11 +159,11 @@ func TestUploadBudgetIsConserved(t *testing.T) {
 		receivers = append(receivers, p)
 	}
 	e := newExchange(ModeMesh)
-	e.Tick(m.peers, m.index, time.Minute)
+	e.Tick(m.tab, m.peers, time.Minute)
 
 	budget := SegOf(448, time.Minute)
-	if s.TickSentSeg > budget*1.0001 {
-		t.Errorf("supplier sent %.1f seg, budget %.1f — capacity violated", s.TickSentSeg, budget)
+	if s.TickSentSeg() > budget*1.0001 {
+		t.Errorf("supplier sent %.1f seg, budget %.1f — capacity violated", s.TickSentSeg(), budget)
 	}
 	var sum float64
 	for _, r := range receivers {
@@ -170,8 +171,8 @@ func TestUploadBudgetIsConserved(t *testing.T) {
 	}
 	// Everything the supplier sent landed at receivers (ignoring what
 	// receivers pulled from each other, which flows through s too).
-	if sum > s.TickSentSeg+1e-6 {
-		t.Errorf("receivers got %.2f seg from s but s only sent %.2f", sum, s.TickSentSeg)
+	if sum > s.TickSentSeg()+1e-6 {
+		t.Errorf("receivers got %.2f seg from s but s only sent %.2f", sum, s.TickSentSeg())
 	}
 }
 
@@ -186,7 +187,7 @@ func TestWaterFillIsFair(t *testing.T) {
 	e := newExchange(ModeMesh)
 	// Run several ticks so the share estimate converges.
 	for i := 0; i < 5; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	ra := a.Partner(s.ID()).WinRecv
 	rb := b.Partner(s.ID()).WinRecv
@@ -210,12 +211,12 @@ func TestQualityDegradesUnderOversubscription(t *testing.T) {
 	}
 	e := newExchange(ModeMesh)
 	for i := 0; i < 10; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	// 448 kbps across 10 receivers needing 400 each: quality must be low.
 	for _, r := range receivers {
-		if r.QualityEWMA > 0.5 {
-			t.Errorf("receiver %v quality %.2f despite 9x oversubscription", r.ID(), r.QualityEWMA)
+		if r.QualityEWMA() > 0.5 {
+			t.Errorf("receiver %v quality %.2f despite 9x oversubscription", r.ID(), r.QualityEWMA())
 		}
 	}
 }
@@ -225,12 +226,12 @@ func TestNoPartnersMeansStarvation(t *testing.T) {
 	p := m.add(1, 448, false)
 	e := newExchange(ModeMesh)
 	for i := 0; i < 20; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
-	if p.QualityEWMA > 0.01 {
-		t.Errorf("isolated peer quality %.3f, want ≈ 0", p.QualityEWMA)
+	if p.QualityEWMA() > 0.01 {
+		t.Errorf("isolated peer quality %.3f, want ≈ 0", p.QualityEWMA())
 	}
-	if p.TickRecvSeg != 0 {
+	if p.TickRecvSeg() != 0 {
 		t.Error("isolated peer received segments")
 	}
 }
@@ -240,13 +241,13 @@ func TestDepartedPartnerSkipped(t *testing.T) {
 	s := m.add(1, 8000, true)
 	p := m.add(2, 448, false)
 	m.connect(p, s, 4000)
-	// s departs: removed from index but p's partner list is stale.
-	delete(m.index, s.ID())
+	// s departs: removed from the table but p's partner list is stale.
+	m.tab.Remove(s)
 	live := []*protocol.Peer{p}
 	e := newExchange(ModeMesh)
-	e.Tick(live, m.index, time.Minute)
-	if p.TickRecvSeg != 0 {
-		t.Errorf("received %.2f seg from departed partner", p.TickRecvSeg)
+	e.Tick(m.tab, live, time.Minute)
+	if p.TickRecvSeg() != 0 {
+		t.Errorf("received %.2f seg from departed partner", p.TickRecvSeg())
 	}
 }
 
@@ -264,7 +265,7 @@ func TestMeshReciprocity(t *testing.T) {
 
 	e := newExchange(ModeMesh)
 	for i := 0; i < 5; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	ab := a.Partner(b.ID()).WinSent
 	ba := b.Partner(a.ID()).WinSent
@@ -281,14 +282,14 @@ func TestTreePushForbidsUpstreamFlow(t *testing.T) {
 	m.connect(a, server, 2000)
 	m.connect(a, b, 4000) // b reaches the stream only through a
 
-	ComputeDepths(m.peers, m.index)
-	if a.Depth != 1 || b.Depth != 2 || server.Depth != 0 {
-		t.Fatalf("depths = server %d, a %d, b %d; want 0, 1, 2", server.Depth, a.Depth, b.Depth)
+	ComputeDepths(m.tab, m.peers)
+	if a.Depth() != 1 || b.Depth() != 2 || server.Depth() != 0 {
+		t.Fatalf("depths = server %d, a %d, b %d; want 0, 1, 2", server.Depth(), a.Depth(), b.Depth())
 	}
 
 	e := newExchange(ModeTreePush)
 	for i := 0; i < 5; i++ {
-		e.Tick(m.peers, m.index, time.Minute)
+		e.Tick(m.tab, m.peers, time.Minute)
 	}
 	if up := b.Partner(a.ID()).WinSent; up > 0 {
 		t.Errorf("tree mode let b send %.2f seg upstream to a", up)
@@ -302,9 +303,9 @@ func TestComputeDepthsUnreachable(t *testing.T) {
 	m := newMesh()
 	m.add(1, 4000, true)
 	isolated := m.add(2, 448, false)
-	ComputeDepths(m.peers, m.index)
-	if isolated.Depth != protocol.MaxDepth {
-		t.Errorf("isolated peer depth = %d, want MaxDepth", isolated.Depth)
+	ComputeDepths(m.tab, m.peers)
+	if isolated.Depth() != protocol.MaxDepth {
+		t.Errorf("isolated peer depth = %d, want MaxDepth", isolated.Depth())
 	}
 }
 
@@ -316,16 +317,16 @@ func TestTickDeterminism(t *testing.T) {
 			p := m.add(i, 448, false)
 			m.connect(p, server, 2000)
 			if i > 2 {
-				m.connect(p, m.index[isp.Addr(i-1)], 3000)
+				m.connect(p, m.tab.Lookup(isp.Addr(i-1)), 3000)
 			}
 		}
 		e := newExchange(ModeMesh)
 		for i := 0; i < 10; i++ {
-			e.Tick(m.peers, m.index, time.Minute)
+			e.Tick(m.tab, m.peers, time.Minute)
 		}
 		var sum float64
 		for _, p := range m.peers {
-			sum += p.TickRecvSeg * float64(p.ID())
+			sum += p.TickRecvSeg() * float64(p.ID())
 		}
 		return sum
 	}
