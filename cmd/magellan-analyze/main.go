@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/magellan-p2p/magellan/internal/core"
@@ -31,8 +32,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("magellan-analyze", flag.ContinueOnError)
 	var (
-		tracePath = fs.String("trace", "uusee.trace", "input trace file (binary format)")
+		tracePath = fs.String("trace", "uusee.trace", "input trace file(s), comma-separated in shard order; several files merge deterministically into one store")
 		ispdbPath = fs.String("ispdb", "uusee.ispdb", "input ISP database file")
+		tolerant  = fs.Bool("tolerant", false, "survive damaged shard inputs when merging: skip non-trace files, keep torn tails' intact prefixes, drop invalid records (all counted)")
+		fprint    = fs.Bool("fingerprint", false, "print the sealed (merged) store's canonical SHA-256 and exit without analyzing")
 		csvDir    = fs.String("csv", "", "directory for per-figure CSV export (empty: skip)")
 		svgDir    = fs.String("svg", "", "directory for per-figure SVG export (empty: skip)")
 		interval  = fs.Duration("interval", 10*time.Minute, "trace epoch width")
@@ -51,11 +54,43 @@ func run(args []string) error {
 		return nil
 	}
 
-	traceFile, err := os.Open(*tracePath)
-	if err != nil {
-		return err
+	tracePaths := strings.Split(*tracePath, ",")
+	if *streaming {
+		if len(tracePaths) > 1 {
+			return fmt.Errorf("-stream analyzes a single trace; merge shard files without -stream")
+		}
+		if *fprint {
+			return fmt.Errorf("-fingerprint needs the sealed index; drop -stream")
+		}
 	}
-	defer traceFile.Close()
+	// loadMerged folds the shard files (or the one file) into a store;
+	// the merged store is byte-identical to a single-server run's for any
+	// shard count, so -fingerprint comparisons across layouts are exact.
+	loadMerged := func() (*trace.Store, error) {
+		store, stats, err := trace.MergeFiles(tracePaths, *interval,
+			trace.MergeOptions{Tolerant: *tolerant})
+		if err != nil {
+			return nil, fmt.Errorf("load trace: %w", err)
+		}
+		if len(tracePaths) > 1 || *tolerant {
+			fmt.Fprintf(os.Stderr, "merged %d reports from %d shard file(s)", stats.Records, stats.Sources)
+			if stats.SkippedSources+stats.TornSources > 0 || stats.InvalidRecords > 0 {
+				fmt.Fprintf(os.Stderr, " (skipped %d, torn %d, invalid records %d)",
+					stats.SkippedSources, stats.TornSources, stats.InvalidRecords)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		return store, nil
+	}
+	if *fprint {
+		store, err := loadMerged()
+		if err != nil {
+			return err
+		}
+		fp := store.Seal().Fingerprint()
+		fmt.Printf("%x\n", fp)
+		return nil
+	}
 
 	dbFile, err := os.Open(*ispdbPath)
 	if err != nil {
@@ -105,6 +140,11 @@ func run(args []string) error {
 	start := time.Now()
 	var res *core.Results
 	if *streaming {
+		traceFile, err := os.Open(tracePaths[0])
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
 		rd, err := trace.NewReader(traceFile)
 		if err != nil {
 			return fmt.Errorf("open trace: %w", err)
@@ -117,9 +157,9 @@ func run(args []string) error {
 		fmt.Printf("stream-analyzed %d epochs in %v (%d stragglers dropped)\n",
 			res.EpochCount, time.Since(start).Round(time.Millisecond), dropped)
 	} else {
-		store, err := trace.LoadStore(traceFile, *interval)
+		store, err := loadMerged()
 		if err != nil {
-			return fmt.Errorf("load trace: %w", err)
+			return err
 		}
 		// Attach before the first Seal so the index build's events land
 		// in the journal (the seal result is cached afterwards).

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -41,8 +42,9 @@ func main() {
 func run(args []string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("magellan-serve", flag.ContinueOnError)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:9600", "UDP address for report ingestion")
-		outDir   = fs.String("out", "traces", "directory for rotated binary trace files")
+		listen   = fs.String("listen", "127.0.0.1:9600", "UDP address for report ingestion (shard K listens on port+K-1; port 0 gives every shard an ephemeral port)")
+		outDir   = fs.String("out", "traces", "directory for rotated binary trace files (sharded fleets write shard-NN/ subdirectories)")
+		shards   = fs.Int("shards", 1, "ingest fleet size; reports are partitioned by peer address, and magellan-analyze merges the per-shard files deterministically")
 		httpAddr = fs.String("http", "", "HTTP status/metrics address (empty: disabled)")
 		rotate   = fs.Duration("rotate", time.Hour, "trace-file rotation period")
 		queue    = fs.Int("queue", 0, "ingest queue depth (0: default)")
@@ -62,13 +64,21 @@ func run(args []string, stop <-chan struct{}) error {
 	d, err := newDaemon(daemonConfig{
 		listen: *listen, outDir: *outDir, httpAddr: *httpAddr,
 		rotate: *rotate, queue: *queue, journal: *journal,
-		pprof: *pprofOn, selfLog: *selfLog,
+		shards: *shards, pprof: *pprofOn, selfLog: *selfLog,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace server on udp://%s, writing %s, rotating every %v\n",
-		d.udp.Addr(), *outDir, *rotate)
+	if d.fleet.Len() > 1 {
+		fmt.Printf("trace fleet of %d shards, writing %s, rotating every %v\n",
+			d.fleet.Len(), *outDir, *rotate)
+		for i, a := range d.fleet.Addrs() {
+			fmt.Printf("  shard %d on udp://%s\n", i+1, a)
+		}
+	} else {
+		fmt.Printf("trace server on udp://%s, writing %s, rotating every %v\n",
+			d.udp.Addr(), *outDir, *rotate)
+	}
 	if d.recoveredFiles > 0 {
 		fmt.Printf("recovered %d torn trace file(s), truncated %d byte(s)\n",
 			d.recoveredFiles, d.truncatedBytes)
@@ -215,15 +225,20 @@ type daemonConfig struct {
 	rotate   time.Duration // trace-file rotation period
 	queue    int           // ingest queue depth; 0 means default
 	journal  int           // flight-recorder ring capacity; 0 disables
+	shards   int           // ingest fleet size; 0 or 1 means standalone
 	pprof    bool          // mount net/http/pprof under /debug/pprof/
 	selfLog  time.Duration // queue-stats self-log period; 0 disables
 	logSink  io.Writer     // self-log destination; nil means os.Stderr
 }
 
-// daemon ties the UDP server, rotating sink, and status endpoint
-// together.
+// daemon ties the UDP ingest fleet, rotating sinks, and status endpoint
+// together. udp and sink alias shard 0's members: with -shards 1 (the
+// default) they are simply "the server" and "the sink", exactly as
+// before the fleet existed.
 type daemon struct {
+	fleet   *trace.Fleet
 	udp     *trace.Server
+	sinks   []*rotatingSink
 	sink    *rotatingSink
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -262,29 +277,111 @@ func recoverTraces(dir string) (files int, bytes int64, err error) {
 	return files, bytes, nil
 }
 
-func newDaemon(cfg daemonConfig) (*daemon, error) {
-	recovered, truncated, err := recoverTraces(cfg.outDir)
-	if err != nil {
-		return nil, err
+// shardDirs lays out the fleet's trace directories: the flat historical
+// layout for a standalone server, one shard-NN subdirectory per member
+// (1-based, matching every other shard label) otherwise.
+func shardDirs(outDir string, n int) []string {
+	if n <= 1 {
+		return []string{outDir}
 	}
-	sink, err := newRotatingSink(cfg.outDir, cfg.rotate)
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(outDir, fmt.Sprintf("shard-%02d", i+1))
+	}
+	return dirs
+}
+
+// shardListenAddrs derives the fleet's listen addresses from the base:
+// shard K gets port+K-1, except port 0, which gives every shard its own
+// ephemeral port.
+func shardListenAddrs(base string, n int) ([]string, error) {
+	if n <= 1 {
+		return []string{base}, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("listen address %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("listen address %q: non-numeric port: %w", base, err)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		p := 0
+		if port != 0 {
+			p = port + i
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
+}
+
+// sinkSeries samples one accounting method across the fleet's sinks, in
+// shard order (1-based labels, matching the ingest metrics).
+func sinkSeries(sinks []*rotatingSink, read func(*rotatingSink) uint64) []obs.SeriesSample {
+	out := make([]obs.SeriesSample, len(sinks))
+	for i, s := range sinks {
+		out[i] = obs.SeriesSample{Label: strconv.Itoa(i + 1), Value: float64(read(s))}
+	}
+	return out
+}
+
+func closeSinks(sinks []*rotatingSink) {
+	for _, s := range sinks {
+		if s != nil {
+			s.Close() //magellan:allow erridle — best-effort cleanup; the construction error wins
+		}
+	}
+}
+
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	n := cfg.shards
+	if n <= 0 {
+		n = 1
+	}
+	dirs := shardDirs(cfg.outDir, n)
+	var recovered int
+	var truncated int64
+	for _, dir := range dirs {
+		files, bytes, err := recoverTraces(dir)
+		if err != nil {
+			return nil, err
+		}
+		recovered += files
+		truncated += bytes
+	}
+	sinks := make([]*rotatingSink, n)
+	for i := range sinks {
+		s, err := newRotatingSink(dirs[i], cfg.rotate)
+		if err != nil {
+			closeSinks(sinks[:i])
+			return nil, err
+		}
+		sinks[i] = s
 	}
 	reg := obs.NewRegistry()
 	buildinfo.Register(reg, "magellan-serve")
 	// The flight recorder lives in the daemon layer, so it stamps events
 	// with the wall clock; the deterministic tick-stamped variant is the
-	// simulator's.
+	// simulator's. One ring serves the whole fleet — every member's
+	// events carry its shard label, so per-shard accounting survives the
+	// pooling.
 	var journal *obs.Journal
 	if cfg.journal > 0 {
 		journal = obs.NewWallJournal(cfg.journal)
 		obs.RegisterJournalMetrics(reg, journal)
 	}
-	udp, err := trace.NewServerWithConfig(cfg.listen, sink,
-		trace.ServerConfig{QueueDepth: cfg.queue, Obs: reg, Journal: journal})
+	addrs, err := shardListenAddrs(cfg.listen, n)
 	if err != nil {
-		sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
+		closeSinks(sinks)
+		return nil, err
+	}
+	fleet, err := trace.NewFleet(addrs,
+		func(i int) (trace.Sink, error) { return sinks[i], nil },
+		trace.FleetConfig{QueueDepth: cfg.queue, Obs: reg, Journal: journal})
+	if err != nil {
+		closeSinks(sinks)
 		return nil, err
 	}
 	logSink := cfg.logSink
@@ -292,7 +389,9 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		logSink = os.Stderr
 	}
 	d := &daemon{
-		udp: udp, sink: sink, started: time.Now(),
+		fleet: fleet, udp: fleet.Server(0),
+		sinks: sinks, sink: sinks[0],
+		started:        time.Now(),
 		reg:            reg,
 		logger:         obs.NewLogger(logSink, obs.LevelInfo),
 		journal:        journal,
@@ -307,18 +406,27 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	reg.GaugeFunc("magellan_serve_truncated_bytes",
 		"Bytes truncated from torn trace files at startup.",
 		func() float64 { return float64(d.truncatedBytes) })
-	reg.CounterFunc("magellan_sink_reports_written_total",
-		"Reports persisted across all trace files.",
-		sink.Written)
-	reg.CounterFunc("magellan_sink_rotations_total",
-		"Trace files opened (startup plus rotations).",
-		sink.Rotations)
+	if n == 1 {
+		reg.CounterFunc("magellan_sink_reports_written_total",
+			"Reports persisted across all trace files.",
+			sinks[0].Written)
+		reg.CounterFunc("magellan_sink_rotations_total",
+			"Trace files opened (startup plus rotations).",
+			sinks[0].Rotations)
+	} else {
+		reg.CounterSeriesFunc("magellan_sink_reports_written_total",
+			"Reports persisted across the shard's trace files.", "shard",
+			func() []obs.SeriesSample { return sinkSeries(sinks, (*rotatingSink).Written) })
+		reg.CounterSeriesFunc("magellan_sink_rotations_total",
+			"Trace files the shard opened (startup plus rotations).", "shard",
+			func() []obs.SeriesSample { return sinkSeries(sinks, (*rotatingSink).Rotations) })
+	}
 
 	if cfg.httpAddr != "" {
 		ln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
-			udp.Close()  //magellan:allow erridle — best-effort cleanup; the listen error wins
-			sink.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
+			fleet.Close() //magellan:allow erridle — best-effort cleanup; the listen error wins
+			closeSinks(sinks)
 			return nil, err
 		}
 		mux := http.NewServeMux()
@@ -371,24 +479,37 @@ func (d *daemon) selfLogLoop(period time.Duration) {
 		case <-d.selfLogStop:
 			return
 		case <-t.C:
-			st := d.udp.Stats()
+			st := d.fleet.TotalStats()
 			d.logger.Info("ingest stats",
+				"shards", d.fleet.Len(),
 				"received", st.Received,
 				"rejected", st.Rejected,
 				"queueDrops", st.QueueDrops,
 				"sinkErrors", st.SinkErrors,
-				"written", d.sink.Written(),
+				"written", d.totalWritten(),
 				"currentFile", d.sink.CurrentFile(),
 			)
 		}
 	}
 }
 
+// totalWritten sums the fleet's persisted-report counts.
+func (d *daemon) totalWritten() uint64 {
+	var total uint64
+	for _, s := range d.sinks {
+		total += s.Written()
+	}
+	return total
+}
+
 // statusPayload assembles the /status body; the HTTP discipline (method
-// guard, Content-Type, encoding) lives in obs.JSONHandler.
+// guard, Content-Type, encoding) lives in obs.JSONHandler. The
+// top-level counters are fleet-wide totals (identical to the historical
+// body for a standalone server); a sharded daemon adds a "shards" array
+// with each member's breakdown.
 func (d *daemon) statusPayload() any {
-	st := d.udp.Stats()
-	return map[string]any{
+	st := d.fleet.TotalStats()
+	payload := map[string]any{
 		"received":       st.Received,
 		"dropped":        st.Dropped(),
 		"rejected":       st.Rejected,
@@ -399,6 +520,23 @@ func (d *daemon) statusPayload() any {
 		"currentFile":    d.sink.CurrentFile(),
 		"uptimeSeconds":  int(time.Since(d.started).Seconds()),
 	}
+	if d.fleet.Len() > 1 {
+		shards := make([]map[string]any, d.fleet.Len())
+		for i := range shards {
+			sst := d.fleet.Server(i).Stats()
+			shards[i] = map[string]any{
+				"shard":      i + 1,
+				"addr":       d.fleet.Server(i).Addr().String(),
+				"received":   sst.Received,
+				"rejected":   sst.Rejected,
+				"queueDrops": sst.QueueDrops,
+				"sinkErrors": sst.SinkErrors,
+				"written":    d.sinks[i].Written(),
+			}
+		}
+		payload["shards"] = shards
+	}
+	return payload
 }
 
 func (d *daemon) Close() error {
@@ -406,14 +544,16 @@ func (d *daemon) Close() error {
 		close(d.selfLogStop)
 		d.selfLogWG.Wait()
 	}
-	err := d.udp.Close()
+	err := d.fleet.Close()
 	if d.httpSrv != nil {
 		if cerr := d.httpSrv.Close(); err == nil {
 			err = cerr
 		}
 	}
-	if cerr := d.sink.Close(); err == nil {
-		err = cerr
+	for _, s := range d.sinks {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

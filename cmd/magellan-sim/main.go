@@ -49,6 +49,7 @@ func run(args []string) error {
 		ispBlind    = fs.Bool("ispblind", false, "ablation: erase intra/inter-ISP link asymmetry")
 		noRecommend = fs.Bool("norecommend", false, "ablation: disable partner recommendation")
 		tracePath   = fs.String("trace", "uusee.trace", "output trace file (binary format)")
+		ingestN     = fs.Int("ingest-shards", 1, "sharded ingest fleet size: write one <trace>.shardNN file per shard, partitioned by peer address (1: the single -trace file)")
 		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
 		verbose     = fs.Bool("v", false, "print hourly progress")
 		httpAddr    = fs.String("http", "", "HTTP /metrics + /events address for live run telemetry (empty: disabled)")
@@ -135,16 +136,40 @@ func run(args []string) error {
 		cfg.Journal = journal
 	}
 
-	traceFile, err := os.Create(*tracePath)
-	if err != nil {
-		return err
+	if *ingestN < 1 {
+		return fmt.Errorf("-ingest-shards must be ≥ 1, got %d", *ingestN)
 	}
-	defer traceFile.Close()
-	writer, err := trace.NewWriter(traceFile)
-	if err != nil {
-		return err
+	tracePaths := []string{*tracePath}
+	if *ingestN > 1 {
+		tracePaths = make([]string, *ingestN)
+		for i := range tracePaths {
+			tracePaths[i] = fmt.Sprintf("%s.shard%02d", *tracePath, i+1)
+		}
 	}
-	cfg.Sink = writer
+	traceFiles := make([]*os.File, len(tracePaths))
+	writers := make([]*trace.Writer, len(tracePaths))
+	for i, p := range tracePaths {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		traceFiles[i], writers[i] = f, w
+	}
+	if *ingestN > 1 {
+		// Emission routes each report to its owning shard's writer; the
+		// journal's report-path events carry the shard label.
+		cfg.ShardSinks = make([]trace.Sink, len(writers))
+		for i, w := range writers {
+			cfg.ShardSinks[i] = w
+		}
+	} else {
+		cfg.Sink = writers[0]
+	}
 
 	start := time.Now()
 	if *verbose {
@@ -197,11 +222,13 @@ func run(args []string) error {
 	if err := s.Run(); err != nil {
 		return err
 	}
-	if err := writer.Flush(); err != nil {
-		return err
-	}
-	if err := traceFile.Close(); err != nil {
-		return err
+	for i, w := range writers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if err := traceFiles[i].Close(); err != nil {
+			return err
+		}
 	}
 
 	dbFile, err := os.Create(*ispdbPath)
@@ -217,8 +244,12 @@ func run(args []string) error {
 	}
 
 	st := s.Stats()
+	traceDest := *tracePath
+	if *ingestN > 1 {
+		traceDest = fmt.Sprintf("%s.shard{01..%02d}", *tracePath, *ingestN)
+	}
 	fmt.Printf("simulated %v in %v: %d joins, %d reports → %s (+ %s)\n",
-		*duration, time.Since(start).Round(time.Millisecond), st.Joins, st.Reports, *tracePath, *ispdbPath)
+		*duration, time.Since(start).Round(time.Millisecond), st.Joins, st.Reports, traceDest, *ispdbPath)
 	if cfg.Faults.Enabled() {
 		fmt.Printf("faults: %s torn-rejected=%d\n", st.Faults, st.TornReports)
 	}

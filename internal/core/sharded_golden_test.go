@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/workload"
+)
+
+// shardedGoldenConfig is the sim workload shared by every run of the
+// sharded golden tests; chaos layers 5% seeded report loss on top.
+func shardedGoldenConfig(chaos bool) sim.Config {
+	cfg := sim.Config{
+		Seed:            7,
+		Duration:        3 * time.Hour,
+		MeanConcurrency: 200,
+		ExtraChannels:   4,
+	}
+	if chaos {
+		cfg.Faults = faults.Config{Loss: 0.05}
+	}
+	return cfg
+}
+
+// shardedStores runs the workload with emission fanned out across n
+// shard stores (the same address-partitioned routing the live balancer
+// uses) and returns the per-shard stores plus the run's ISP database.
+func shardedStores(t *testing.T, n int, chaos bool) ([]*trace.Store, *isp.Database) {
+	t.Helper()
+	cfg := shardedGoldenConfig(chaos)
+	stores := make([]*trace.Store, n)
+	cfg.ShardSinks = make([]trace.Sink, n)
+	for i := range stores {
+		stores[i] = trace.NewStore(0)
+		cfg.ShardSinks[i] = stores[i]
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("sim.New(shards=%d): %v", n, err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim.Run(shards=%d): %v", n, err)
+	}
+	if chaos {
+		if st := s.Stats(); st.Faults.Dropped == 0 {
+			t.Fatalf("fault injector idle under chaos: %+v", st.Faults)
+		}
+	}
+	return stores, s.Database()
+}
+
+// runShardedGoldenEquivalence is the shards=1-vs-N contract behind both
+// golden tests: the same seeded workload is run once into a single
+// store and once per shard count into a partitioned fleet of stores;
+// for every N the deterministic merge must reproduce the single-store
+// run exactly — byte-identical sealed fingerprints AND byte-identical
+// analysis output. Sharding the ingest tier must be invisible to
+// everything downstream of the merge.
+func runShardedGoldenEquivalence(t *testing.T, chaos bool) {
+	baseCfg := shardedGoldenConfig(chaos)
+	baseCfg.Sink = trace.NewStore(0)
+	s, err := sim.New(baseCfg)
+	if err != nil {
+		t.Fatalf("sim.New(baseline): %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("sim.Run(baseline): %v", err)
+	}
+	baseline := baseCfg.Sink.(*trace.Store)
+	db := s.Database()
+	if baseline.Len() == 0 {
+		t.Fatal("baseline run produced an empty trace")
+	}
+	baseFP := baseline.Seal().Fingerprint()
+
+	analysisCfg := Config{
+		Seed: 5,
+		Snapshots: []SnapshotSpec{
+			{Label: "early", Time: workload.TraceStart().Add(time.Hour)},
+			{Label: "late", Time: workload.TraceStart().Add(150 * time.Minute)},
+		},
+	}
+	baseRes, err := Analyze(baseline, db, analysisCfg)
+	if err != nil {
+		t.Fatalf("Analyze(baseline): %v", err)
+	}
+	baseEnc := encodeResults(baseRes)
+	if len(baseEnc) < 1000 {
+		t.Fatalf("baseline encoding suspiciously small (%d bytes)", len(baseEnc))
+	}
+
+	for _, n := range []int{1, 2, 7} {
+		stores, shardDB := shardedStores(t, n, chaos)
+		merged, err := trace.MergeStores(stores...)
+		if err != nil {
+			t.Fatalf("MergeStores(n=%d): %v", n, err)
+		}
+		if merged.Len() != baseline.Len() {
+			t.Errorf("n=%d: merged store holds %d reports, baseline %d", n, merged.Len(), baseline.Len())
+		}
+		if fp := merged.Seal().Fingerprint(); fp != baseFP {
+			t.Errorf("n=%d: merged fingerprint %x != baseline %x", n, fp, baseFP)
+		}
+		res, err := Analyze(merged, shardDB, analysisCfg)
+		if err != nil {
+			t.Fatalf("Analyze(n=%d): %v", n, err)
+		}
+		if enc := encodeResults(res); !bytes.Equal(enc, baseEnc) {
+			firstDiff(t, "baseline vs merged", baseEnc, enc)
+			t.Fatalf("n=%d: analysis output diverged from baseline", n)
+		}
+	}
+}
+
+// TestShardedAnalyzeGoldenEquivalence: clean pipeline, shards ∈ {1,2,7}.
+func TestShardedAnalyzeGoldenEquivalence(t *testing.T) {
+	runShardedGoldenEquivalence(t, false)
+}
+
+// TestShardedChaosGoldenEquivalence repeats the contract with 5% seeded
+// report loss: the fault injector runs upstream of the shard router and
+// draws from its own seeded stream, so which reports die is a property
+// of the workload, not the shard layout — the merged store must still
+// match the single-store run byte for byte.
+func TestShardedChaosGoldenEquivalence(t *testing.T) {
+	runShardedGoldenEquivalence(t, true)
+}

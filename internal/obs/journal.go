@@ -206,6 +206,12 @@ type Event struct {
 	Stage   Stage
 	Verdict Verdict
 	ID      ReportID
+	// Shard is the 1-based label of the ingest shard that recorded the
+	// event; 0 means the recording plane was not sharded (or predates
+	// sharding — the zero value keeps old journal files readable). The
+	// label is 1-based precisely so the unsharded zero value never
+	// collides with a real shard index.
+	Shard int32
 }
 
 // eventJSON is Event's stable wire shape (journal files, /events).
@@ -217,6 +223,7 @@ type eventJSON struct {
 	Channel string `json:"channel,omitempty"`
 	Epoch   int64  `json:"epoch,omitempty"`
 	Seq     uint32 `json:"seq,omitempty"`
+	Shard   int32  `json:"shard,omitempty"`
 }
 
 // MarshalJSON renders the event with symbolic stage/verdict names and a
@@ -229,6 +236,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Channel: e.ID.Channel,
 		Epoch:   e.ID.Epoch,
 		Seq:     e.ID.Seq,
+		Shard:   e.Shard,
 	}
 	if e.ID.Addr != 0 {
 		j.Addr = FormatAddr(e.ID.Addr)
@@ -261,6 +269,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		Stage:   stage,
 		Verdict: verdict,
 		ID:      ReportID{Addr: addr, Channel: j.Channel, Epoch: j.Epoch, Seq: j.Seq},
+		Shard:   j.Shard,
 	}
 	return nil
 }
@@ -312,10 +321,18 @@ func NewWallJournal(capacity int) *Journal {
 // accounting) when the ring is full. at is the event instant in Unix
 // nanoseconds — virtual time in the simulator, wall time in daemons.
 func (j *Journal) Record(at int64, stage Stage, verdict Verdict, id ReportID) {
+	j.RecordShard(at, stage, verdict, id, 0)
+}
+
+// RecordShard is Record with an ingest-shard label: shard is 1-based
+// (shard k of a fleet records k+1), 0 for unsharded planes. Sharded
+// ingest tiers use it so a fleet-wide journal still attributes every
+// verdict to the server that issued it.
+func (j *Journal) RecordShard(at int64, stage Stage, verdict Verdict, id ReportID, shard int32) {
 	if j == nil {
 		return
 	}
-	ev := Event{At: at, Stage: stage, Verdict: verdict, ID: id}
+	ev := Event{At: at, Stage: stage, Verdict: verdict, ID: id, Shard: shard}
 	j.mu.Lock()
 	if j.held < cap(j.buf) {
 		j.buf = append(j.buf, ev)
@@ -339,6 +356,12 @@ func (j *Journal) Record(at int64, stage Stage, verdict Verdict, id ReportID) {
 // tick-stamped journal (NewJournal) the event is recorded at instant 0,
 // so misuse is visible rather than nondeterministic.
 func (j *Journal) RecordNow(stage Stage, verdict Verdict, id ReportID) {
+	j.RecordNowShard(stage, verdict, id, 0)
+}
+
+// RecordNowShard is RecordNow with a 1-based ingest-shard label (see
+// RecordShard).
+func (j *Journal) RecordNowShard(stage Stage, verdict Verdict, id ReportID, shard int32) {
 	if j == nil {
 		return
 	}
@@ -346,7 +369,7 @@ func (j *Journal) RecordNow(stage Stage, verdict Verdict, id ReportID) {
 	if j.now != nil {
 		at = j.now()
 	}
-	j.Record(at, stage, verdict, id)
+	j.RecordShard(at, stage, verdict, id, shard)
 }
 
 // Len returns the number of events currently held.

@@ -238,6 +238,58 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, nil, gaugeFunc(fn))
 }
 
+// A SeriesSample is one labelled sample of a series family: the value a
+// single variable label takes (e.g. shard="3") and the sample itself.
+type SeriesSample struct {
+	Label string
+	Value float64
+}
+
+// seriesFunc samples a callback producing one family of labelled values
+// at exposition time.
+type seriesFunc struct {
+	kind  string // "counter" or "gauge"
+	label string
+	fn    func() []SeriesSample
+}
+
+func (s seriesFunc) typ() string { return s.kind }
+
+func (s seriesFunc) emit(b []byte, name, _ string) []byte {
+	for _, sample := range s.fn() {
+		b = append(b, name...)
+		b = append(b, '{')
+		b = append(b, s.label...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, sample.Label)
+		b = append(b, '"', '}', ' ')
+		b = appendFloat(b, sample.Value)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// CounterSeriesFunc registers a counter family whose samples carry one
+// variable label (e.g. magellan_ingest_received_total{shard="2"}). fn is
+// called at exposition time and must be safe to call from the scraping
+// goroutine; it should return samples in a fixed order so exposition
+// stays deterministic. This is how a sharded ingest fleet exposes one
+// metric family across N servers without N metric names.
+func (r *Registry) CounterSeriesFunc(name, help, label string, fn func() []SeriesSample) {
+	if !labelNameRE.MatchString(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.register(name, help, nil, seriesFunc{kind: "counter", label: label, fn: fn})
+}
+
+// GaugeSeriesFunc is CounterSeriesFunc for gauge families.
+func (r *Registry) GaugeSeriesFunc(name, help, label string, fn func() []SeriesSample) {
+	if !labelNameRE.MatchString(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.register(name, help, nil, seriesFunc{kind: "gauge", label: label, fn: fn})
+}
+
 // Histogram registers and returns a new histogram with the given bucket
 // upper bounds (see NewHistogram).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

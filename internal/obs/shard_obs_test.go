@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJournalShardLabelRoundTrip pins the sharded-ingest journal
+// contract: RecordShard stamps the 1-based owning shard on the event,
+// the label survives the JSONL round trip, and shard 0 (the unsharded
+// default) is omitted from the encoding entirely — so journals written
+// before the sharded tier existed and journals from single-server runs
+// are byte-compatible.
+func TestJournalShardLabelRoundTrip(t *testing.T) {
+	j := NewJournal(8)
+	id := ReportID{Addr: 0x3A0C2107, Channel: "CCTV1", Epoch: 42, Seq: 3}
+	j.RecordShard(100, StageFault, VerdictLost, id, 2)
+	j.RecordShard(110, StageServer, VerdictDelivered, id, 7)
+	j.Record(120, StageEmit, VerdictEmitted, id) // delegates to shard 0
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `"shard":2`) || !strings.Contains(text, `"shard":7`) {
+		t.Errorf("JSONL missing shard labels:\n%s", text)
+	}
+	if n := strings.Count(text, `"shard"`); n != 2 {
+		t.Errorf("shard key appears %d times, want 2 (shard 0 must be omitted):\n%s", n, text)
+	}
+
+	got, err := ReadEventsJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadEventsJSONL: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("round-trip produced %d events, want 3", len(got))
+	}
+	for i, want := range []int32{2, 7, 0} {
+		if got[i].Shard != want {
+			t.Errorf("event %d round-tripped with shard %d, want %d", i, got[i].Shard, want)
+		}
+	}
+}
+
+// TestSeriesFuncExposition pins the labelled-family exposition the fleet
+// metrics depend on: one HELP/TYPE header per family, one sample line
+// per shard in callback order, and proper label-value escaping.
+func TestSeriesFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterSeriesFunc("aa_received_total", "per-shard ingest", "shard",
+		func() []SeriesSample {
+			return []SeriesSample{{Label: "1", Value: 10}, {Label: "2", Value: 32}}
+		})
+	r.GaugeSeriesFunc("zz_depth", "queue depth", "shard",
+		func() []SeriesSample {
+			return []SeriesSample{{Label: `we"ird`, Value: 3}}
+		})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_received_total per-shard ingest
+# TYPE aa_received_total counter
+aa_received_total{shard="1"} 10
+aa_received_total{shard="2"} 32
+# HELP zz_depth queue depth
+# TYPE zz_depth gauge
+zz_depth{shard="we\"ird"} 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestSeriesFuncRejectsBadLabel: a malformed label name is a programming
+// error, caught at registration.
+func TestSeriesFuncRejectsBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CounterSeriesFunc accepted label name \"sh ard\"")
+		}
+	}()
+	NewRegistry().CounterSeriesFunc("x_total", "x", "sh ard", nil)
+}

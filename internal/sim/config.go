@@ -91,6 +91,16 @@ type Config struct {
 	// Sink receives every report; defaults to trace.Discard.
 	Sink trace.Sink
 
+	// ShardSinks routes emission across a sharded ingest fleet instead
+	// of one sink: the report of peer a goes to
+	// ShardSinks[trace.ShardOf(a, len(ShardSinks))], and the journal's
+	// report-path events carry the owning shard's 1-based label. With
+	// one entry this is exactly Sink (unlabeled); setting both is an
+	// error. Routing is address-arithmetic only — no entropy, no clock —
+	// so a sharded run's overlay evolution is byte-identical to an
+	// unsharded one.
+	ShardSinks []trace.Sink
+
 	// ISPBlocks is the number of /16 blocks in the generated ISP
 	// database; defaults to 1024.
 	ISPBlocks int
@@ -171,6 +181,12 @@ func (c Config) sanitize() (Config, error) {
 	}
 	if c.InitialReportDelay <= 0 {
 		c.InitialReportDelay = trace.DefaultInitialDelay
+	}
+	if len(c.ShardSinks) > 0 {
+		if c.Sink != nil {
+			return c, fmt.Errorf("sim: Sink and ShardSinks are mutually exclusive")
+		}
+		c.Sink = trace.NewBalancer(c.ShardSinks...)
 	}
 	if c.Sink == nil {
 		c.Sink = trace.Discard

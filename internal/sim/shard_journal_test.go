@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/faults"
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// TestShardedJournalConservation extends the conservation-of-reports
+// proof to the sharded ingest tier: with emission fanned out across N
+// shard stores under seeded loss, every emitted report still settles
+// exactly one terminal fate, every report-path event carries the 1-based
+// label of the shard that owns the report's address, and the per-shard
+// delivered tallies reconcile against the stores shard by shard.
+func TestShardedJournalConservation(t *testing.T) {
+	const shards = 3
+	cfg := chaosConfig()
+	cfg.Faults = faults.Config{Loss: 0.05}
+	journal := obs.NewJournal(1 << 16)
+	cfg.Journal = journal
+	stores := make([]*trace.Store, shards)
+	cfg.ShardSinks = make([]trace.Sink, shards)
+	for i := range stores {
+		stores[i] = trace.NewStore(0)
+		cfg.ShardSinks[i] = stores[i]
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	stats := s.Stats()
+	if d := journal.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events; grow the test capacity", d)
+	}
+
+	type fate struct {
+		emitted  int
+		terminal int
+	}
+	ledger := make(map[obs.ReportID]*fate)
+	var lost uint64
+	delivered := make([]uint64, shards)
+	for _, ev := range journal.Events() {
+		if ev.ID.Seq == 0 {
+			continue // store/seal plane: sequence unknown by design
+		}
+		owner := int32(trace.ShardOf(isp.Addr(ev.ID.Addr), shards)) + 1
+		switch ev.Stage {
+		case obs.StageEmit:
+			// Emission happens before routing; the emit plane stays
+			// unlabeled so journals diff cleanly across shard layouts.
+			if ev.Shard != 0 {
+				t.Fatalf("emit event for %+v carries shard label %d", ev.ID, ev.Shard)
+			}
+		case obs.StageFault, obs.StageServer:
+			if ev.Shard != owner {
+				t.Fatalf("%s event for addr %d labeled shard %d, ShardOf says %d",
+					ev.Stage, ev.ID.Addr, ev.Shard, owner)
+			}
+		}
+		f := ledger[ev.ID]
+		if f == nil {
+			f = &fate{}
+			ledger[ev.ID] = f
+		}
+		switch {
+		case ev.Verdict == obs.VerdictEmitted:
+			f.emitted++
+		case ev.Verdict.Terminal():
+			f.terminal++
+		}
+		switch ev.Verdict {
+		case obs.VerdictLost:
+			lost++
+		case obs.VerdictDelivered:
+			delivered[ev.Shard-1]++
+		}
+	}
+
+	if len(ledger) == 0 {
+		t.Fatal("journal recorded no per-report lifecycles")
+	}
+	for id, f := range ledger {
+		if f.emitted != 1 || f.terminal != 1 {
+			t.Fatalf("report %+v: emitted %d, terminal %d; conservation broken",
+				id, f.emitted, f.terminal)
+		}
+	}
+	if lost == 0 {
+		t.Error("5% loss produced no lost verdicts")
+	}
+	if lost != stats.Faults.Dropped {
+		t.Errorf("journal saw %d lost reports, injector dropped %d datagrams", lost, stats.Faults.Dropped)
+	}
+	var total uint64
+	for i, n := range delivered {
+		if n != uint64(stores[i].Len()) {
+			t.Errorf("shard %d: journal delivered %d, store holds %d", i+1, n, stores[i].Len())
+		}
+		if n == 0 {
+			t.Errorf("shard %d received nothing; partitioner or router broken", i+1)
+		}
+		total += n
+	}
+	if total != stats.Reports {
+		t.Errorf("journal delivered %d fleet-wide, sim counted %d", total, stats.Reports)
+	}
+}

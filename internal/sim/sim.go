@@ -52,6 +52,11 @@ type Simulation struct {
 	journal *obs.Journal
 	seqs    map[isp.Addr]uint32
 
+	// ingestShards is the sharded ingest fleet size (0 or 1 when the run
+	// feeds a single sink); report-path journal events carry the owning
+	// shard's 1-based label when it is > 1.
+	ingestShards int
+
 	// Incrementally maintained aggregates: Stats() is O(1) amortized
 	// instead of a full-population scan per tick. online counts live
 	// non-server peers; stable counts those past the initial report
@@ -150,6 +155,7 @@ func New(cfg Config) (*Simulation, error) {
 		s.journal = cfg.Journal
 		s.seqs = make(map[isp.Addr]uint32)
 	}
+	s.ingestShards = len(cfg.ShardSinks)
 
 	if err := s.seedServers(); err != nil {
 		return nil, err
@@ -494,12 +500,19 @@ func (s *Simulation) emitReport(p *protocol.Peer, now time.Time) {
 // reordered, jittered) are stamped at send time, terminal events at
 // arrival time, so a journey sorted by instant reads in causal order.
 func (s *Simulation) deliverReport(rep trace.Report, id obs.ReportID) {
+	// The owning shard is pure address arithmetic, so a sharded run's
+	// report path stays deterministic; 0 (unsharded) keeps journal
+	// events unlabeled, exactly as before sharding existed.
+	var shard int32
+	if s.ingestShards > 1 {
+		shard = int32(trace.ShardOf(rep.Addr, s.ingestShards)) + 1
+	}
 	if s.pipe == nil {
 		if err := s.cfg.Sink.Submit(rep); err == nil {
 			s.reports++
-			s.journal.Record(rep.Time.UnixNano(), obs.StageServer, obs.VerdictDelivered, id)
+			s.journal.RecordShard(rep.Time.UnixNano(), obs.StageServer, obs.VerdictDelivered, id, shard)
 		} else {
-			s.journal.Record(rep.Time.UnixNano(), obs.StageServer, obs.VerdictSinkError, id)
+			s.journal.RecordShard(rep.Time.UnixNano(), obs.StageServer, obs.VerdictSinkError, id, shard)
 		}
 		return
 	}
@@ -510,7 +523,7 @@ func (s *Simulation) deliverReport(rep trace.Report, id obs.ReportID) {
 		if torn {
 			s.torn++
 			if settles {
-				s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictRejected, id)
+				s.journal.RecordShard(at.UnixNano(), obs.StageServer, obs.VerdictRejected, id, shard)
 			}
 			return
 		}
@@ -519,10 +532,10 @@ func (s *Simulation) deliverReport(rep trace.Report, id obs.ReportID) {
 		if err := s.cfg.Sink.Submit(r); err == nil {
 			s.reports++
 			if settles {
-				s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictDelivered, id)
+				s.journal.RecordShard(at.UnixNano(), obs.StageServer, obs.VerdictDelivered, id, shard)
 			}
 		} else if settles {
-			s.journal.Record(at.UnixNano(), obs.StageServer, obs.VerdictSinkError, id)
+			s.journal.RecordShard(at.UnixNano(), obs.StageServer, obs.VerdictSinkError, id, shard)
 		}
 	})
 	if s.journal == nil {
@@ -530,20 +543,20 @@ func (s *Simulation) deliverReport(rep trace.Report, id obs.ReportID) {
 	}
 	at := rep.Time.UnixNano()
 	if fate.Drop {
-		s.journal.Record(at, obs.StageFault, obs.VerdictLost, id)
+		s.journal.RecordShard(at, obs.StageFault, obs.VerdictLost, id, shard)
 		return
 	}
 	if fate.Truncated {
-		s.journal.Record(at, obs.StageFault, obs.VerdictMangled, id)
+		s.journal.RecordShard(at, obs.StageFault, obs.VerdictMangled, id, shard)
 	}
 	if fate.Copies > 1 {
-		s.journal.Record(at, obs.StageFault, obs.VerdictDuplicate, id)
+		s.journal.RecordShard(at, obs.StageFault, obs.VerdictDuplicate, id, shard)
 	}
 	if fate.HoldSpan > 0 {
-		s.journal.Record(at, obs.StageFault, obs.VerdictReordered, id)
+		s.journal.RecordShard(at, obs.StageFault, obs.VerdictReordered, id, shard)
 	}
 	if fate.Jitter > 0 {
-		s.journal.Record(at, obs.StageFault, obs.VerdictJittered, id)
+		s.journal.RecordShard(at, obs.StageFault, obs.VerdictJittered, id, shard)
 	}
 }
 

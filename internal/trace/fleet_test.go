@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// TestFleetRaceStress hammers a sharded fleet from several concurrent
+// loadgen-style clients (run under -race in CI) and then reconciles
+// every shard's outcome counters against the fleet-wide journal tally:
+// each datagram the servers accounted for must have left exactly one
+// server-plane event carrying that shard's label. Loopback UDP may shed
+// datagrams before the servers see them — those are invisible to both
+// sides of the reconciliation, so the two ledgers must still agree
+// exactly.
+func TestFleetRaceStress(t *testing.T) {
+	const (
+		shards    = 3
+		clients   = 4
+		perClient = 300
+	)
+	// The ring must hold every event the run can record (received +
+	// persisted per delivery, plus shed/reject singles): an overflowing
+	// journal would invalidate the tally by construction.
+	journal := obs.NewWallJournal(4 * clients * perClient * shards)
+	stores := make([]*Store, shards)
+	fleet, err := NewFleet(FleetAddrs("127.0.0.1", shards),
+		func(i int) (Sink, error) { stores[i] = NewStore(0); return stores[i], nil },
+		FleetConfig{Journal: journal, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := DialSharded(fleet.Addrs()...)
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				r := sampleReport(uint32(0x0c000001+c*perClient+i), _t0)
+				if err := cl.Submit(r); err != nil {
+					t.Errorf("client %d: Submit: %v", c, err)
+					return
+				}
+				if i%100 == 99 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Quiesce: the servers drain asynchronously, so wait until the
+	// fleet-wide accounting stops moving before reconciling.
+	deadline := time.Now().Add(5 * time.Second)
+	prev, stable := fleet.TotalStats(), 0
+	for time.Now().Before(deadline) && stable < 5 {
+		time.Sleep(50 * time.Millisecond)
+		if st := fleet.TotalStats(); st == prev {
+			stable++
+		} else {
+			prev, stable = st, 0
+		}
+	}
+	if total := fleet.TotalStats(); total.Received == 0 {
+		t.Fatal("fleet received nothing")
+	}
+	if journal.Dropped() != 0 {
+		t.Fatalf("journal overflowed (%d dropped); the tally below would be meaningless", journal.Dropped())
+	}
+
+	// Fold the journal into per-shard outcome tallies. Shard labels are
+	// 1-based; no server-plane event may be unlabeled in a fleet run.
+	type tally struct{ persisted, rejected, queueDrops, sinkErrors uint64 }
+	tallies := make([]tally, shards)
+	for _, ev := range journal.Events() {
+		if ev.Stage != obs.StageServer {
+			continue
+		}
+		if ev.Shard < 1 || int(ev.Shard) > shards {
+			t.Fatalf("server-plane event with shard label %d (want 1..%d)", ev.Shard, shards)
+		}
+		tl := &tallies[ev.Shard-1]
+		switch ev.Verdict {
+		case obs.VerdictPersisted:
+			tl.persisted++
+		case obs.VerdictRejected:
+			tl.rejected++
+		case obs.VerdictQueueDrop:
+			tl.queueDrops++
+		case obs.VerdictSinkError:
+			tl.sinkErrors++
+		}
+	}
+	for i := 0; i < shards; i++ {
+		st := fleet.Server(i).Stats()
+		tl := tallies[i]
+		if st.Received != tl.persisted || st.Rejected != tl.rejected ||
+			st.QueueDrops != tl.queueDrops || st.SinkErrors != tl.sinkErrors {
+			t.Errorf("shard %d: counters %+v disagree with journal tally %+v", i+1, st, tl)
+		}
+		if st.Received != uint64(stores[i].Len()) {
+			t.Errorf("shard %d: received %d but store holds %d", i+1, st.Received, stores[i].Len())
+		}
+	}
+}

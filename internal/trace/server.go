@@ -34,6 +34,17 @@ type ServerConfig struct {
 	// for datagrams that never decoded (sheds, rejects) carry what is
 	// known — an empty ID — rather than inventing one.
 	Journal *obs.Journal
+	// Shard is the 1-based shard label journal events carry when the
+	// server is one member of a sharded ingest fleet; 0 (the default)
+	// records unlabeled events, exactly as a standalone server always
+	// has.
+	Shard int32
+	// SinkLatency, when non-nil, observes the wall time of every sink
+	// submit. A fleet passes one shared histogram to all members so
+	// submit latency pools fleet-wide; it must be set here — before the
+	// ingest goroutine starts — never assigned after construction. When
+	// Obs is also set, the registry's own histogram wins.
+	SinkLatency *obs.Histogram
 }
 
 // ServerStats breaks the server's datagram accounting down by outcome.
@@ -83,7 +94,9 @@ type Server struct {
 
 	// journal, when non-nil, records per-datagram lifecycle events
 	// (nil-safe: the disabled recorder costs nothing on the hot path).
+	// shard is the 1-based fleet label those events carry; 0 unsharded.
 	journal *obs.Journal
+	shard   int32
 
 	recvWG sync.WaitGroup
 	workWG sync.WaitGroup
@@ -128,6 +141,8 @@ func NewServerWithConfig(addr string, sink Sink, cfg ServerConfig) (*Server, err
 		}},
 	}
 	s.journal = cfg.Journal
+	s.shard = cfg.Shard
+	s.sinkLatency = cfg.SinkLatency
 	if cfg.Obs != nil {
 		registerIngestMetrics(cfg.Obs, s, depth)
 	}
@@ -185,6 +200,13 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// QueueLen returns the number of datagrams currently waiting in the
+// ingest queue (a point-in-time read; safe from any goroutine).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// QueueCap returns the ingest queue bound.
+func (s *Server) QueueCap() int { return cap(s.queue) }
+
 // Close stops the receive loop, drains the ingest queue, and releases the
 // socket. It is safe to call multiple times.
 func (s *Server) Close() error {
@@ -221,7 +243,7 @@ func (s *Server) recvLoop() {
 			s.pool.Put(bufp)
 			// The datagram was never decoded, so its identity is unknown;
 			// the shed is still on the record.
-			s.journal.RecordNow(obs.StageServer, obs.VerdictQueueDrop, obs.ReportID{})
+			s.journal.RecordNowShard(obs.StageServer, obs.VerdictQueueDrop, obs.ReportID{}, s.shard)
 		}
 	}
 }
@@ -235,18 +257,18 @@ func (s *Server) ingestLoop() {
 		s.pool.Put(&recycled)
 		if err != nil {
 			s.rejected.Add(1)
-			s.journal.RecordNow(obs.StageServer, obs.VerdictRejected, obs.ReportID{})
+			s.journal.RecordNowShard(obs.StageServer, obs.VerdictRejected, obs.ReportID{}, s.shard)
 			continue
 		}
 		if err := rep.Validate(); err != nil {
 			s.rejected.Add(1)
-			s.journal.RecordNow(obs.StageServer, obs.VerdictRejected, journalID(&rep, DefaultReportInterval))
+			s.journal.RecordNowShard(obs.StageServer, obs.VerdictRejected, journalID(&rep, DefaultReportInterval), s.shard)
 			continue
 		}
 		var id obs.ReportID
 		if s.journal != nil {
 			id = journalID(&rep, DefaultReportInterval)
-			s.journal.RecordNow(obs.StageServer, obs.VerdictReceived, id)
+			s.journal.RecordNowShard(obs.StageServer, obs.VerdictReceived, id, s.shard)
 		}
 		var submitErr error
 		if s.sinkLatency != nil {
@@ -258,11 +280,11 @@ func (s *Server) ingestLoop() {
 		}
 		if submitErr != nil {
 			s.sinkErrors.Add(1)
-			s.journal.RecordNow(obs.StageServer, obs.VerdictSinkError, id)
+			s.journal.RecordNowShard(obs.StageServer, obs.VerdictSinkError, id, s.shard)
 			continue
 		}
 		s.received.Add(1)
-		s.journal.RecordNow(obs.StageServer, obs.VerdictPersisted, id)
+		s.journal.RecordNowShard(obs.StageServer, obs.VerdictPersisted, id, s.shard)
 	}
 }
 
