@@ -8,6 +8,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func run(args []string) error {
 		ispdbPath = fs.String("ispdb", "uusee.ispdb", "input ISP database file")
 		tolerant  = fs.Bool("tolerant", false, "survive damaged shard inputs when merging: skip non-trace files, keep torn tails' intact prefixes, drop invalid records (all counted)")
 		fprint    = fs.Bool("fingerprint", false, "print the sealed (merged) store's canonical SHA-256 and exit without analyzing")
+		digests   = fs.Bool("epoch-digests", false, "print one per-epoch canonical SHA-256 per line (epoch, digest) and exit: the live plane's reconciliation oracle — diff against the digests on /live/epochs")
 		csvDir    = fs.String("csv", "", "directory for per-figure CSV export (empty: skip)")
 		svgDir    = fs.String("svg", "", "directory for per-figure SVG export (empty: skip)")
 		interval  = fs.Duration("interval", 10*time.Minute, "trace epoch width")
@@ -61,6 +63,9 @@ func run(args []string) error {
 		}
 		if *fprint {
 			return fmt.Errorf("-fingerprint needs the sealed index; drop -stream")
+		}
+		if *digests {
+			return fmt.Errorf("-epoch-digests needs the sealed index; drop -stream")
 		}
 	}
 	// loadMerged folds the shard files (or the one file) into a store;
@@ -105,6 +110,26 @@ func run(args []string) error {
 	cfg := core.Config{
 		Seed:            *seed,
 		ActiveThreshold: uint32(*threshold),
+	}
+	if *digests {
+		store, err := loadMerged()
+		if err != nil {
+			return err
+		}
+		// BatchEpochMetrics resolves config the way an online analyzer
+		// must (streaming heavy cadence, no snapshot fallback), so with
+		// the same seed these digests are exactly what a live plane fed
+		// the same reports publishes on /live/epochs.
+		outs, err := core.BatchEpochMetrics(store, db, cfg)
+		if err != nil {
+			return err
+		}
+		var buf []byte
+		for _, m := range outs {
+			buf = core.AppendCanonical(buf[:0], m)
+			fmt.Printf("%d %x\n", m.Epoch, sha256.Sum256(buf))
+		}
+		return nil
 	}
 	var prof *obs.StageProfile
 	if *timings {

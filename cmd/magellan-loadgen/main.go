@@ -48,6 +48,8 @@ func run(args []string) error {
 		loop      = fs.Int("loop", 1, "passes over the replay set")
 		statusURL = fs.String("status", "", "fleet /status URL; scraped before and after to report per-shard and end-to-end ingested reports/sec (empty: send-side rates only)")
 		settle    = fs.Duration("settle", 500*time.Millisecond, "wait before the final -status scrape, letting ingest queues drain")
+		waitReady = fs.String("wait-ready", "", "fleet /healthz URL; poll until it answers 200 before replaying (empty: start immediately)")
+		waitMax   = fs.Duration("wait-max", 30*time.Second, "give up if -wait-ready has not answered 200 within this long")
 		interval  = fs.Duration("interval", trace.DefaultReportInterval, "report interval for reconstructing emission times from a journal's epochs")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
@@ -64,6 +66,12 @@ func run(args []string) error {
 	}
 	if *loop < 1 {
 		return fmt.Errorf("-loop must be ≥ 1, got %d", *loop)
+	}
+
+	if *waitReady != "" {
+		if err := waitUntilReady(*waitReady, *waitMax); err != nil {
+			return err
+		}
 	}
 
 	reports, err := loadReplaySet(*tracePath, *interval)
@@ -201,6 +209,31 @@ func loadReplaySet(path string, interval time.Duration) ([]trace.Report, error) 
 			return reports, nil
 		}
 		reports = append(reports, rep)
+	}
+}
+
+// waitUntilReady polls a /healthz URL until it answers 200 (the daemon
+// finished construction and is accepting reports) or the deadline
+// passes. Connection refusals and 503s both mean "not yet" — the
+// daemon may still be binding its listener or already draining.
+func waitUntilReady(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close() //magellan:allow erridle — probe body is discarded; only the status code matters
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("wait-ready: %s not ready after %v: %w", url, timeout, err)
+			}
+			return fmt.Errorf("wait-ready: %s not ready after %v", url, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

@@ -22,9 +22,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/live"
 	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/trace"
@@ -51,6 +54,8 @@ func run(args []string, stop <-chan struct{}) error {
 		journal  = fs.Int("journal", obs.DefaultJournalCapacity, "flight-recorder ring capacity for /events lifecycle tracing (0: disabled)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP address")
 		selfLog  = fs.Duration("selflog", time.Minute, "period for self-logging queue stats to stderr (0: disabled)")
+		liveOn   = fs.Bool("live", false, "run the live analysis plane: incremental per-epoch topology metrics on /live and /live/epochs")
+		liveDB   = fs.String("live-ispdb", "", "ISP range database for the live plane's intra/inter-ISP splits (empty: all addresses Unknown)")
 		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +70,7 @@ func run(args []string, stop <-chan struct{}) error {
 		listen: *listen, outDir: *outDir, httpAddr: *httpAddr,
 		rotate: *rotate, queue: *queue, journal: *journal,
 		shards: *shards, pprof: *pprofOn, selfLog: *selfLog,
+		live: *liveOn, liveISPDB: *liveDB,
 	})
 	if err != nil {
 		return err
@@ -84,7 +90,10 @@ func run(args []string, stop <-chan struct{}) error {
 			d.recoveredFiles, d.truncatedBytes)
 	}
 	if d.httpLn != nil {
-		fmt.Printf("status on http://%s/status, metrics on /metrics\n", d.httpLn.Addr())
+		fmt.Printf("status on http://%s/status, metrics on /metrics, readiness on /healthz\n", d.httpLn.Addr())
+		if *liveOn {
+			fmt.Printf("live topology observatory on http://%s/live (JSON on /live/epochs)\n", d.httpLn.Addr())
+		}
 	}
 
 	if stop == nil {
@@ -229,6 +238,9 @@ type daemonConfig struct {
 	pprof    bool          // mount net/http/pprof under /debug/pprof/
 	selfLog  time.Duration // queue-stats self-log period; 0 disables
 	logSink  io.Writer     // self-log destination; nil means os.Stderr
+
+	live      bool   // run the live analysis plane
+	liveISPDB string // ISP range database path for the live plane; "" means empty DB
 }
 
 // daemon ties the UDP ingest fleet, rotating sinks, and status endpoint
@@ -247,6 +259,14 @@ type daemon struct {
 	reg     *obs.Registry
 	logger  *obs.Logger
 	journal *obs.Journal
+
+	// live is the streaming analysis plane; nil when -live is off (the
+	// /live endpoints still mount — they serve the empty series).
+	live *live.Analyzer
+	// ready gates /healthz: true once construction finishes, false the
+	// moment Close begins, so load balancers and CI probes see the
+	// drain before ingestion actually stops.
+	ready atomic.Bool
 
 	selfLogStop chan struct{}
 	selfLogWG   sync.WaitGroup
@@ -377,9 +397,27 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		closeSinks(sinks)
 		return nil, err
 	}
+	var liveA *live.Analyzer
+	if cfg.live {
+		db, err := loadISPDB(cfg.liveISPDB)
+		if err != nil {
+			closeSinks(sinks)
+			return nil, err
+		}
+		liveA = live.New(live.Config{
+			Shards:   n,
+			DB:       db,
+			Obs:      reg,
+			NowNanos: func() int64 { return time.Now().UnixNano() },
+		})
+	}
+	fcfg := trace.FleetConfig{QueueDepth: cfg.queue, Obs: reg, Journal: journal}
+	if liveA != nil {
+		fcfg.Observe = liveA.Observe
+	}
 	fleet, err := trace.NewFleet(addrs,
 		func(i int) (trace.Sink, error) { return sinks[i], nil },
-		trace.FleetConfig{QueueDepth: cfg.queue, Obs: reg, Journal: journal})
+		fcfg)
 	if err != nil {
 		closeSinks(sinks)
 		return nil, err
@@ -395,6 +433,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		reg:            reg,
 		logger:         obs.NewLogger(logSink, obs.LevelInfo),
 		journal:        journal,
+		live:           liveA,
 		recoveredFiles: recovered, truncatedBytes: truncated,
 	}
 	reg.GaugeFunc("magellan_serve_uptime_seconds",
@@ -436,6 +475,12 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		mux.Handle("/status", obs.JSONHandler(d.statusPayload))
 		mux.Handle("/events", obs.EventsHandler(d.journal))
 		mux.Handle("/metrics", obs.Handler(reg))
+		mux.Handle("/healthz", obs.HealthzHandler(buildinfo.String("magellan-serve"), d.ready.Load))
+		// The live endpoints mount unconditionally: handlers are nil-safe,
+		// so a daemon without -live serves the empty series rather than a
+		// config-dependent 404.
+		mux.Handle("/live", live.DashboardHandler(d.live))
+		mux.Handle("/live/epochs", live.EpochsHandler(d.live))
 		if cfg.pprof {
 			// The default-mux registrations in net/http/pprof don't help
 			// here (we serve a private mux), so mount the handlers
@@ -464,7 +509,31 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		d.selfLogWG.Add(1)
 		go d.selfLogLoop(cfg.selfLog)
 	}
+	d.ready.Store(true)
 	return d, nil
+}
+
+// loadISPDB reads an ISP range database from path; an empty path gives
+// the empty database (every address resolves Unknown), so the live
+// plane degrades rather than refusing to start.
+func loadISPDB(path string) (*isp.Database, error) {
+	if path == "" {
+		db, err := isp.NewDatabase(nil)
+		if err != nil {
+			return nil, fmt.Errorf("ispdb: %w", err)
+		}
+		return db, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ispdb: %w", err)
+	}
+	defer f.Close()
+	db, err := isp.ReadDatabase(f)
+	if err != nil {
+		return nil, fmt.Errorf("ispdb %s: %w", path, err)
+	}
+	return db, nil
 }
 
 // selfLogLoop periodically writes one structured record of the ingest
@@ -540,11 +609,18 @@ func (d *daemon) statusPayload() any {
 }
 
 func (d *daemon) Close() error {
+	// Flip /healthz to draining first: probes see 503 while the fleet
+	// and sinks wind down, not after.
+	d.ready.Store(false)
 	if d.selfLogStop != nil {
 		close(d.selfLogStop)
 		d.selfLogWG.Wait()
 	}
 	err := d.fleet.Close()
+	// The fleet is closed, so no more Observe calls race the drain;
+	// every epoch still in flight finalizes before the HTTP server (and
+	// its last /live/epochs scrape) goes away.
+	d.live.Drain()
 	if d.httpSrv != nil {
 		if cerr := d.httpSrv.Close(); err == nil {
 			err = cerr

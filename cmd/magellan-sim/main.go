@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/core"
 	"github.com/magellan-p2p/magellan/internal/faults"
+	"github.com/magellan-p2p/magellan/internal/live"
 	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/sim"
@@ -53,6 +55,7 @@ func run(args []string) error {
 		ispdbPath   = fs.String("ispdb", "uusee.ispdb", "output ISP database file")
 		verbose     = fs.Bool("v", false, "print hourly progress")
 		httpAddr    = fs.String("http", "", "HTTP /metrics + /events address for live run telemetry (empty: disabled)")
+		liveOn      = fs.Bool("live", false, "run the live analysis plane alongside the simulation: /live dashboard and /live/epochs JSON on the -http address (requires -http)")
 		linger      = fs.Duration("linger", 0, "keep the -http endpoint serving this long after the run finishes (0: exit immediately)")
 		version     = fs.Bool("version", false, "print version and exit")
 
@@ -139,6 +142,13 @@ func run(args []string) error {
 	if *ingestN < 1 {
 		return fmt.Errorf("-ingest-shards must be ≥ 1, got %d", *ingestN)
 	}
+	if *liveOn && *httpAddr == "" {
+		return fmt.Errorf("-live requires -http (the live plane serves /live and /live/epochs on the HTTP address)")
+	}
+	// liveA is assigned after sim.New (it needs the run's ISP database)
+	// and strictly before s.Run starts the worker goroutines that submit
+	// reports, so the tee closures below observe it race-free.
+	var liveA *live.Analyzer
 	tracePaths := []string{*tracePath}
 	if *ingestN > 1 {
 		tracePaths = make([]string, *ingestN)
@@ -160,15 +170,25 @@ func run(args []string) error {
 		}
 		traceFiles[i], writers[i] = f, w
 	}
+	sinkFor := func(shard int, w *trace.Writer) trace.Sink {
+		if !*liveOn {
+			return w
+		}
+		// The tee mirrors the daemon-side Observe hook: the live plane
+		// sees exactly the reports the trace file accepted, after it
+		// accepted them, so attaching it cannot change the trace bytes.
+		return teeSink{inner: w, shard: shard,
+			observe: func(shard int, r trace.Report) { liveA.Observe(shard, r) }}
+	}
 	if *ingestN > 1 {
 		// Emission routes each report to its owning shard's writer; the
 		// journal's report-path events carry the shard label.
 		cfg.ShardSinks = make([]trace.Sink, len(writers))
 		for i, w := range writers {
-			cfg.ShardSinks[i] = w
+			cfg.ShardSinks[i] = sinkFor(i, w)
 		}
 	} else {
-		cfg.Sink = writers[0]
+		cfg.Sink = sinkFor(0, writers[0])
 	}
 
 	start := time.Now()
@@ -183,6 +203,9 @@ func run(args []string) error {
 		}
 	}
 	var metricsSrv *http.Server
+	var metricsMux *http.ServeMux
+	var metricsReg *obs.Registry
+	var metricsAddr string
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
 		buildinfo.Register(reg, "magellan-sim")
@@ -213,15 +236,35 @@ func run(args []string) error {
 		}()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 		defer metricsSrv.Close()
+		metricsMux, metricsReg, metricsAddr = mux, reg, ln.Addr().String()
 	}
 
 	s, err := sim.New(cfg)
 	if err != nil {
 		return err
 	}
+	if *liveOn {
+		liveA = live.New(live.Config{
+			Shards:   *ingestN,
+			DB:       s.Database(),
+			Analysis: core.Config{Seed: *seed},
+			Obs:      metricsReg,
+			NowNanos: func() int64 { return time.Now().UnixNano() },
+		})
+		// http.ServeMux serializes Handle against serving, so mounting
+		// after the server goroutine started is sound — and mounting
+		// here, after liveA is assigned, is what makes the handlers'
+		// view of it race-free.
+		metricsMux.Handle("/live", live.DashboardHandler(liveA))
+		metricsMux.Handle("/live/epochs", live.EpochsHandler(liveA))
+		fmt.Printf("live topology observatory on http://%s/live (JSON on /live/epochs)\n", metricsAddr)
+	}
 	if err := s.Run(); err != nil {
 		return err
 	}
+	// Close out every in-flight epoch so the linger window (and any
+	// final scrape) sees the complete series.
+	liveA.Drain()
 	for i, w := range writers {
 		if err := w.Flush(); err != nil {
 			return err
@@ -280,5 +323,23 @@ func run(args []string) error {
 		fmt.Printf("lingering %v for telemetry readers\n", *linger)
 		time.Sleep(*linger)
 	}
+	return nil
+}
+
+// teeSink forwards each report to the live analyzer after the real
+// sink accepted it — the simulator-side equivalent of the ingest
+// fleet's Observe hook. Submission order (and so the trace bytes) is
+// untouched; a report the sink rejects is never observed.
+type teeSink struct {
+	inner   trace.Sink
+	shard   int
+	observe func(shard int, r trace.Report)
+}
+
+func (t teeSink) Submit(r trace.Report) error {
+	if err := t.inner.Submit(r); err != nil {
+		return err
+	}
+	t.observe(t.shard, r)
 	return nil
 }

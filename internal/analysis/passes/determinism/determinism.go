@@ -20,7 +20,7 @@ var Analyzer = &analysis.Analyzer{
 		"and friends, os environment reads, and obs wall-clock constructors " +
 		"(StartTimer, NewStageProfile, NewLogger, NewWallJournal) inside the " +
 		"simulator core " +
-		"(internal/{sim,des,sched,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults})",
+		"(internal/{sim,des,sched,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults,live})",
 	Run: run,
 }
 
@@ -28,7 +28,7 @@ var Analyzer = &analysis.Analyzer{
 // Everything else (cmd, report, trace, viz) may read the wall clock.
 var Restricted = []string{
 	"sim", "des", "sched", "protocol", "stream", "workload",
-	"graph", "isp", "netsim", "core", "gnutella", "faults",
+	"graph", "isp", "netsim", "core", "gnutella", "faults", "live",
 }
 
 // forbidden maps package path → function name → the fix to suggest.

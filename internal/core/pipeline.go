@@ -115,9 +115,29 @@ func (c Config) sanitize(epochCount int) Config {
 	return c
 }
 
+// Sanitized returns the config with every unset knob defaulted, exactly
+// as Analyze applies them. epochCount feeds the HeavyEveryN cadence
+// default; a caller that cannot know the epoch count up front (the
+// streaming analyzers) picks an explicit cadence and passes 0. Batch and
+// streaming consumers must agree on the sanitized config for their
+// per-epoch outputs to be byte-identical.
+func (c Config) Sanitized(epochCount int) Config { return c.sanitize(epochCount) }
+
 // epochStartOf returns the instant an epoch begins, in UTC.
 func epochStartOf(interval time.Duration, epoch int64) time.Time {
 	return time.Unix(0, epoch*int64(interval)).UTC()
+}
+
+// SnapshotLabels maps each spec's epoch (instant over interval) to its
+// label — the lookup AnalyzeEpochMetrics keys Fig. 4 snapshot
+// production on. Later specs mapping to the same epoch win, matching
+// the historical map-build order.
+func SnapshotLabels(interval time.Duration, specs []SnapshotSpec) map[int64]string {
+	m := make(map[int64]string, len(specs))
+	for _, spec := range specs {
+		m[spec.Time.UnixNano()/int64(interval)] = spec.Label
+	}
+	return m
 }
 
 // fallbackSnapshots picks four spread-out epochs (≈ 20/40/60/95 % through
@@ -146,46 +166,72 @@ func fallbackSnapshots(interval time.Duration, epochs []int64) []SnapshotSpec {
 	return out
 }
 
-// epochOut is one epoch's computed metrics.
-type epochOut struct {
-	epoch int64
-	start time.Time
-
-	total  int
-	stable int
-
-	ispCounts map[isp.ISP]int
-	unknown   int
-
-	quality map[string][2]int // channel → (served, reporters)
-
-	degPartners, degIn, degOut float64
-
-	intraIn, intraOut float64 // NaN when undefined
-
-	heavy              bool
-	c, l, cRand, lRand float64
-	cISP, lISP         float64
-	cRandISP, lRandISP float64
-	ispGraphOK         bool
-
-	rawR, rhoAll, rhoIntra, rhoInter float64
-
-	snapshot *DegreeSnapshot
+// resolveSnapshots maps the configured snapshot instants onto the epochs
+// actually present. If none of the configured instants fall inside the
+// trace (short runs), it falls back to four spread-out epochs so Fig. 4
+// is never empty. Shared by the batch pipeline and the batch oracle so
+// the two can never disagree about which epochs carry snapshots.
+func resolveSnapshots(interval time.Duration, epochs []int64, specs []SnapshotSpec) []SnapshotSpec {
+	present := make(map[int64]struct{}, len(epochs))
+	for _, e := range epochs {
+		present[e] = struct{}{}
+	}
+	for _, spec := range specs {
+		if _, ok := present[spec.Time.UnixNano()/int64(interval)]; ok {
+			return specs
+		}
+	}
+	return fallbackSnapshots(interval, epochs)
 }
 
-// epochScratch is the per-worker reusable state: the graph builders
+// EpochMetrics is one epoch's computed topology metrics — the per-epoch
+// unit every figure aggregates over, and the unit the streaming analyzer
+// reconciles against the batch pipeline (see AppendCanonical). Exported
+// fields mirror the figures: population (Fig. 1), ISP mix (Fig. 2),
+// quality (Fig. 3), degree snapshot and means (Figs. 4–5), intra-ISP
+// fractions (Fig. 6), small-world metrics (Fig. 7), reciprocity (Fig. 8).
+type EpochMetrics struct {
+	Epoch int64
+	Start time.Time
+
+	Total  int
+	Stable int
+
+	ISPCounts map[isp.ISP]int
+	Unknown   int
+
+	Quality map[string][2]int // channel → (served, reporters)
+
+	DegPartners, DegIn, DegOut float64
+
+	IntraIn, IntraOut float64 // NaN when undefined
+
+	Heavy              bool
+	C, L, CRand, LRand float64
+	CISP, LISP         float64
+	CRandISP, LRandISP float64
+	ISPGraphOK         bool
+
+	RawR, RhoAll, RhoIntra, RhoInter float64
+
+	Snapshot *DegreeSnapshot
+}
+
+// EpochScratch is the per-worker reusable state: the graph builders
 // whose index maps and edge arrays survive from epoch to epoch, and the
 // worker's shard of the Fig. 1B day-distinct fold (merged after the
 // pool drains, so no lock serializes the hot loop).
-type epochScratch struct {
+type EpochScratch struct {
 	active *graph.CSRBuilder
 	stable *graph.CSRBuilder
 	days   map[int64]*daySets
 }
 
-func newEpochScratch() *epochScratch {
-	return &epochScratch{
+// NewEpochScratch builds an empty scratch. One scratch serves any number
+// of sequential AnalyzeEpochMetrics calls; concurrent calls need one
+// scratch each.
+func NewEpochScratch() *EpochScratch {
+	return &EpochScratch{
 		active: graph.NewCSRBuilder(),
 		stable: graph.NewCSRBuilder(),
 		days:   make(map[int64]*daySets),
@@ -220,37 +266,16 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 	}
 	cfg = cfg.sanitize(len(epochs))
 
-	// Map snapshot instants to epochs present in the trace. If none of
-	// the configured instants fall inside the trace (short runs), fall
-	// back to 9 am / 9 pm of the first and last trace days so Fig. 4 is
-	// never empty.
-	present := make(map[int64]struct{}, len(epochs))
-	for _, e := range epochs {
-		present[e] = struct{}{}
-	}
-	specs := cfg.Snapshots
-	matched := false
-	for _, spec := range specs {
-		if _, ok := present[spec.Time.UnixNano()/int64(interval)]; ok {
-			matched = true
-			break
-		}
-	}
-	if !matched {
-		specs = fallbackSnapshots(interval, epochs)
-	}
-	snapLabels := make(map[int64]string, len(specs))
-	for _, spec := range specs {
-		snapLabels[spec.Time.UnixNano()/int64(interval)] = spec.Label
-	}
+	specs := resolveSnapshots(interval, epochs, cfg.Snapshots)
+	snapLabels := SnapshotLabels(interval, specs)
 
 	epochsSpan := cfg.Tracer.Start("epochs")
-	outs := make([]*epochOut, len(epochs))
-	scratches := make([]*epochScratch, cfg.Workers)
+	outs := make([]*EpochMetrics, len(epochs))
+	scratches := make([]*EpochScratch, cfg.Workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		sc := newEpochScratch()
+		sc := NewEpochScratch()
 		scratches[w] = sc
 		wg.Add(1)
 		go func() {
@@ -259,7 +284,7 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 				e := epochs[i]
 				heavy := i%cfg.HeavyEveryN == 0
 				v := view(e)
-				outs[i] = analyzeEpoch(v, db, cfg, heavy, snapLabels[e], sc)
+				outs[i] = AnalyzeEpochMetrics(v, db, cfg, heavy, snapLabels[e], sc)
 				// Fold this epoch's addresses into the worker's shard of
 				// the day-distinct sets (Fig. 1B).
 				foldDay(sc.days, v)
@@ -277,7 +302,7 @@ func analyzeViews(interval time.Duration, epochs []int64, view func(int64) Epoch
 	// this single-threaded path in ascending epoch order — never from the
 	// workers, whose interleaving would leak scheduling into the journal.
 	for i, e := range epochs {
-		cfg.Journal.Record(outs[i].start.UnixNano(), obs.StageAnalyze, obs.VerdictConsumed,
+		cfg.Journal.Record(outs[i].Start.UnixNano(), obs.StageAnalyze, obs.VerdictConsumed,
 			obs.ReportID{Epoch: e})
 	}
 
@@ -328,29 +353,35 @@ func foldDay(days map[int64]*daySets, v EpochView) {
 	}
 }
 
-// analyzeEpoch computes everything the figures need from one snapshot.
-func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLabel string, sc *epochScratch) *epochOut {
+// AnalyzeEpochMetrics computes everything the figures need from one
+// snapshot. It is the shared per-epoch kernel: the batch pipeline, the
+// single-pass trace scanner (AnalyzeStream), and the live incremental
+// analyzer all call exactly this function, which is why their per-epoch
+// outputs can be byte-compared. cfg must already be sanitized; the
+// per-epoch RNG is derived from (cfg.Seed, v.Epoch) alone, so one
+// epoch's result is independent of every other epoch.
+func AnalyzeEpochMetrics(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLabel string, sc *EpochScratch) *EpochMetrics {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ v.Epoch*2654435761))
-	out := &epochOut{
-		epoch:     v.Epoch,
-		start:     v.Start,
-		stable:    v.StableCount(),
-		ispCounts: make(map[isp.ISP]int, isp.NumISPs),
-		quality:   make(map[string][2]int, len(cfg.QualityChannels)),
+	out := &EpochMetrics{
+		Epoch:     v.Epoch,
+		Start:     v.Start,
+		Stable:    v.StableCount(),
+		ISPCounts: make(map[isp.ISP]int, isp.NumISPs),
+		Quality:   make(map[string][2]int, len(cfg.QualityChannels)),
 	}
 
 	scanSpan := cfg.Tracer.Start("epoch_scan")
 
 	// Population and ISP mix over all visible peers.
 	all := v.AllPeers()
-	out.total = len(all)
+	out.Total = len(all)
 	for _, a := range all {
 		p := db.Lookup(a)
 		if p == isp.Unknown {
-			out.unknown++
+			out.Unknown++
 			continue
 		}
-		out.ispCounts[p]++
+		out.ISPCounts[p]++
 	}
 
 	// Streaming quality per channel (Fig. 3).
@@ -364,12 +395,12 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 		if !wanted[rep.Channel] {
 			continue
 		}
-		sv := out.quality[rep.Channel]
+		sv := out.Quality[rep.Channel]
 		sv[1]++
 		if rep.RecvKbps >= cfg.QualityBar*cfg.StreamRateKbps {
 			sv[0]++
 		}
-		out.quality[rep.Channel] = sv
+		out.Quality[rep.Channel] = sv
 	}
 
 	// Degree means and intra-ISP fractions over stable peers.
@@ -406,16 +437,16 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 			nOut++
 		}
 	}
-	n := float64(out.stable)
+	n := float64(out.Stable)
 	if n > 0 {
-		out.degPartners, out.degIn, out.degOut = sumP/n, sumIn/n, sumOut/n
+		out.DegPartners, out.DegIn, out.DegOut = sumP/n, sumIn/n, sumOut/n
 	}
-	out.intraIn, out.intraOut = math.NaN(), math.NaN()
+	out.IntraIn, out.IntraOut = math.NaN(), math.NaN()
 	if nIn > 0 {
-		out.intraIn = fracIn / float64(nIn)
+		out.IntraIn = fracIn / float64(nIn)
 	}
 	if nOut > 0 {
-		out.intraOut = fracOut / float64(nOut)
+		out.IntraOut = fracOut / float64(nOut)
 	}
 	scanSpan.End()
 
@@ -427,18 +458,18 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 	ag := v.ActiveGraphInto(sc.active, cfg.ActiveThreshold)
 	graphSpan.End()
 	recipSpan := cfg.Tracer.Start("reciprocity")
-	out.rawR = ag.Reciprocity()
-	out.rhoAll = ag.GarlaschelliLoffredo()
+	out.RawR = ag.Reciprocity()
+	out.RhoAll = ag.GarlaschelliLoffredo()
 	intra, inter := ag.PartitionReciprocity(func(a, b isp.Addr) bool {
 		pa, pb := db.Lookup(a), db.Lookup(b)
 		return pa != isp.Unknown && pa == pb
 	})
-	out.rhoIntra, out.rhoInter = math.NaN(), math.NaN()
+	out.RhoIntra, out.RhoInter = math.NaN(), math.NaN()
 	if intra.M > 0 {
-		out.rhoIntra = intra.GarlaschelliLoffredo()
+		out.RhoIntra = intra.GarlaschelliLoffredo()
 	}
 	if inter.M > 0 {
-		out.rhoInter = inter.GarlaschelliLoffredo()
+		out.RhoInter = inter.GarlaschelliLoffredo()
 	}
 	recipSpan.End()
 
@@ -446,24 +477,24 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 	// heavy cadence only.
 	if heavy {
 		swSpan := cfg.Tracer.Start("small_world")
-		out.heavy = true
+		out.Heavy = true
 		sg := v.StableGraphInto(sc.stable, cfg.ActiveThreshold)
-		out.c = sg.ClusteringCoefficient()
-		out.l = sg.AveragePathLength(rng, cfg.PathSamples)
-		out.cRand, out.lRand = graph.RandomBaseline(sg, rng, cfg.PathSamples)
+		out.C = sg.ClusteringCoefficient()
+		out.L = sg.AveragePathLength(rng, cfg.PathSamples)
+		out.CRand, out.LRand = graph.RandomBaseline(sg, rng, cfg.PathSamples)
 
 		sub := sg.InducedSubgraph(func(a isp.Addr) bool { return db.Lookup(a) == cfg.ISPFocus })
 		if sub.N() >= 10 && sub.M() > 0 {
-			out.ispGraphOK = true
-			out.cISP = sub.ClusteringCoefficient()
-			out.lISP = sub.AveragePathLength(rng, cfg.PathSamples)
-			out.cRandISP, out.lRandISP = graph.RandomBaseline(sub, rng, cfg.PathSamples)
+			out.ISPGraphOK = true
+			out.CISP = sub.ClusteringCoefficient()
+			out.LISP = sub.AveragePathLength(rng, cfg.PathSamples)
+			out.CRandISP, out.LRandISP = graph.RandomBaseline(sub, rng, cfg.PathSamples)
 		}
 		swSpan.End()
 	}
 
 	// Fig. 4 degree snapshot.
-	if snapLabel != "" && out.stable > 0 {
+	if snapLabel != "" && out.Stable > 0 {
 		snapSpan := cfg.Tracer.Start("degree_snapshot")
 		defer snapSpan.End()
 		snap := &DegreeSnapshot{
@@ -482,7 +513,7 @@ func analyzeEpoch(v EpochView, db *isp.Database, cfg Config, heavy bool, snapLab
 		snap.PartnersFit = graph.FitPowerLaw(snap.Partners.Values(), 1)
 		snap.InFit = graph.FitPowerLaw(snap.In.Values(), 1)
 		snap.OutFit = graph.FitPowerLaw(snap.Out.Values(), 1)
-		out.snapshot = snap
+		out.Snapshot = snap
 	}
 
 	return out
@@ -495,7 +526,7 @@ type daySets struct {
 }
 
 // assemble folds per-epoch outputs into the figure-level results.
-func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*epochOut, days map[int64]*daySets) (*Results, error) {
+func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*EpochMetrics, days map[int64]*daySets) (*Results, error) {
 	res := &Results{
 		Interval:   interval,
 		EpochCount: len(outs),
@@ -504,8 +535,8 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 	// Fig. 1A: simultaneous peers.
 	pc := PeerCountsResult{Total: metrics.NewSeries(), Stable: metrics.NewSeries()}
 	for _, o := range outs {
-		pc.Total.Add(o.start, float64(o.total))
-		pc.Stable.Add(o.start, float64(o.stable))
+		pc.Total.Add(o.Start, float64(o.Total))
+		pc.Stable.Add(o.Start, float64(o.Stable))
 	}
 	pc.MeanTotal = pc.Total.Mean()
 	pc.MeanStable = pc.Stable.Mean()
@@ -532,11 +563,11 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 	ispTotals := make(map[isp.ISP]float64, isp.NumISPs)
 	var known, unknown float64
 	for _, o := range outs {
-		for p, c := range o.ispCounts {
+		for p, c := range o.ISPCounts {
 			ispTotals[p] += float64(c)
 			known += float64(c)
 		}
-		unknown += float64(o.unknown)
+		unknown += float64(o.Unknown)
 	}
 	shares := make(map[isp.ISP]float64, len(ispTotals))
 	if known > 0 {
@@ -562,12 +593,12 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 		q.Viewers[ch] = metrics.NewSeries()
 	}
 	for _, o := range outs {
-		for ch, sv := range o.quality {
+		for ch, sv := range o.Quality {
 			if sv[1] == 0 {
 				continue
 			}
-			q.ByChannel[ch].Add(o.start, float64(sv[0])/float64(sv[1]))
-			q.Viewers[ch].Add(o.start, float64(sv[1]))
+			q.ByChannel[ch].Add(o.Start, float64(sv[0])/float64(sv[1]))
+			q.Viewers[ch].Add(o.Start, float64(sv[1]))
 		}
 	}
 	res.Quality = q
@@ -575,8 +606,8 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 	// Fig. 4: degree snapshots, in configuration order.
 	byLabel := make(map[string]*DegreeSnapshot)
 	for _, o := range outs {
-		if o.snapshot != nil {
-			byLabel[o.snapshot.Label] = o.snapshot
+		if o.Snapshot != nil {
+			byLabel[o.Snapshot.Label] = o.Snapshot
 		}
 	}
 	for _, spec := range specs {
@@ -592,23 +623,23 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 		Out:      metrics.NewSeries(),
 	}
 	for _, o := range outs {
-		if o.stable == 0 {
+		if o.Stable == 0 {
 			continue
 		}
-		de.Partners.Add(o.start, o.degPartners)
-		de.In.Add(o.start, o.degIn)
-		de.Out.Add(o.start, o.degOut)
+		de.Partners.Add(o.Start, o.DegPartners)
+		de.In.Add(o.Start, o.DegIn)
+		de.Out.Add(o.Start, o.DegOut)
 	}
 	res.DegreeEvolution = de
 
 	// Fig. 6: intra-ISP degree fractions, with the random-mixing floor.
 	ii := IntraISPResult{InFrac: metrics.NewSeries(), OutFrac: metrics.NewSeries()}
 	for _, o := range outs {
-		if !math.IsNaN(o.intraIn) {
-			ii.InFrac.Add(o.start, o.intraIn)
+		if !math.IsNaN(o.IntraIn) {
+			ii.InFrac.Add(o.Start, o.IntraIn)
 		}
-		if !math.IsNaN(o.intraOut) {
-			ii.OutFrac.Add(o.start, o.intraOut)
+		if !math.IsNaN(o.IntraOut) {
+			ii.OutFrac.Add(o.Start, o.IntraOut)
 		}
 	}
 	// Iterate ISPs in enum order: summing squares in map order would let
@@ -628,18 +659,18 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 		CRandISP: metrics.NewSeries(), LRandISP: metrics.NewSeries(),
 	}
 	for _, o := range outs {
-		if !o.heavy {
+		if !o.Heavy {
 			continue
 		}
-		sw.C.Add(o.start, o.c)
-		sw.L.Add(o.start, o.l)
-		sw.CRand.Add(o.start, o.cRand)
-		sw.LRand.Add(o.start, o.lRand)
-		if o.ispGraphOK {
-			sw.CISP.Add(o.start, o.cISP)
-			sw.LISP.Add(o.start, o.lISP)
-			sw.CRandISP.Add(o.start, o.cRandISP)
-			sw.LRandISP.Add(o.start, o.lRandISP)
+		sw.C.Add(o.Start, o.C)
+		sw.L.Add(o.Start, o.L)
+		sw.CRand.Add(o.Start, o.CRand)
+		sw.LRand.Add(o.Start, o.LRand)
+		if o.ISPGraphOK {
+			sw.CISP.Add(o.Start, o.CISP)
+			sw.LISP.Add(o.Start, o.LISP)
+			sw.CRandISP.Add(o.Start, o.CRandISP)
+			sw.LRandISP.Add(o.Start, o.LRandISP)
 		}
 	}
 	res.SmallWorld = sw
@@ -650,13 +681,13 @@ func assemble(interval time.Duration, cfg Config, specs []SnapshotSpec, outs []*
 		Intra: metrics.NewSeries(), Inter: metrics.NewSeries(),
 	}
 	for _, o := range outs {
-		rc.Raw.Add(o.start, o.rawR)
-		rc.All.Add(o.start, o.rhoAll)
-		if !math.IsNaN(o.rhoIntra) {
-			rc.Intra.Add(o.start, o.rhoIntra)
+		rc.Raw.Add(o.Start, o.RawR)
+		rc.All.Add(o.Start, o.RhoAll)
+		if !math.IsNaN(o.RhoIntra) {
+			rc.Intra.Add(o.Start, o.RhoIntra)
 		}
-		if !math.IsNaN(o.rhoInter) {
-			rc.Inter.Add(o.start, o.rhoInter)
+		if !math.IsNaN(o.RhoInter) {
+			rc.Inter.Add(o.Start, o.RhoInter)
 		}
 	}
 	res.Reciprocity = rc

@@ -33,28 +33,31 @@ var (
 // complete (no worker pool), HeavyEveryN defaults to 6 because the total
 // epoch count is unknown up front, and the Fig. 4 fallback snapshots are
 // unavailable for the same reason.
+// StreamingHeavyEveryN is the small-world cadence every online analyzer
+// defaults to when Config leaves HeavyEveryN unset: the batch default
+// scales with the total epoch count, which no single-pass or live
+// analyzer can know up front.
+const StreamingHeavyEveryN = 6
+
 func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time.Duration) (*Results, int, error) {
 	if interval <= 0 {
 		interval = trace.DefaultReportInterval
 	}
 	if cfg.HeavyEveryN <= 0 {
-		cfg.HeavyEveryN = 6
+		cfg.HeavyEveryN = StreamingHeavyEveryN
 	}
 	cfg = cfg.sanitize(0)
 
-	snapLabels := make(map[int64]string, len(cfg.Snapshots))
-	for _, spec := range cfg.Snapshots {
-		snapLabels[spec.Time.UnixNano()/int64(interval)] = spec.Label
-	}
+	snapLabels := SnapshotLabels(interval, cfg.Snapshots)
 
 	var (
 		pending   = make(map[int64][]trace.Report, 2)
 		watermark = int64(-1 << 62)
-		outs      []*epochOut
+		outs      []*EpochMetrics
 		days      = make(map[int64]*daySets)
 		dropped   int
 		index     int
-		scratch   = newEpochScratch()
+		scratch   = NewEpochScratch()
 	)
 
 	flush := func(epoch int64) error {
@@ -73,7 +76,7 @@ func AnalyzeStream(src ReportSource, db *isp.Database, cfg Config, interval time
 		}
 		heavy := index%cfg.HeavyEveryN == 0
 		v := NewEpochView(one, epoch)
-		out := analyzeEpoch(v, db, cfg, heavy, snapLabels[epoch], scratch)
+		out := AnalyzeEpochMetrics(v, db, cfg, heavy, snapLabels[epoch], scratch)
 		outs = append(outs, out)
 		index++
 

@@ -1,0 +1,58 @@
+package live
+
+import "html/template"
+
+// dashTmpl is the /live page: stdlib-templated, self-contained (inline
+// CSS and SVG, no external assets), auto-refreshing. It renders
+// whatever the analyzer has closed so far; an empty run shows the
+// waiting banner instead of empty cards.
+var dashTmpl = template.Must(template.New("live").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="5">
+<title>magellan live topology observatory</title>
+<style>
+body { font-family: ui-sans-serif, system-ui, sans-serif; margin: 1.5rem; background: #fafaf8; color: #1a1a1a; }
+h1 { font-size: 1.2rem; margin: 0 0 .25rem; }
+.sub { color: #666; font-size: .85rem; margin-bottom: 1rem; }
+.grid { display: flex; flex-wrap: wrap; gap: 1rem; }
+.card { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: .75rem 1rem; }
+.card h2 { font-size: .95rem; margin: 0; }
+.fig { color: #999; font-size: .75rem; }
+.legend { font-size: .75rem; margin-top: .35rem; }
+.legend span { margin-right: .9rem; white-space: nowrap; }
+.swatch { display: inline-block; width: .65em; height: .65em; border-radius: 2px; margin-right: .3em; }
+table { border-collapse: collapse; font-size: .8rem; margin-top: .5rem; }
+td, th { border: 1px solid #ddd; padding: .2rem .6rem; text-align: right; }
+th { background: #f0f0ee; }
+.empty { color: #888; font-style: italic; margin: 2rem 0; }
+</style>
+</head>
+<body>
+<h1>Live topology observatory</h1>
+<div class="sub">epoch width {{printf "%.0f" .IntervalSeconds}}s &middot; {{.EpochsClosed}} epochs closed &middot; {{.Stragglers}} stragglers dropped &middot; <a href="/live/epochs">JSON</a></div>
+{{if .Cards}}
+<div class="grid">
+{{range .Cards}}<div class="card">
+<h2>{{.Title}} <span class="fig">{{.Figure}}</span></h2>
+<svg viewBox="0 0 {{$.Width}} {{$.Height}}" width="{{$.Width}}" height="{{$.Height}}" role="img">
+<rect x="0" y="0" width="{{$.Width}}" height="{{$.Height}}" fill="#fcfcfb"/>
+{{range .Series}}{{if .Points}}<polyline fill="none" stroke="{{.Color}}" stroke-width="1.5" points="{{.Points}}"/>{{end}}
+{{end}}</svg>
+<div class="legend">{{range .Series}}<span><i class="swatch" style="background:{{.Color}}"></i>{{.Name}}: {{.Last}}</span>{{end}}</div>
+</div>
+{{end}}</div>
+{{else}}
+<p class="empty">No epochs closed yet &mdash; waiting for the watermark to pass the first epoch boundary.</p>
+{{end}}
+{{if .InFlight}}
+<h2 style="font-size:.95rem">In-flight epochs (provisional)</h2>
+<table>
+<tr><th>epoch</th><th>start</th><th>peers</th><th>edges</th></tr>
+{{range .InFlight}}<tr><td>{{.Epoch}}</td><td>{{.Start}}</td><td>{{.Peers}}</td><td>{{.Edges}}</td></tr>
+{{end}}</table>
+{{end}}
+</body>
+</html>
+`))

@@ -1,0 +1,132 @@
+package live_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/isp"
+	"github.com/magellan-p2p/magellan/internal/live"
+	"github.com/magellan-p2p/magellan/internal/trace"
+)
+
+// fedAnalyzer builds an analyzer with one closed epoch and one still
+// in flight.
+func fedAnalyzer(t *testing.T) *live.Analyzer {
+	t.Helper()
+	a := live.New(live.Config{Shards: 1, Interval: time.Minute})
+	rep := func(epoch int64, addr isp.Addr) trace.Report {
+		return trace.Report{
+			Time:    time.Unix(0, epoch*int64(time.Minute)).Add(2 * time.Second),
+			Addr:    addr,
+			Channel: "CCTV1",
+			Partners: []trace.PartnerRecord{
+				{Addr: addr + 100},
+			},
+		}
+	}
+	a.Observe(0, rep(5, 1))
+	a.Observe(0, rep(5, 2))
+	a.Observe(0, rep(6, 3))
+	return a
+}
+
+func get(t *testing.T, h http.Handler, method, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(method, target, nil))
+	return rr
+}
+
+func TestEpochsHandlerJSON(t *testing.T) {
+	a := fedAnalyzer(t)
+	h := live.EpochsHandler(a)
+
+	rr := get(t, h, http.MethodGet, "/live/epochs")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /live/epochs = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var p struct {
+		IntervalSeconds float64 `json:"intervalSeconds"`
+		EpochsClosed    int     `json:"epochsClosed"`
+		Closed          []struct {
+			Epoch  int64  `json:"epoch"`
+			Stable int    `json:"stable"`
+			Digest string `json:"digest"`
+		} `json:"closed"`
+		InFlight []struct {
+			Epoch int64 `json:"epoch"`
+			Peers int   `json:"peers"`
+			Edges int   `json:"edges"`
+		} `json:"inFlight"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decode payload: %v\nbody: %s", err, rr.Body.String())
+	}
+	if p.IntervalSeconds != 60 {
+		t.Errorf("intervalSeconds = %v, want 60", p.IntervalSeconds)
+	}
+	if p.EpochsClosed != 1 || len(p.Closed) != 1 || p.Closed[0].Epoch != 5 {
+		t.Fatalf("closed series wrong: %+v", p)
+	}
+	if p.Closed[0].Stable != 2 || len(p.Closed[0].Digest) != 64 {
+		t.Errorf("closed epoch 5 = %+v, want 2 stable peers and a 64-hex digest", p.Closed[0])
+	}
+	if len(p.InFlight) != 1 || p.InFlight[0].Epoch != 6 || p.InFlight[0].Peers != 1 {
+		t.Errorf("inFlight = %+v, want epoch 6 with 1 peer", p.InFlight)
+	}
+
+	if rr := get(t, h, http.MethodPost, "/live/epochs"); rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /live/epochs = %d, want 405", rr.Code)
+	}
+}
+
+func TestEpochsHandlerNilAnalyzer(t *testing.T) {
+	rr := get(t, live.EpochsHandler(nil), http.MethodGet, "/live/epochs")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET with nil analyzer = %d", rr.Code)
+	}
+	var p map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if closed, ok := p["closed"].([]any); !ok || len(closed) != 0 {
+		t.Errorf("nil analyzer closed = %v, want []", p["closed"])
+	}
+}
+
+func TestDashboardHandler(t *testing.T) {
+	a := fedAnalyzer(t)
+	a.Drain()
+	h := live.DashboardHandler(a)
+
+	rr := get(t, h, http.MethodGet, "/live")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /live = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"<svg", "polyline", "Concurrent peers", "Reciprocity", "/live/epochs"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	if rr := get(t, h, http.MethodDelete, "/live"); rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /live = %d, want 405", rr.Code)
+	}
+
+	// Nil analyzer renders the waiting banner, not a panic.
+	rr = get(t, live.DashboardHandler(nil), http.MethodGet, "/live")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "No epochs closed yet") {
+		t.Errorf("nil dashboard = %d, want 200 with waiting banner", rr.Code)
+	}
+}

@@ -60,11 +60,16 @@ func appendEscapedHelp(b []byte, help string) []byte {
 	return b
 }
 
-// guarded wraps a read-only endpoint in the shared handler discipline:
+// Guarded wraps a read-only endpoint in the shared handler discipline:
 // GET and HEAD are served with the given Content-Type, anything else
-// gets 405 with an Allow header. Every JSON and exposition endpoint in
-// the daemons goes through this one helper, so the method/header
-// behavior cannot drift between them.
+// gets 405 with an Allow header. Every JSON, exposition, and dashboard
+// endpoint in the daemons goes through this one helper, so the
+// method/header behavior cannot drift between them.
+func Guarded(contentType string, serve func(w http.ResponseWriter, req *http.Request)) http.Handler {
+	return guarded(contentType, serve)
+}
+
+// guarded is Guarded; the package's own handlers call it directly.
 func guarded(contentType string, serve func(w http.ResponseWriter, req *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -107,7 +112,11 @@ type eventsPayload struct {
 
 // EventsHandler serves a JSON tail of the journal: the most recent n
 // events (?n=, default DefaultEventsTail, capped at the ring bound by
-// construction) plus the recorded/dropped accounting. A nil journal
+// construction) plus the recorded/dropped accounting. ?stage= restricts
+// the tail to one recording stage (emit, fault, server, store, seal,
+// analyze) — the n most recent events *of that stage* — so journal
+// inspection at scale doesn't ship the whole ring every poll. Malformed
+// n or an unknown stage is a 400, not a silent full tail. A nil journal
 // serves the empty tail, so daemons can mount the endpoint
 // unconditionally.
 func EventsHandler(j *Journal) http.Handler {
@@ -121,7 +130,27 @@ func EventsHandler(j *Journal) http.Handler {
 			}
 			n = v
 		}
-		evs := j.Tail(n)
+		var evs []Event
+		if s := req.URL.Query().Get("stage"); s != "" {
+			stage, err := ParseStage(s)
+			if err != nil {
+				http.Error(w, "bad stage parameter", http.StatusBadRequest)
+				return
+			}
+			held := j.Events()
+			kept := held[:0]
+			for _, ev := range held {
+				if ev.Stage == stage {
+					kept = append(kept, ev)
+				}
+			}
+			if len(kept) > n {
+				kept = kept[len(kept)-n:]
+			}
+			evs = kept
+		} else {
+			evs = j.Tail(n)
+		}
 		if evs == nil {
 			evs = []Event{}
 		}
@@ -130,5 +159,27 @@ func EventsHandler(j *Journal) http.Handler {
 			Dropped:  j.Dropped(),
 			Events:   evs,
 		})
+	})
+}
+
+// healthzPayload is the /healthz response shape.
+type healthzPayload struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
+// HealthzHandler serves a readiness probe: 200 {"status":"ok"} with the
+// build version while ready() reports true, 503 {"status":"draining"}
+// otherwise (daemon starting up or draining after SIGTERM). CI smokes
+// and magellan-loadgen poll it instead of sleeping on fixed delays.
+// The method/Content-Type discipline is the shared guard's.
+func HealthzHandler(version string, ready func() bool) http.Handler {
+	return guarded("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		p := healthzPayload{Status: "ok", Version: version}
+		if !ready() {
+			p.Status = "draining"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(p) //magellan:allow erridle — a failed probe response means the prober hung up; nothing to do
 	})
 }

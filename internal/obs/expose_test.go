@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestEventsHandlerStageFilter(t *testing.T) {
+	j := NewJournal(16)
+	for i := 0; i < 4; i++ {
+		j.Record(int64(i), StageEmit, VerdictEmitted, ReportID{Seq: uint32(i)})
+	}
+	j.Record(100, StageStore, VerdictAccepted, ReportID{Seq: 100})
+	h := EventsHandler(j)
+
+	decode := func(rec *httptest.ResponseRecorder) []Event {
+		t.Helper()
+		var p struct {
+			Events []Event `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+		}
+		return p.Events
+	}
+
+	// Filter to one stage.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/events?stage=store", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("?stage=store status %d", rec.Code)
+	}
+	evs := decode(rec)
+	if len(evs) != 1 || evs[0].Stage != StageStore {
+		t.Errorf("?stage=store = %+v, want the 1 store event", evs)
+	}
+
+	// ?n= truncates the filtered tail, keeping the most recent.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/events?stage=emit&n=2", nil))
+	evs = decode(rec)
+	if len(evs) != 2 || evs[0].ID.Seq != 2 || evs[1].ID.Seq != 3 {
+		t.Errorf("?stage=emit&n=2 = %+v, want the last two emit events", evs)
+	}
+
+	// An unknown stage is a client error, not a silent full tail.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/events?stage=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("?stage=bogus status %d, want 400", rec.Code)
+	}
+
+	// A stage with no events is an empty list, not null.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/events?stage=seal", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("?stage=seal status %d", rec.Code)
+	}
+	if evs := decode(rec); len(evs) != 0 {
+		t.Errorf("?stage=seal = %+v, want empty", evs)
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	ready := true
+	h := HealthzHandler("magellan-serve test-version", func() bool { return ready })
+
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rec
+	}
+	decode := func(rec *httptest.ResponseRecorder) (status, version string) {
+		t.Helper()
+		var p struct {
+			Status  string `json:"status"`
+			Version string `json:"version"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+		}
+		return p.Status, p.Version
+	}
+
+	rec := get()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready /healthz = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if status, version := decode(rec); status != "ok" || version != "magellan-serve test-version" {
+		t.Errorf("ready body = %q %q", status, version)
+	}
+
+	ready = false
+	rec = get()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", rec.Code)
+	}
+	if status, _ := decode(rec); status != "draining" {
+		t.Errorf("draining status = %q", status)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/healthz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", rec.Code)
+	}
+}

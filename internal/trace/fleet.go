@@ -25,6 +25,13 @@ type FleetConfig struct {
 	// single-member fleet records unlabeled events, matching a
 	// standalone server).
 	Journal *obs.Journal
+	// Observe, when non-nil, receives every report any member's sink
+	// accepted, with the member's 0-based shard index — the hook the
+	// live analysis plane subscribes through. Calls arrive concurrently
+	// from each member's ingest goroutine; the observer synchronizes.
+	// Measurement-only: observers see reports, they cannot influence
+	// ingestion.
+	Observe func(shard int, r Report)
 }
 
 // Fleet is a hash-sharded tier of trace servers: member K owns exactly
@@ -64,6 +71,10 @@ func NewFleet(addrs []string, sinkFor func(shard int) (Sink, error), cfg FleetCo
 		scfg := ServerConfig{
 			QueueDepth: cfg.QueueDepth,
 			Journal:    cfg.Journal,
+		}
+		if cfg.Observe != nil {
+			shard := i
+			scfg.Observe = func(r Report) { cfg.Observe(shard, r) }
 		}
 		if n == 1 {
 			// A one-member fleet is the standalone server: unlabeled

@@ -45,6 +45,15 @@ type ServerConfig struct {
 	// ingest goroutine starts — never assigned after construction. When
 	// Obs is also set, the registry's own histogram wins.
 	SinkLatency *obs.Histogram
+	// Observe, when non-nil, receives every report the sink accepted,
+	// after the successful submit and from the ingest goroutine — the
+	// subscription hook the live analysis plane attaches to. Like
+	// SinkLatency it must be set before construction, and like every
+	// other observer it is measurement-only: it sees reports, it cannot
+	// reject or reorder them. A slow Observe stalls the ingest worker
+	// (the bounded queue absorbs the stall and sheds with accounting),
+	// so implementations should be quick or shed internally.
+	Observe func(r Report)
 }
 
 // ServerStats breaks the server's datagram accounting down by outcome.
@@ -98,6 +107,10 @@ type Server struct {
 	journal *obs.Journal
 	shard   int32
 
+	// observe, when non-nil, is called with every accepted report after
+	// the sink submit succeeds (see ServerConfig.Observe).
+	observe func(r Report)
+
 	recvWG sync.WaitGroup
 	workWG sync.WaitGroup
 	once   sync.Once
@@ -143,6 +156,7 @@ func NewServerWithConfig(addr string, sink Sink, cfg ServerConfig) (*Server, err
 	s.journal = cfg.Journal
 	s.shard = cfg.Shard
 	s.sinkLatency = cfg.SinkLatency
+	s.observe = cfg.Observe
 	if cfg.Obs != nil {
 		registerIngestMetrics(cfg.Obs, s, depth)
 	}
@@ -285,6 +299,9 @@ func (s *Server) ingestLoop() {
 		}
 		s.received.Add(1)
 		s.journal.RecordNowShard(obs.StageServer, obs.VerdictPersisted, id, s.shard)
+		if s.observe != nil {
+			s.observe(rep)
+		}
 	}
 }
 
