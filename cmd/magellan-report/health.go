@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/alert"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
+)
+
+// runHealth renders a fleet health summary from a metrics-history
+// JSONL snapshot (written by magellan-serve/-sim -history-out): the
+// retained series, then a deterministic replay of the default alert
+// rule pack over the recorded instants, then a verdict. The same
+// snapshot always produces the same report — the replay drives the
+// engine with the recorded instants, never the wall clock.
+func runHealth(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := tsdb.ReadJSONL(f, 0)
+	if err != nil {
+		return err
+	}
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	instants := db.Instants()
+	infos := db.Series()
+	if err := p("fleet health report: %s\n", path); err != nil {
+		return err
+	}
+	if len(instants) == 0 {
+		return p("  empty history — nothing to assess\n")
+	}
+	span := time.Duration(instants[len(instants)-1] - instants[0])
+	if err := p("  %d sample instants over %v, %d series\n\nseries (last value):\n",
+		len(instants), span.Round(time.Second), len(infos)); err != nil {
+		return err
+	}
+	for _, si := range infos {
+		if err := p("  %-56s %6d samples  last %.6g\n", si.Name, si.Count, si.Last); err != nil {
+			return err
+		}
+	}
+
+	eng, err := alert.New(db, alert.DefaultRules(), alert.Config{})
+	if err != nil {
+		return err
+	}
+	for _, ts := range instants {
+		eng.EvalAt(ts)
+	}
+
+	if err := p("\nalert replay (default rule pack):\n"); err != nil {
+		return err
+	}
+	trans, dropped := eng.Transitions()
+	if len(trans) == 0 {
+		if err := p("  no transitions — every rule stayed inactive\n"); err != nil {
+			return err
+		}
+	}
+	for _, tr := range trans {
+		if err := p("  +%-10v %-28s %s → %s (value %.6g)\n",
+			time.Duration(tr.T-instants[0]).Round(time.Second), tr.Rule, tr.From, tr.To, tr.Value); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		if err := p("  (%d older transitions dropped from the log)\n", dropped); err != nil {
+			return err
+		}
+	}
+
+	// Verdict: firing at the end of the history is unhealthy; fired but
+	// resolved is degraded-then-recovered; quiet throughout is healthy.
+	var stillFiring, recovered []string
+	everFired := map[string]bool{}
+	for _, tr := range trans {
+		if tr.To == alert.Firing {
+			everFired[tr.Rule] = true
+		}
+	}
+	for _, st := range eng.Status() {
+		if st.State == alert.Firing {
+			stillFiring = append(stillFiring, st.Rule.Name)
+			delete(everFired, st.Rule.Name)
+		}
+	}
+	for name := range everFired {
+		recovered = append(recovered, name)
+	}
+	sort.Strings(recovered)
+	switch {
+	case len(stillFiring) > 0:
+		return p("\nverdict: UNHEALTHY — still firing at end of history: %v\n", stillFiring)
+	case len(recovered) > 0:
+		return p("\nverdict: RECOVERED — fired during the window but resolved: %v\n", recovered)
+	default:
+		return p("\nverdict: HEALTHY — no rule fired over the recorded window\n")
+	}
+}

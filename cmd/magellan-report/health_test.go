@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
+)
+
+// writeHistoryFixture samples a scripted registry into a history store
+// and persists it, returning the JSONL path.
+func writeHistoryFixture(t *testing.T, script func(i int, ctr *obs.Counter)) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	drops := reg.Counter("magellan_ingest_queue_drops_total", "")
+	db := tsdb.New(reg, tsdb.Config{Capacity: 256})
+	for i := 0; i < 90; i++ {
+		script(i, drops)
+		db.SampleAt(int64(i+1) * 1e9)
+	}
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunHealthRecovered replays an overload that fires and resolves
+// the queue-drop rule; the report must show both transitions and the
+// RECOVERED verdict, identically on a second run.
+func TestRunHealthRecovered(t *testing.T) {
+	path := writeHistoryFixture(t, func(i int, drops *obs.Counter) {
+		if i > 20 && i < 45 {
+			drops.Add(5)
+		}
+	})
+	var a, b bytes.Buffer
+	if err := runHealth(&a, path); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	for _, want := range []string{
+		"ingest-queue-drop-rate",
+		"inactive → firing",
+		"firing → inactive",
+		"verdict: RECOVERED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health report missing %q:\n%s", want, out)
+		}
+	}
+	if err := runHealth(&b, path); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != out {
+		t.Error("health report is not deterministic across runs")
+	}
+}
+
+// TestRunHealthHealthy: a quiet history renders the HEALTHY verdict.
+func TestRunHealthHealthy(t *testing.T) {
+	path := writeHistoryFixture(t, func(int, *obs.Counter) {})
+	var buf bytes.Buffer
+	if err := runHealth(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verdict: HEALTHY") {
+		t.Errorf("quiet history verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "magellan_ingest_queue_drops_total") {
+		t.Errorf("series summary missing the sampled counter:\n%s", out)
+	}
+}
+
+// TestRunHealthStillFiring: drops climbing to the end of the window is
+// UNHEALTHY.
+func TestRunHealthStillFiring(t *testing.T) {
+	path := writeHistoryFixture(t, func(i int, drops *obs.Counter) {
+		if i > 60 {
+			drops.Add(7)
+		}
+	})
+	var buf bytes.Buffer
+	if err := runHealth(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verdict: UNHEALTHY") {
+		t.Errorf("still-firing history verdict:\n%s", buf.String())
+	}
+}
+
+// TestRunHealthErrors pins the failure modes: missing and malformed
+// files are errors, not empty reports.
+func TestRunHealthErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runHealth(&buf, filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runHealth(&buf, bad); err == nil {
+		t.Error("malformed history accepted")
+	}
+}

@@ -42,6 +42,7 @@ func run(args []string) error {
 		csvDir      = fs.String("csv", "", "directory for per-figure CSV export (empty: skip)")
 		svgDir      = fs.String("svg", "", "directory for per-figure SVG export (empty: skip)")
 		extended    = fs.Bool("extended", false, "also run the extension analyses (dynamics, structure, crawl bias, baselines)")
+		health      = fs.String("health", "", "render a fleet health summary from a saved metrics-history JSONL file (skips the simulation)")
 		verbose     = fs.Bool("v", false, "print hourly progress")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
@@ -51,6 +52,9 @@ func run(args []string) error {
 	if *version {
 		fmt.Println(buildinfo.String("magellan-report"))
 		return nil
+	}
+	if *health != "" {
+		return runHealth(os.Stdout, *health)
 	}
 
 	store := trace.NewStore(0)

@@ -26,11 +26,13 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/alert"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/live"
 	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/obs/buildinfo"
 	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 )
 
 func main() {
@@ -56,6 +58,10 @@ func run(args []string, stop <-chan struct{}) error {
 		selfLog  = fs.Duration("selflog", time.Minute, "period for self-logging queue stats to stderr (0: disabled)")
 		liveOn   = fs.Bool("live", false, "run the live analysis plane: incremental per-epoch topology metrics on /live and /live/epochs")
 		liveDB   = fs.String("live-ispdb", "", "ISP range database for the live plane's intra/inter-ISP splits (empty: all addresses Unknown)")
+		history  = fs.Duration("history", 0, "metrics-history sampling cadence for /history (0: disabled)")
+		histCap  = fs.Int("history-cap", tsdb.DefaultCapacity, "metrics-history samples retained per series")
+		histOut  = fs.String("history-out", "", "write the retained metrics history as JSON lines to this file on shutdown (requires -history)")
+		alertsOn = fs.Bool("alerts", false, "evaluate the default alert rule pack each history sample and serve /alerts (requires -history)")
 		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +77,8 @@ func run(args []string, stop <-chan struct{}) error {
 		rotate: *rotate, queue: *queue, journal: *journal,
 		shards: *shards, pprof: *pprofOn, selfLog: *selfLog,
 		live: *liveOn, liveISPDB: *liveDB,
+		history: *history, historyCap: *histCap, historyOut: *histOut,
+		alerts: *alertsOn,
 	})
 	if err != nil {
 		return err
@@ -241,6 +249,11 @@ type daemonConfig struct {
 
 	live      bool   // run the live analysis plane
 	liveISPDB string // ISP range database path for the live plane; "" means empty DB
+
+	history    time.Duration // metrics-history sampling cadence; 0 disables
+	historyCap int           // samples retained per series; 0 means default
+	historyOut string        // shutdown JSONL destination; "" disables
+	alerts     bool          // evaluate the default rule pack each sample
 }
 
 // daemon ties the UDP ingest fleet, rotating sinks, and status endpoint
@@ -263,6 +276,12 @@ type daemon struct {
 	// live is the streaming analysis plane; nil when -live is off (the
 	// /live endpoints still mount — they serve the empty series).
 	live *live.Analyzer
+	// hist/alertEng are the metrics-history and alerting planes; nil
+	// when -history/-alerts are off (the /history and /alerts endpoints
+	// still mount — nil-safe handlers serve the empty surfaces).
+	hist       *tsdb.DB
+	alertEng   *alert.Engine
+	historyOut string
 	// ready gates /healthz: true once construction finishes, false the
 	// moment Close begins, so load balancers and CI probes see the
 	// drain before ingestion actually stops.
@@ -270,6 +289,9 @@ type daemon struct {
 
 	selfLogStop chan struct{}
 	selfLogWG   sync.WaitGroup
+
+	samplerStop chan struct{}
+	samplerWG   sync.WaitGroup
 
 	// Startup torn-tail recovery accounting (see recoverTraces).
 	recoveredFiles int
@@ -356,6 +378,12 @@ func closeSinks(sinks []*rotatingSink) {
 }
 
 func newDaemon(cfg daemonConfig) (*daemon, error) {
+	if cfg.alerts && cfg.history <= 0 {
+		return nil, fmt.Errorf("-alerts requires -history (the rule pack evaluates against the sampled history)")
+	}
+	if cfg.historyOut != "" && cfg.history <= 0 {
+		return nil, fmt.Errorf("-history-out requires -history")
+	}
 	n := cfg.shards
 	if n <= 0 {
 		n = 1
@@ -382,6 +410,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	reg := obs.NewRegistry()
 	buildinfo.Register(reg, "magellan-serve")
+	obs.RegisterProcessMetrics(reg)
 	// The flight recorder lives in the daemon layer, so it stamps events
 	// with the wall clock; the deterministic tick-stamped variant is the
 	// simulator's. One ring serves the whole fleet — every member's
@@ -461,6 +490,31 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 			func() []obs.SeriesSample { return sinkSeries(sinks, (*rotatingSink).Rotations) })
 	}
 
+	// The metrics-history and alerting planes sample the registry the
+	// daemon already exports — they ride on top of measurement, never
+	// inside the ingest path. The alert meta-metrics register even with
+	// the engine off (nil-safe, reading zero), so the /metrics surface
+	// doesn't depend on flags.
+	if cfg.history > 0 {
+		d.hist = tsdb.New(reg, tsdb.Config{
+			Capacity: cfg.historyCap,
+			Now:      func() int64 { return time.Now().UnixNano() },
+		})
+		d.historyOut = cfg.historyOut
+		if cfg.alerts {
+			eng, err := alert.New(d.hist, alert.DefaultRules(), alert.Config{
+				Now: func() int64 { return time.Now().UnixNano() },
+			})
+			if err != nil {
+				fleet.Close() //magellan:allow erridle — best-effort cleanup; the rule-pack error wins
+				closeSinks(sinks)
+				return nil, err
+			}
+			d.alertEng = eng
+		}
+	}
+	alert.RegisterMetrics(reg, d.alertEng)
+
 	if cfg.httpAddr != "" {
 		ln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
@@ -479,8 +533,12 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		// The live endpoints mount unconditionally: handlers are nil-safe,
 		// so a daemon without -live serves the empty series rather than a
 		// config-dependent 404.
-		mux.Handle("/live", live.DashboardHandler(d.live))
+		mux.Handle("/live", live.DashboardHandler(d.live, d.hist, d.alertEng))
 		mux.Handle("/live/epochs", live.EpochsHandler(d.live))
+		// Likewise /history and /alerts: nil-safe handlers, mounted
+		// unconditionally, so probing them never 404s on configuration.
+		mux.Handle("/history", tsdb.Handler(d.hist))
+		mux.Handle("/alerts", alert.Handler(d.alertEng))
 		if cfg.pprof {
 			// The default-mux registrations in net/http/pprof don't help
 			// here (we serve a private mux), so mount the handlers
@@ -509,8 +567,32 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		d.selfLogWG.Add(1)
 		go d.selfLogLoop(cfg.selfLog)
 	}
+	if cfg.history > 0 {
+		d.samplerStop = make(chan struct{})
+		d.samplerWG.Add(1)
+		go d.samplerLoop(cfg.history)
+	}
 	d.ready.Store(true)
 	return d, nil
+}
+
+// samplerLoop periodically snapshots the registry into the history
+// store and evaluates the alert rule pack over it. Pure measurement:
+// each sample reads the same atomics a /metrics scrape reads, under
+// store-local locks no ingest goroutine ever takes.
+func (d *daemon) samplerLoop(period time.Duration) {
+	defer d.samplerWG.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.samplerStop:
+			return
+		case <-t.C:
+			d.hist.Sample()
+			d.alertEng.Eval()
+		}
+	}
 }
 
 // loadISPDB reads an ISP range database from path; an empty path gives
@@ -549,6 +631,7 @@ func (d *daemon) selfLogLoop(period time.Duration) {
 			return
 		case <-t.C:
 			st := d.fleet.TotalStats()
+			firing, pending := d.alertEng.Counts()
 			d.logger.Info("ingest stats",
 				"shards", d.fleet.Len(),
 				"received", st.Received,
@@ -557,6 +640,8 @@ func (d *daemon) selfLogLoop(period time.Duration) {
 				"sinkErrors", st.SinkErrors,
 				"written", d.totalWritten(),
 				"currentFile", d.sink.CurrentFile(),
+				"alertsFiring", firing,
+				"alertsPending", pending,
 			)
 		}
 	}
@@ -616,6 +701,10 @@ func (d *daemon) Close() error {
 		close(d.selfLogStop)
 		d.selfLogWG.Wait()
 	}
+	if d.samplerStop != nil {
+		close(d.samplerStop)
+		d.samplerWG.Wait()
+	}
 	err := d.fleet.Close()
 	// The fleet is closed, so no more Observe calls race the drain;
 	// every epoch still in flight finalizes before the HTTP server (and
@@ -631,5 +720,27 @@ func (d *daemon) Close() error {
 			err = cerr
 		}
 	}
+	if d.historyOut != "" {
+		// One final sample so the snapshot ends with the drained state,
+		// then persist the retained window for magellan-report -health.
+		d.hist.Sample()
+		d.alertEng.Eval()
+		if cerr := writeHistory(d.hist, d.historyOut); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// writeHistory persists the retained metrics history as JSON lines.
+func writeHistory(db *tsdb.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteJSONL(f); err != nil {
+		f.Close() //magellan:allow erridle — best-effort cleanup; the write error wins
+		return err
+	}
+	return f.Close()
 }

@@ -15,8 +15,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/alert"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 )
 
 // sendRaw ships an arbitrary datagram to addr, bypassing the trace
@@ -547,6 +549,7 @@ func TestDaemonEndpointSweep(t *testing.T) {
 	d, err := newDaemon(daemonConfig{
 		listen: "127.0.0.1:0", outDir: dir, httpAddr: "127.0.0.1:0",
 		rotate: time.Hour, journal: 64, live: true,
+		history: 10 * time.Millisecond, alerts: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -563,6 +566,8 @@ func TestDaemonEndpointSweep(t *testing.T) {
 		{"/healthz", "application/json"},
 		{"/live", "text/html; charset=utf-8"},
 		{"/live/epochs", "application/json"},
+		{"/history", "application/json"},
+		{"/alerts", "application/json"},
 	}
 	for _, ep := range endpoints {
 		resp, err := http.Get(base + ep.path)
@@ -669,6 +674,107 @@ func TestDaemonHealthzDrain(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusServiceUnavailable || body.Status != "draining" {
 		t.Errorf("draining /healthz = %d %q, want 503 draining", resp.StatusCode, body.Status)
+	}
+}
+
+// TestDaemonHistoryAlerts drives the full history/alerting plane in a
+// running daemon: the sampler populates /history with the ingest
+// metric families, /alerts serves the default rule pack, and shutdown
+// persists a JSONL snapshot magellan-report -health can load.
+func TestDaemonHistoryAlerts(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "history.jsonl")
+	d, err := newDaemon(daemonConfig{
+		listen: "127.0.0.1:0", outDir: filepath.Join(dir, "traces"),
+		httpAddr: "127.0.0.1:0", rotate: time.Hour,
+		history: 5 * time.Millisecond, historyCap: 128,
+		historyOut: out, alerts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d.httpLn.Addr().String()
+
+	client, err := trace.Dial(d.udp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 10; i++ {
+		if err := client.Submit(sampleReport(uint32(200 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for the sampler to retain the received-report series.
+	deadline := time.Now().Add(5 * time.Second)
+	var pts []any
+	for time.Now().Before(deadline) {
+		var body map[string]any
+		getJSON(t, base+"/history?metric=magellan_ingest_received_total", &body)
+		if p, ok := body["points"].([]any); ok && len(p) > 0 {
+			pts = p
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(pts) == 0 {
+		t.Fatal("/history never retained magellan_ingest_received_total")
+	}
+
+	var alerts map[string]any
+	getJSON(t, base+"/alerts", &alerts)
+	rules, _ := alerts["rules"].([]any)
+	if len(rules) != len(alert.DefaultRules()) {
+		t.Fatalf("/alerts rules = %d, want %d", len(rules), len(alert.DefaultRules()))
+	}
+	if evals, _ := alerts["evals"].(float64); evals == 0 {
+		t.Error("/alerts evals = 0, want > 0 (sampler should be evaluating)")
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("history snapshot missing: %v", err)
+	}
+	defer f.Close()
+	db, err := tsdb.ReadJSONL(f, 0)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if db.Samples() == 0 {
+		t.Error("persisted history holds no samples")
+	}
+	if got := db.Match("magellan_ingest_received_total"); len(got) == 0 {
+		t.Error("persisted history lost the received-report series")
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// TestDaemonAlertFlagValidation pins the flag dependencies.
+func TestDaemonAlertFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, rotate: time.Hour, alerts: true}); err == nil {
+		t.Error("-alerts without -history accepted")
+	}
+	if _, err := newDaemon(daemonConfig{listen: "127.0.0.1:0", outDir: dir, rotate: time.Hour, historyOut: "x"}); err == nil {
+		t.Error("-history-out without -history accepted")
 	}
 }
 

@@ -16,8 +16,11 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/alert"
 	"github.com/magellan-p2p/magellan/internal/core"
 	"github.com/magellan-p2p/magellan/internal/faults"
 	"github.com/magellan-p2p/magellan/internal/live"
@@ -26,6 +29,7 @@ import (
 	"github.com/magellan-p2p/magellan/internal/sim"
 	"github.com/magellan-p2p/magellan/internal/stream"
 	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 	"github.com/magellan-p2p/magellan/internal/workload"
 )
 
@@ -57,6 +61,11 @@ func run(args []string) error {
 		httpAddr    = fs.String("http", "", "HTTP /metrics + /events address for live run telemetry (empty: disabled)")
 		liveOn      = fs.Bool("live", false, "run the live analysis plane alongside the simulation: /live dashboard and /live/epochs JSON on the -http address (requires -http)")
 		linger      = fs.Duration("linger", 0, "keep the -http endpoint serving this long after the run finishes (0: exit immediately)")
+		history     = fs.Duration("history", 0, "metrics-history sampling cadence for /history (0: disabled; requires -http)")
+		histCap     = fs.Int("history-cap", tsdb.DefaultCapacity, "metrics-history samples retained per series")
+		histOut     = fs.String("history-out", "", "write the retained metrics history as JSON lines to this file after the run (requires -history)")
+		alertsOn    = fs.Bool("alerts", false, "evaluate the default alert rule pack each history sample and serve /alerts (requires -history)")
+		selfLog     = fs.Duration("selflog", 0, "period for self-logging run and alert stats to stderr (0: disabled)")
 		version     = fs.Bool("version", false, "print version and exit")
 
 		journalCap = fs.Int("journal", 0, "flight-recorder ring capacity for report lifecycle tracing (0: disabled)")
@@ -145,6 +154,15 @@ func run(args []string) error {
 	if *liveOn && *httpAddr == "" {
 		return fmt.Errorf("-live requires -http (the live plane serves /live and /live/epochs on the HTTP address)")
 	}
+	if *history > 0 && *httpAddr == "" {
+		return fmt.Errorf("-history requires -http (the history samples the run's metrics registry)")
+	}
+	if *alertsOn && *history <= 0 {
+		return fmt.Errorf("-alerts requires -history (the rule pack evaluates against the sampled history)")
+	}
+	if *histOut != "" && *history <= 0 {
+		return fmt.Errorf("-history-out requires -history")
+	}
 	// liveA is assigned after sim.New (it needs the run's ISP database)
 	// and strictly before s.Run starts the worker goroutines that submit
 	// reports, so the tee closures below observe it race-free.
@@ -206,9 +224,15 @@ func run(args []string) error {
 	var metricsMux *http.ServeMux
 	var metricsReg *obs.Registry
 	var metricsAddr string
+	// ready gates /healthz: true while the run is producing, false the
+	// moment the run finishes and the drain/linger window begins.
+	var ready atomic.Bool
+	var hist *tsdb.DB
+	var alertEng *alert.Engine
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
 		buildinfo.Register(reg, "magellan-sim")
+		obs.RegisterProcessMetrics(reg)
 		// The simulator pushes population and fault gauges into reg at
 		// tick boundaries; wall-clock derived rates live here in the CLI
 		// layer, keeping the sim core free of clock reads.
@@ -224,10 +248,31 @@ func run(args []string) error {
 		if journal != nil {
 			obs.RegisterJournalMetrics(reg, journal)
 		}
+		if *history > 0 {
+			hist = tsdb.New(reg, tsdb.Config{
+				Capacity: *histCap,
+				Now:      func() int64 { return time.Now().UnixNano() },
+			})
+			if *alertsOn {
+				alertEng, err = alert.New(hist, alert.DefaultRules(), alert.Config{
+					Now: func() int64 { return time.Now().UnixNano() },
+				})
+				if err != nil {
+					ln.Close() //magellan:allow erridle — best-effort cleanup; the rule-pack error wins
+					return err
+				}
+			}
+		}
+		alert.RegisterMetrics(reg, alertEng)
 
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(reg))
 		mux.Handle("/events", obs.EventsHandler(journal))
+		mux.Handle("/healthz", obs.HealthzHandler(buildinfo.String("magellan-sim"), ready.Load))
+		// Nil-safe handlers, mounted unconditionally: a run without
+		// -history serves the empty surfaces, never a config-dependent 404.
+		mux.Handle("/history", tsdb.Handler(hist))
+		mux.Handle("/alerts", alert.Handler(alertEng))
 		metricsSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := metricsSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -237,6 +282,56 @@ func run(args []string) error {
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 		defer metricsSrv.Close()
 		metricsMux, metricsReg, metricsAddr = mux, reg, ln.Addr().String()
+	}
+	if *history > 0 {
+		// The sampler is pure measurement: it reads the same atomics a
+		// /metrics scrape reads. Stopped by defer so test callers of run()
+		// never leak it; Sample/Eval are mutex-guarded, so the final
+		// history write racing a last tick is safe.
+		samplerStop := make(chan struct{})
+		var samplerWG sync.WaitGroup
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			t := time.NewTicker(*history)
+			defer t.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-t.C:
+					hist.Sample()
+					alertEng.Eval()
+				}
+			}
+		}()
+		defer func() { close(samplerStop); samplerWG.Wait() }()
+	}
+	if *selfLog > 0 {
+		logger := obs.NewLogger(os.Stderr, obs.LevelInfo)
+		selfLogStop := make(chan struct{})
+		var selfLogWG sync.WaitGroup
+		selfLogWG.Add(1)
+		go func() {
+			defer selfLogWG.Done()
+			t := time.NewTicker(*selfLog)
+			defer t.Stop()
+			for {
+				select {
+				case <-selfLogStop:
+					return
+				case <-t.C:
+					firing, pending := alertEng.Counts()
+					logger.Info("sim stats",
+						"wallSeconds", int(time.Since(start).Seconds()),
+						"historySamples", hist.Samples(),
+						"alertsFiring", firing,
+						"alertsPending", pending,
+					)
+				}
+			}
+		}()
+		defer func() { close(selfLogStop); selfLogWG.Wait() }()
 	}
 
 	s, err := sim.New(cfg)
@@ -255,15 +350,19 @@ func run(args []string) error {
 		// after the server goroutine started is sound — and mounting
 		// here, after liveA is assigned, is what makes the handlers'
 		// view of it race-free.
-		metricsMux.Handle("/live", live.DashboardHandler(liveA))
+		metricsMux.Handle("/live", live.DashboardHandler(liveA, hist, alertEng))
 		metricsMux.Handle("/live/epochs", live.EpochsHandler(liveA))
 		fmt.Printf("live topology observatory on http://%s/live (JSON on /live/epochs)\n", metricsAddr)
 	}
+	ready.Store(true)
 	if err := s.Run(); err != nil {
 		return err
 	}
-	// Close out every in-flight epoch so the linger window (and any
-	// final scrape) sees the complete series.
+	// The run is over: /healthz flips to draining (503) for the rest of
+	// the teardown and any -linger window, exactly like the trace
+	// server's drain. Close out every in-flight epoch so the linger
+	// window (and any final scrape) sees the complete series.
+	ready.Store(false)
 	liveA.Drain()
 	for i, w := range writers {
 		if err := w.Flush(); err != nil {
@@ -317,6 +416,16 @@ func run(args []string) error {
 		}
 		fmt.Printf("journal events written to %s\n", *journalOut)
 	}
+	if *histOut != "" {
+		// One final sample so the snapshot ends with the finished run's
+		// state, then persist for magellan-report -health.
+		hist.Sample()
+		alertEng.Eval()
+		if err := writeHistory(hist, *histOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics history written to %s\n", *histOut)
+	}
 	if *linger > 0 && metricsSrv != nil {
 		// Give scrapers (and the CI smoke step) a window to read the
 		// finished run's /metrics and /events before the process exits.
@@ -324,6 +433,19 @@ func run(args []string) error {
 		time.Sleep(*linger)
 	}
 	return nil
+}
+
+// writeHistory persists the retained metrics history as JSON lines.
+func writeHistory(db *tsdb.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteJSONL(f); err != nil {
+		f.Close() //magellan:allow erridle — best-effort cleanup; the write error wins
+		return err
+	}
+	return f.Close()
 }
 
 // teeSink forwards each report to the live analyzer after the real

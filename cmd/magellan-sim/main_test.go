@@ -9,6 +9,7 @@ import (
 
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 )
 
 func TestRunProducesLoadableArtifacts(t *testing.T) {
@@ -52,6 +53,63 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 	}
 	if db.Len() == 0 {
 		t.Error("ISP database is empty")
+	}
+}
+
+// TestRunHistoryAndSelfLog drives the sim with the full observability
+// plane on: history sampler, alert engine, self-log, and the shutdown
+// JSONL snapshot.
+func TestRunHistoryAndSelfLog(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "history.jsonl")
+	err := run([]string{
+		"-seed", "3",
+		"-duration", "2h",
+		"-concurrency", "60",
+		"-channels", "2",
+		"-trace", filepath.Join(dir, "t.trace"),
+		"-ispdb", filepath.Join(dir, "t.ispdb"),
+		"-http", "127.0.0.1:0",
+		"-history", "5ms",
+		"-alerts",
+		"-selflog", "10ms",
+		"-history-out", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("history snapshot missing: %v", err)
+	}
+	defer f.Close()
+	db, err := tsdb.ReadJSONL(f, 0)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if db.Samples() == 0 {
+		t.Error("persisted history holds no samples")
+	}
+	// The sim registry's gauges must be in the snapshot (the run ends
+	// with a final sample even if it outpaced the ticker).
+	if len(db.Match("magellan_sim_wall_seconds")) == 0 {
+		t.Error("persisted history lost magellan_sim_wall_seconds")
+	}
+	if len(db.Match("magellan_alert_rules")) == 0 {
+		t.Error("persisted history lost the alert meta-metrics")
+	}
+}
+
+// TestRunHistoryFlagValidation pins the flag dependencies.
+func TestRunHistoryFlagValidation(t *testing.T) {
+	if err := run([]string{"-history", "1s"}); err == nil {
+		t.Error("-history without -http accepted")
+	}
+	if err := run([]string{"-http", "127.0.0.1:0", "-alerts"}); err == nil {
+		t.Error("-alerts without -history accepted")
+	}
+	if err := run([]string{"-http", "127.0.0.1:0", "-history-out", "x"}); err == nil {
+		t.Error("-history-out without -history accepted")
 	}
 }
 

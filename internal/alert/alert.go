@@ -1,0 +1,420 @@
+// Package alert is the declarative alerting plane over the metrics
+// history: rules describe conditions on tsdb queries (instant
+// thresholds, absence of samples, windowed rates, burn rates, family
+// skew), and an Engine drives each rule through the
+// inactive → pending → firing state machine with exact transition
+// accounting.
+//
+// The package is covered by the determinism analyzer: it never reads
+// a wall clock and never iterates a map in evaluation order. Rules are
+// sorted by name at construction, instants arrive through the injected
+// Config.Now (or explicitly via EvalAt), so the same history replayed
+// through the same rule pack yields a byte-identical transition log —
+// the property magellan-report -health and the CI overload smoke rest
+// on.
+//
+// A nil *Engine is a disabled alerting plane — every method is a
+// zero-allocation no-op — so daemons wire the plumbing unconditionally
+// and let the flag decide.
+package alert
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/tsdb"
+)
+
+// Kind selects how a rule measures its metric against the history.
+type Kind string
+
+const (
+	// Threshold compares the latest sampled value (summed across a
+	// labeled family) against the rule threshold.
+	Threshold Kind = "threshold"
+	// Absence fires when no matching series sampled inside the window —
+	// a dead exporter or a stalled sampler. Threshold/Op are unused.
+	Absence Kind = "absence"
+	// Rate compares the windowed per-second increase (counter-reset
+	// aware, summed across a family) against the threshold.
+	Rate Kind = "rate"
+	// BurnRate compares rate(Metric)/rate(Denom) over the window — an
+	// error-budget burn fraction. The condition is false while the
+	// denominator rate is zero (no traffic is not an outage).
+	BurnRate Kind = "burnrate"
+	// Skew compares (max−min)/max of the latest values across a labeled
+	// family — imbalance between shards. Needs ≥ 2 family members and a
+	// positive max; otherwise the condition is false.
+	Skew Kind = "skew"
+)
+
+// Op is the comparison direction; the zero value means OpAbove.
+type Op string
+
+const (
+	OpAbove Op = ">"
+	OpBelow Op = "<"
+)
+
+// A Rule declares one alert condition over the history.
+type Rule struct {
+	Name      string        `json:"name"`
+	Metric    string        `json:"metric"`          // series name or labeled-family prefix
+	Denom     string        `json:"denom,omitempty"` // BurnRate denominator metric
+	Kind      Kind          `json:"kind"`
+	Op        Op            `json:"op"`
+	Threshold float64       `json:"threshold"`
+	Window    time.Duration `json:"window,omitempty"` // lookback for Absence/Rate/BurnRate/Skew
+	For       time.Duration `json:"for,omitempty"`    // dwell before pending → firing
+	Severity  string        `json:"severity"`         // "critical" | "warning" | free-form
+	Help      string        `json:"help,omitempty"`
+}
+
+// State is a rule's position in the alert lifecycle.
+type State string
+
+const (
+	Inactive State = "inactive"
+	Pending  State = "pending"
+	Firing   State = "firing"
+)
+
+// A Transition records one state change: the instant, the rule, the
+// edge, and the measured value that drove it.
+type Transition struct {
+	T     int64   `json:"t"`
+	Rule  string  `json:"rule"`
+	From  State   `json:"from"`
+	To    State   `json:"to"`
+	Value float64 `json:"value"`
+}
+
+// RuleStatus is one rule's current evaluation state.
+type RuleStatus struct {
+	Rule     Rule    `json:"rule"`
+	State    State   `json:"state"`
+	Since    int64   `json:"since,omitempty"` // instant the current state began
+	Value    float64 `json:"value"`           // last measured value
+	Measured bool    `json:"measured"`        // last eval had enough data to measure
+	LastEval int64   `json:"lastEval,omitempty"`
+}
+
+// DefaultMaxTransitions bounds the retained transition log when Config
+// leaves it unset.
+const DefaultMaxTransitions = 256
+
+// Config tunes an Engine.
+type Config struct {
+	// Now supplies unix nanoseconds for Eval(). The daemon layer injects
+	// the real clock; nil means Eval() panics and only EvalAt (explicit
+	// instants) may be used.
+	Now func() int64
+	// MaxTransitions bounds the retained transition log (oldest dropped,
+	// counted); 0 means DefaultMaxTransitions.
+	MaxTransitions int
+}
+
+// ruleState is one rule's mutable evaluation state.
+type ruleState struct {
+	rule      Rule
+	state     State
+	since     int64 // instant the current state began
+	condSince int64 // instant the condition first held (pending dwell anchor)
+	value     float64
+	measured  bool
+	lastEval  int64
+}
+
+// An Engine evaluates a fixed rule pack against a history store. All
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type Engine struct {
+	db  *tsdb.DB
+	now func() int64
+	max int
+
+	mu          sync.Mutex
+	rules       []*ruleState // sorted by rule name
+	transitions []Transition
+	dropped     uint64
+	transTotal  uint64
+	evals       uint64
+}
+
+// New builds an Engine over db with the given rule pack. Rules are
+// validated (unique non-empty names, known kinds, windows where the
+// kind needs one) and evaluated in name order. db may be nil — the
+// engine then measures nothing and every rule stays inactive.
+func New(db *tsdb.DB, rules []Rule, cfg Config) (*Engine, error) {
+	max := cfg.MaxTransitions
+	if max <= 0 {
+		max = DefaultMaxTransitions
+	}
+	e := &Engine{db: db, now: cfg.Now, max: max}
+	seen := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("alert: rule with empty name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("alert: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Metric == "" {
+			return nil, fmt.Errorf("alert: rule %q: empty metric", r.Name)
+		}
+		if r.Op == "" {
+			r.Op = OpAbove
+		}
+		if r.Op != OpAbove && r.Op != OpBelow {
+			return nil, fmt.Errorf("alert: rule %q: bad op %q", r.Name, r.Op)
+		}
+		switch r.Kind {
+		case Threshold:
+		case Absence, Rate, Skew:
+			if r.Window <= 0 {
+				return nil, fmt.Errorf("alert: rule %q: kind %s needs a window", r.Name, r.Kind)
+			}
+		case BurnRate:
+			if r.Window <= 0 {
+				return nil, fmt.Errorf("alert: rule %q: kind %s needs a window", r.Name, r.Kind)
+			}
+			if r.Denom == "" {
+				return nil, fmt.Errorf("alert: rule %q: burnrate needs a denom metric", r.Name)
+			}
+		default:
+			return nil, fmt.Errorf("alert: rule %q: unknown kind %q", r.Name, r.Kind)
+		}
+		e.rules = append(e.rules, &ruleState{rule: r, state: Inactive})
+	}
+	sort.Slice(e.rules, func(i, j int) bool { return e.rules[i].rule.Name < e.rules[j].rule.Name })
+	return e, nil
+}
+
+// Eval evaluates every rule at the injected clock's current instant.
+// Nil-receiver safe (and allocation-free when nil).
+func (e *Engine) Eval() {
+	if e == nil {
+		return
+	}
+	e.EvalAt(e.now())
+}
+
+// EvalAt evaluates every rule at the given instant, in rule-name
+// order, recording state transitions. Nil-receiver safe.
+func (e *Engine) EvalAt(ts int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	for _, st := range e.rules {
+		value, measured := e.measure(&st.rule, ts)
+		cond := measured && compare(st.rule.Op, value, st.rule.Threshold)
+		if st.rule.Kind == Absence {
+			// Absence inverts measurement: the condition IS "nothing
+			// measured in the window".
+			cond = !measured
+			value, measured = 0, true
+			if cond {
+				value = 1
+			}
+		}
+		st.value, st.measured, st.lastEval = value, measured, ts
+
+		switch {
+		case cond && st.state == Inactive:
+			st.condSince = ts
+			if st.rule.For <= 0 {
+				e.shift(st, Firing, ts, value)
+			} else {
+				e.shift(st, Pending, ts, value)
+			}
+		case cond && st.state == Pending:
+			if ts-st.condSince >= int64(st.rule.For) {
+				e.shift(st, Firing, ts, value)
+			}
+		case !cond && st.state != Inactive:
+			e.shift(st, Inactive, ts, value)
+		}
+	}
+}
+
+// shift moves one rule to a new state and records the transition,
+// dropping the oldest retained transition when the log is full.
+// Callers hold e.mu.
+func (e *Engine) shift(st *ruleState, to State, ts int64, value float64) {
+	tr := Transition{T: ts, Rule: st.rule.Name, From: st.state, To: to, Value: value}
+	st.state, st.since = to, ts
+	e.transTotal++
+	if len(e.transitions) >= e.max {
+		n := copy(e.transitions, e.transitions[1:])
+		e.transitions = e.transitions[:n]
+		e.dropped++
+	}
+	e.transitions = append(e.transitions, tr)
+}
+
+// measure evaluates one rule's query against the history at ts.
+func (e *Engine) measure(r *Rule, ts int64) (float64, bool) {
+	names := e.db.Match(r.Metric)
+	switch r.Kind {
+	case Threshold:
+		var sum float64
+		var any bool
+		for _, name := range names {
+			if p, ok := e.db.Instant(name, ts); ok {
+				sum += p.V
+				any = true
+			}
+		}
+		return sum, any
+	case Absence:
+		for _, name := range names {
+			if pts := e.db.Range(name, ts-int64(r.Window), ts); len(pts) > 0 {
+				return 1, true
+			}
+		}
+		return 0, false
+	case Rate:
+		return e.familyRate(names, ts, int64(r.Window))
+	case BurnRate:
+		num, okN := e.familyRate(names, ts, int64(r.Window))
+		den, okD := e.familyRate(e.db.Match(r.Denom), ts, int64(r.Window))
+		if !okN || !okD || den <= 0 {
+			return 0, false
+		}
+		return num / den, true
+	case Skew:
+		if len(names) < 2 {
+			return 0, false
+		}
+		var min, max float64
+		var any bool
+		for _, name := range names {
+			p, ok := e.db.Instant(name, ts)
+			if !ok {
+				continue
+			}
+			if !any {
+				min, max, any = p.V, p.V, true
+				continue
+			}
+			if p.V < min {
+				min = p.V
+			}
+			if p.V > max {
+				max = p.V
+			}
+		}
+		if !any || max <= 0 {
+			return 0, false
+		}
+		return (max - min) / max, true
+	}
+	return 0, false
+}
+
+// familyRate sums the windowed per-second rate across a family's
+// members; ok when at least one member had a measurable rate.
+func (e *Engine) familyRate(names []string, ts, window int64) (float64, bool) {
+	var sum float64
+	var any bool
+	for _, name := range names {
+		if v, ok := e.db.Rate(name, ts, window); ok {
+			sum += v
+			any = true
+		}
+	}
+	return sum, any
+}
+
+func compare(op Op, v, threshold float64) bool {
+	if op == OpBelow {
+		return v < threshold
+	}
+	return v > threshold
+}
+
+// Status returns every rule's current state, sorted by rule name.
+func (e *Engine) Status() []RuleStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleStatus, 0, len(e.rules))
+	for _, st := range e.rules {
+		out = append(out, RuleStatus{
+			Rule:     st.rule,
+			State:    st.state,
+			Since:    st.since,
+			Value:    st.value,
+			Measured: st.measured,
+			LastEval: st.lastEval,
+		})
+	}
+	return out
+}
+
+// Transitions returns the retained transition log, oldest first, and
+// how many older transitions the cap dropped.
+func (e *Engine) Transitions() ([]Transition, uint64) {
+	if e == nil {
+		return nil, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Transition, len(e.transitions))
+	copy(out, e.transitions)
+	return out, e.dropped
+}
+
+// Counts returns how many rules are currently firing and pending.
+func (e *Engine) Counts() (firing, pending int) {
+	if e == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.rules {
+		switch st.state {
+		case Firing:
+			firing++
+		case Pending:
+			pending++
+		}
+	}
+	return firing, pending
+}
+
+// Rules returns how many rules the engine evaluates.
+func (e *Engine) Rules() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.rules)
+}
+
+// Evals returns how many EvalAt passes have run.
+func (e *Engine) Evals() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// TransitionsTotal returns how many transitions have occurred, ever
+// (including any the retained log dropped).
+func (e *Engine) TransitionsTotal() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.transTotal
+}

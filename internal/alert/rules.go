@@ -1,0 +1,63 @@
+package alert
+
+import "time"
+
+// DefaultRules is the fleet rule pack both daemons load: the failure
+// modes the ingest tier and the live observatory actually exhibit
+// under overload, each addressed by metric family so the same pack
+// works sharded (labeled series) or not.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:      "ingest-queue-drop-rate",
+			Metric:    "magellan_ingest_queue_drops_total",
+			Kind:      Rate,
+			Op:        OpAbove,
+			Threshold: 0,
+			Window:    30 * time.Second,
+			Severity:  "critical",
+			Help:      "reports are being shed at the ingest queue — the fleet is past its queue budget",
+		},
+		{
+			Name:      "ingest-sink-error-burn",
+			Metric:    "magellan_ingest_sink_errors_total",
+			Denom:     "magellan_ingest_received_total",
+			Kind:      BurnRate,
+			Op:        OpAbove,
+			Threshold: 0.05,
+			Window:    time.Minute,
+			Severity:  "critical",
+			Help:      "more than 5% of received reports are failing at the sink",
+		},
+		{
+			Name:      "ingest-shard-skew",
+			Metric:    "magellan_ingest_received_total",
+			Kind:      Skew,
+			Op:        OpAbove,
+			Threshold: 0.5,
+			Window:    time.Minute,
+			For:       30 * time.Second,
+			Severity:  "warning",
+			Help:      "received-report imbalance across shards exceeds 50% of the busiest shard",
+		},
+		{
+			Name:      "live-straggler-rate",
+			Metric:    "magellan_live_stragglers_dropped_total",
+			Kind:      Rate,
+			Op:        OpAbove,
+			Threshold: 1,
+			Window:    time.Minute,
+			Severity:  "warning",
+			Help:      "the live observatory is dropping more than one straggler report per second",
+		},
+		{
+			Name:      "live-watermark-lag",
+			Metric:    "magellan_live_watermark_lag_epochs",
+			Kind:      Threshold,
+			Op:        OpAbove,
+			Threshold: 3,
+			Severity:  "warning",
+			Help:      "the live watermark trails the newest observed epoch by more than 3 epochs",
+		},
+	}
+}

@@ -20,7 +20,7 @@ var Analyzer = &analysis.Analyzer{
 		"and friends, os environment reads, and obs wall-clock constructors " +
 		"(StartTimer, NewStageProfile, NewLogger, NewWallJournal) inside the " +
 		"simulator core " +
-		"(internal/{sim,des,sched,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults,live})",
+		"(internal/{sim,des,sched,protocol,stream,workload,graph,isp,netsim,core,gnutella,faults,live,tsdb,alert})",
 	Run: run,
 }
 
@@ -29,6 +29,7 @@ var Analyzer = &analysis.Analyzer{
 var Restricted = []string{
 	"sim", "des", "sched", "protocol", "stream", "workload",
 	"graph", "isp", "netsim", "core", "gnutella", "faults", "live",
+	"tsdb", "alert",
 }
 
 // forbidden maps package path → function name → the fix to suggest.

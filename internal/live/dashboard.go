@@ -27,11 +27,30 @@ table { border-collapse: collapse; font-size: .8rem; margin-top: .5rem; }
 td, th { border: 1px solid #ddd; padding: .2rem .6rem; text-align: right; }
 th { background: #f0f0ee; }
 .empty { color: #888; font-style: italic; margin: 2rem 0; }
+.banner { border-radius: 6px; padding: .6rem .9rem; margin-bottom: 1rem; font-size: .85rem; }
+.banner.firing { background: #fbe9e7; border: 1px solid #c4541c; }
+.banner.pending { background: #fff8e1; border: 1px solid #b89a2f; }
+.banner.ok { background: #eef6ee; border: 1px solid #2a7d2e; color: #2a5c2d; }
+.banner b { margin-right: .4rem; }
+.banner .rule { display: block; margin-top: .2rem; }
 </style>
 </head>
 <body>
 <h1>Live topology observatory</h1>
 <div class="sub">epoch width {{printf "%.0f" .IntervalSeconds}}s &middot; {{.EpochsClosed}} epochs closed &middot; {{.Stragglers}} stragglers dropped &middot; <a href="/live/epochs">JSON</a></div>
+{{if .AlertsFiring}}
+<div class="banner firing"><b>{{len .AlertsFiring}} alert(s) firing</b> &middot; <a href="/alerts">JSON</a>
+{{range .AlertsFiring}}<span class="rule"><b>{{.Name}}</b> [{{.Severity}}] value {{.Value}} &mdash; {{.Help}}</span>{{end}}
+</div>
+{{end}}
+{{if .AlertsPending}}
+<div class="banner pending"><b>{{len .AlertsPending}} alert(s) pending</b> &middot; <a href="/alerts">JSON</a>
+{{range .AlertsPending}}<span class="rule"><b>{{.Name}}</b> [{{.Severity}}] value {{.Value}} &mdash; {{.Help}}</span>{{end}}
+</div>
+{{end}}
+{{if and .AlertRules (not .AlertsFiring) (not .AlertsPending)}}
+<div class="banner ok">{{.AlertRules}} alert rules loaded, none firing &middot; <a href="/alerts">JSON</a></div>
+{{end}}
 {{if .Cards}}
 <div class="grid">
 {{range .Cards}}<div class="card">
@@ -45,6 +64,19 @@ th { background: #f0f0ee; }
 {{end}}</div>
 {{else}}
 <p class="empty">No epochs closed yet &mdash; waiting for the watermark to pass the first epoch boundary.</p>
+{{end}}
+{{if .HistoryCards}}
+<h2 style="font-size:.95rem">Fleet metrics history <span class="fig">{{.HistorySamples}} samples &middot; <a href="/history">JSON</a></span></h2>
+<div class="grid">
+{{range .HistoryCards}}<div class="card">
+<h2>{{.Title}} <span class="fig">{{.Figure}}</span></h2>
+<svg viewBox="0 0 {{$.Width}} {{$.Height}}" width="{{$.Width}}" height="{{$.Height}}" role="img">
+<rect x="0" y="0" width="{{$.Width}}" height="{{$.Height}}" fill="#fcfcfb"/>
+{{range .Series}}{{if .Points}}<polyline fill="none" stroke="{{.Color}}" stroke-width="1.5" points="{{.Points}}"/>{{end}}
+{{end}}</svg>
+<div class="legend">{{range .Series}}<span><i class="swatch" style="background:{{.Color}}"></i>{{.Name}}: {{.Last}}</span>{{end}}</div>
+</div>
+{{end}}</div>
 {{end}}
 {{if .InFlight}}
 <h2 style="font-size:.95rem">In-flight epochs (provisional)</h2>

@@ -10,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/alert"
 	"github.com/magellan-p2p/magellan/internal/core"
 	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 )
 
 // fptr maps a possibly-undefined float to its JSON shape: nil for NaN
@@ -170,6 +172,15 @@ type sparkCard struct {
 	Series []sparkSeries
 }
 
+// alertRow is one rule on the dashboard's alert banner.
+type alertRow struct {
+	Name     string
+	State    string
+	Severity string
+	Help     string
+	Value    string
+}
+
 // dashData is everything the dashboard template renders.
 type dashData struct {
 	IntervalSeconds float64
@@ -179,6 +190,15 @@ type dashData struct {
 	Cards           []sparkCard
 	Width           int
 	Height          int
+
+	// Alerting plane (empty without an engine): the banner rows.
+	AlertsFiring  []alertRow
+	AlertsPending []alertRow
+	AlertRules    int
+
+	// Metrics-history plane (empty without a store): fleet health cards.
+	HistoryCards   []sparkCard
+	HistorySamples uint64
 }
 
 var sparkColors = []string{"#0b6e99", "#c4541c", "#2a7d2e", "#7b3fa0", "#a3264d", "#5a5a5a"}
@@ -316,13 +336,84 @@ func cards(closed []*ClosedEpoch) []sparkCard {
 	}
 }
 
+// historyCardSpecs names the fleet-health series the dashboard charts
+// from the metrics history, in render order. Families (sharded fleets)
+// draw one polyline per member.
+var historyCardSpecs = []struct {
+	title  string
+	metric string
+}{
+	{"Reports received (cumulative)", "magellan_ingest_received_total"},
+	{"Ingest queue depth", "magellan_ingest_queue_depth"},
+	{"Queue drops (cumulative)", "magellan_ingest_queue_drops_total"},
+	{"Sink errors (cumulative)", "magellan_ingest_sink_errors_total"},
+	{"Live watermark lag (epochs)", "magellan_live_watermark_lag_epochs"},
+	{"Process heap bytes", "magellan_process_heap_bytes"},
+}
+
+// historyCards renders the retained history of the fleet-health series
+// as sparkline cards, reusing the epoch cards' polyline plumbing. A
+// metric the store never sampled simply has no card.
+func historyCards(db *tsdb.DB) []sparkCard {
+	var out []sparkCard
+	for _, spec := range historyCardSpecs {
+		names := db.Match(spec.metric)
+		if len(names) == 0 {
+			continue
+		}
+		ss := make([]sparkSeries, 0, len(names))
+		for i, name := range names {
+			pts := db.Range(name, math.MinInt64, math.MaxInt64)
+			vals := make([]float64, len(pts))
+			for j, p := range pts {
+				vals[j] = p.V
+			}
+			// Label a family member by its label block, a plain series
+			// by a neutral name.
+			label := "value"
+			if lb := strings.IndexByte(name, '{'); lb >= 0 {
+				label = name[lb:]
+			}
+			ss = append(ss, series(label, sparkColors[i%len(sparkColors)], vals))
+		}
+		out = append(out, sparkCard{Title: spec.title, Figure: "history", Series: ss})
+	}
+	return out
+}
+
+// alertRows maps the engine's sorted rule states onto banner rows.
+func alertRows(eng *alert.Engine) (firing, pending []alertRow, rules int) {
+	for _, st := range eng.Status() {
+		rules++
+		row := alertRow{
+			Name:     st.Rule.Name,
+			State:    string(st.State),
+			Severity: st.Rule.Severity,
+			Help:     st.Rule.Help,
+			Value:    fmt.Sprintf("%.4g", st.Value),
+		}
+		switch st.State {
+		case alert.Firing:
+			firing = append(firing, row)
+		case alert.Pending:
+			pending = append(pending, row)
+		}
+	}
+	return firing, pending, rules
+}
+
 // DashboardHandler serves /live: a self-contained HTML page (no
 // external assets) with one inline-SVG sparkline card per Fig. 4–9
-// curve family, refreshed by meta tag. Safe on a nil analyzer.
-func DashboardHandler(a *Analyzer) http.Handler {
+// curve family, an alert banner, and fleet-health history charts,
+// refreshed by meta tag. Safe on a nil analyzer, nil history store,
+// and nil alert engine (each plane simply renders empty).
+func DashboardHandler(a *Analyzer, hist *tsdb.DB, eng *alert.Engine) http.Handler {
 	return obs.Guarded("text/html; charset=utf-8", func(w http.ResponseWriter, _ *http.Request) {
 		var d dashData
 		d.Width, d.Height = sparkW, sparkH
+		d.AlertsFiring, d.AlertsPending, d.AlertRules = alertRows(eng)
+		d.HistorySamples = hist.Samples()
+		d.HistoryCards = historyCards(hist)
 		if a != nil {
 			a.mu.Lock()
 			closed := slices.Clone(a.closed)

@@ -8,9 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/magellan-p2p/magellan/internal/alert"
 	"github.com/magellan-p2p/magellan/internal/isp"
 	"github.com/magellan-p2p/magellan/internal/live"
+	"github.com/magellan-p2p/magellan/internal/obs"
 	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
 )
 
 // fedAnalyzer builds an analyzer with one closed epoch and one still
@@ -104,7 +107,7 @@ func TestEpochsHandlerNilAnalyzer(t *testing.T) {
 func TestDashboardHandler(t *testing.T) {
 	a := fedAnalyzer(t)
 	a.Drain()
-	h := live.DashboardHandler(a)
+	h := live.DashboardHandler(a, nil, nil)
 
 	rr := get(t, h, http.MethodGet, "/live")
 	if rr.Code != http.StatusOK {
@@ -125,8 +128,53 @@ func TestDashboardHandler(t *testing.T) {
 	}
 
 	// Nil analyzer renders the waiting banner, not a panic.
-	rr = get(t, live.DashboardHandler(nil), http.MethodGet, "/live")
+	rr = get(t, live.DashboardHandler(nil, nil, nil), http.MethodGet, "/live")
 	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "No epochs closed yet") {
 		t.Errorf("nil dashboard = %d, want 200 with waiting banner", rr.Code)
+	}
+}
+
+// TestDashboardAlertBannerAndHistory pins the observability planes on
+// /live: a firing rule renders the red banner, the history store
+// renders fleet-health sparkline cards.
+func TestDashboardAlertBannerAndHistory(t *testing.T) {
+	reg := obs.NewRegistry()
+	depth := reg.Gauge("magellan_ingest_queue_depth", "")
+	db := tsdb.New(reg, tsdb.Config{Capacity: 32})
+	eng, err := alert.New(db, []alert.Rule{{
+		Name: "queue-deep", Metric: "magellan_ingest_queue_depth",
+		Kind: alert.Threshold, Threshold: 10,
+		Severity: "critical", Help: "queue past budget",
+	}}, alert.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		depth.Set(float64(20 * i))
+		db.SampleAt(int64(i) * 1e9)
+		eng.EvalAt(int64(i) * 1e9)
+	}
+
+	rr := get(t, live.DashboardHandler(nil, db, eng), http.MethodGet, "/live")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /live = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"alert(s) firing", "queue-deep", "queue past budget",
+		"Fleet metrics history", "Ingest queue depth", "/alerts", "/history",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Resolved: the banner flips to the all-clear line.
+	depth.Set(0)
+	db.SampleAt(6e9)
+	eng.EvalAt(6e9)
+	body = get(t, live.DashboardHandler(nil, db, eng), http.MethodGet, "/live").Body.String()
+	if strings.Contains(body, "alert(s) firing") || !strings.Contains(body, "none firing") {
+		t.Error("resolved alert should render the all-clear banner")
 	}
 }

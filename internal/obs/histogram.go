@@ -142,3 +142,11 @@ func (h *Histogram) emit(b []byte, name, labels string) []byte {
 	b = strconv.AppendUint(b, h.Count(), 10)
 	return append(b, '\n')
 }
+
+// sample exposes the histogram's sum and count series (the bucket
+// vector would swamp a fixed-capacity history without adding a signal
+// the sum/count pair doesn't already carry for rates and means).
+func (h *Histogram) sample(out []SnapshotSample, name, labels string) []SnapshotSample {
+	out = append(out, SnapshotSample{Series: name + "_sum" + labels, Value: h.Sum()})
+	return append(out, SnapshotSample{Series: name + "_count" + labels, Value: float64(h.Count())})
+}

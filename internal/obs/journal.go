@@ -495,6 +495,16 @@ func (c journalStages) emit(b []byte, name, _ string) []byte {
 	return b
 }
 
+func (c journalStages) sample(out []SnapshotSample, name, _ string) []SnapshotSample {
+	for s := Stage(0); s < numStages; s++ {
+		out = append(out, SnapshotSample{
+			Series: name + `{stage="` + s.String() + `"}`,
+			Value:  float64(c.j.StageCount(s)),
+		})
+	}
+	return out
+}
+
 // RegisterJournalMetrics exposes a journal's accounting on the registry:
 // events recorded and dropped, ring occupancy and bound, and per-stage
 // event counts. Scrapes read atomics (and the ring lock only for

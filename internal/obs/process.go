@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// runtime/metrics sample names backing the process gauges. Both exist
+// in every Go release this module supports; readProcessSample still
+// guards against KindBad so a future rename degrades to zero rather
+// than a panic inside a scrape.
+const (
+	goroutinesSample = "/sched/goroutines:goroutines"
+	heapBytesSample  = "/memory/classes/heap/objects:bytes"
+)
+
+// readProcessSample reads one runtime/metrics sample as a float64.
+func readProcessSample(name string) float64 {
+	var s [1]metrics.Sample
+	s[0].Name = name
+	metrics.Read(s[:])
+	switch s[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return s[0].Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// RegisterProcessMetrics installs the magellan_process_* host-health
+// gauges: uptime (wall seconds since registration), live goroutines,
+// and heap bytes in use, the latter two via runtime/metrics (cheap,
+// no stop-the-world). Daemons register these next to build info so the
+// in-process TSDB always has host-health series to retain; the
+// simulator core never sees them (this is daemon/CLI-layer wiring,
+// like every other wall-clock read).
+func RegisterProcessMetrics(reg *Registry) {
+	started := time.Now()
+	reg.GaugeFunc("magellan_process_uptime_seconds",
+		"Wall-clock seconds since process metrics were registered.",
+		func() float64 { return time.Since(started).Seconds() })
+	reg.GaugeFunc("magellan_process_goroutines",
+		"Goroutines currently live in the process.",
+		func() float64 { return readProcessSample(goroutinesSample) })
+	reg.GaugeFunc("magellan_process_heap_bytes",
+		"Bytes of live heap objects (runtime/metrics heap/objects).",
+		func() float64 { return readProcessSample(heapBytesSample) })
+}

@@ -34,6 +34,10 @@ type collector interface {
 	// emit appends the metric's sample lines. name and labels are the
 	// registered exposition name and pre-rendered label block.
 	emit(b []byte, name, labels string) []byte
+	// sample appends the metric's numeric samples, one per exposition
+	// series, keyed by the same name{labels} identity emit renders.
+	// This is the structured twin of emit: the in-process TSDB reads it.
+	sample(out []SnapshotSample, name, labels string) []SnapshotSample
 }
 
 // NewRegistry returns an empty registry.
@@ -144,6 +148,10 @@ func (c *Counter) emit(b []byte, name, labels string) []byte {
 	return append(b, '\n')
 }
 
+func (c *Counter) sample(out []SnapshotSample, name, labels string) []SnapshotSample {
+	return append(out, SnapshotSample{Series: name + labels, Value: float64(c.Value())})
+}
+
 // Counter registers and returns a new counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	c := &Counter{}
@@ -162,6 +170,10 @@ func (f counterFunc) emit(b []byte, name, labels string) []byte {
 	b = append(b, ' ')
 	b = strconv.AppendUint(b, f(), 10)
 	return append(b, '\n')
+}
+
+func (f counterFunc) sample(out []SnapshotSample, name, labels string) []SnapshotSample {
+	return append(out, SnapshotSample{Series: name + labels, Value: float64(f())})
 }
 
 // CounterFunc registers a counter whose value is read from fn at
@@ -204,6 +216,10 @@ func (g *Gauge) emit(b []byte, name, labels string) []byte {
 	return append(b, '\n')
 }
 
+func (g *Gauge) sample(out []SnapshotSample, name, labels string) []SnapshotSample {
+	return append(out, SnapshotSample{Series: name + labels, Value: g.Value()})
+}
+
 // Gauge registers and returns a new gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}
@@ -230,6 +246,10 @@ func (f gaugeFunc) emit(b []byte, name, labels string) []byte {
 	b = append(b, ' ')
 	b = appendFloat(b, f())
 	return append(b, '\n')
+}
+
+func (f gaugeFunc) sample(out []SnapshotSample, name, labels string) []SnapshotSample {
+	return append(out, SnapshotSample{Series: name + labels, Value: f()})
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at exposition
@@ -267,6 +287,20 @@ func (s seriesFunc) emit(b []byte, name, _ string) []byte {
 		b = append(b, '\n')
 	}
 	return b
+}
+
+func (s seriesFunc) sample(out []SnapshotSample, name, _ string) []SnapshotSample {
+	for _, sm := range s.fn() {
+		key := make([]byte, 0, len(name)+len(s.label)+len(sm.Label)+4)
+		key = append(key, name...)
+		key = append(key, '{')
+		key = append(key, s.label...)
+		key = append(key, '=', '"')
+		key = appendEscapedLabelValue(key, sm.Label)
+		key = append(key, '"', '}')
+		out = append(out, SnapshotSample{Series: string(key), Value: sm.Value})
+	}
+	return out
 }
 
 // CounterSeriesFunc registers a counter family whose samples carry one

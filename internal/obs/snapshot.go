@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"slices"
+	"strings"
+)
+
+// A SnapshotSample is one numeric sample of the registry at an
+// instant: the full exposition series identity (metric name plus any
+// rendered label block, e.g. `magellan_ingest_received_total{shard="2"}`)
+// and its current value. Histograms contribute their _sum and _count
+// series; the bucket vector is exposition-only.
+type SnapshotSample struct {
+	Series string
+	Value  float64
+}
+
+// Snapshot samples every registered metric into out (reusing its
+// backing array) and returns the result sorted by series identity.
+// Ordering is deterministic — families by metric name, samples within
+// a family in the collector's own emit order, then a global stable
+// sort by series string — so repeated snapshots of an unchanged
+// registry enumerate identical series lists. Collector callbacks run
+// outside any per-metric lock, exactly as exposition does, so a
+// snapshot is as cheap and as non-perturbing as a scrape.
+func (r *Registry) Snapshot(out []SnapshotSample) []SnapshotSample {
+	if r == nil {
+		return out[:0]
+	}
+	r.mu.RLock()
+	fams := make([]*registered, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		fams = append(fams, m)
+	}
+	r.mu.RUnlock()
+	slices.SortFunc(fams, func(a, b *registered) int {
+		return strings.Compare(a.name, b.name)
+	})
+	out = out[:0]
+	for _, m := range fams {
+		out = m.c.sample(out, m.name, m.labels)
+	}
+	// Family order already sorts by metric name; the stable sort fixes
+	// the one remaining ambiguity (a family whose rendered series sort
+	// differently than its emit order) without reordering ties.
+	slices.SortStableFunc(out, func(a, b SnapshotSample) int {
+		return strings.Compare(a.Series, b.Series)
+	})
+	return out
+}

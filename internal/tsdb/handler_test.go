@@ -1,0 +1,171 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+func get(t *testing.T, db *DB, target string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler(db).ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	var body map[string]any
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", target, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+// TestHandlerIndexAndRange covers the /history surface: index without
+// ?metric=, range and step queries with lookback, scalar rate/delta.
+func TestHandlerIndexAndRange(t *testing.T) {
+	db, clk, _, ctr, _ := newTestDB(32)
+	for i := 0; i < 10; i++ {
+		ctr.Add(5)
+		clk.advance(sec(10))
+		db.Sample()
+	}
+
+	rec, body := get(t, db, "/history")
+	if rec.Code != 200 {
+		t.Fatalf("index status %d", rec.Code)
+	}
+	if body["samples"].(float64) != 10 {
+		t.Fatalf("index samples = %v", body["samples"])
+	}
+	if n := len(body["series"].([]any)); n != 2 {
+		t.Fatalf("index series count = %d, want 2 (counter + gauge)", n)
+	}
+
+	_, body = get(t, db, "/history?metric=t_reports_total")
+	if got := len(body["points"].([]any)); got != 10 {
+		t.Fatalf("full range returned %d points, want 10", got)
+	}
+	_, body = get(t, db, "/history?metric=t_reports_total&since=25s")
+	if got := len(body["points"].([]any)); got != 3 {
+		t.Fatalf("25s lookback returned %d points, want 3 (80s,90s,100s)", got)
+	}
+	_, body = get(t, db, "/history?metric=t_reports_total&since=100s&step=20s")
+	if got := len(body["points"].([]any)); got != 5 {
+		t.Fatalf("step-aligned range returned %d points, want 5", got)
+	}
+
+	_, body = get(t, db, "/history?metric=t_reports_total&query=rate&since=90s")
+	if v := body["value"].(float64); v != 0.5 {
+		t.Fatalf("rate = %v, want 0.5/s (5 per 10s)", v)
+	}
+	_, body = get(t, db, "/history?metric=t_reports_total&query=delta&since=90s")
+	if v := body["value"].(float64); v != 40 {
+		t.Fatalf("delta = %v, want 40 (10→50 across the window)", v)
+	}
+
+	// Unknown metric: empty points, not a 404 (the series may simply
+	// not have been sampled yet).
+	rec, body = get(t, db, "/history?metric=nope")
+	if rec.Code != 200 || len(body["points"].([]any)) != 0 {
+		t.Fatalf("unknown metric: %d %v", rec.Code, body)
+	}
+}
+
+// TestHandlerBadParams pins the 400 contract and the method guard.
+func TestHandlerBadParams(t *testing.T) {
+	db, _, _, _, _ := newTestDB(4)
+	for _, target := range []string{
+		"/history?metric=x&since=banana",
+		"/history?metric=x&step=-5s",
+		"/history?metric=x&query=median",
+		"/history?metric=x&query=rate", // rate without window
+	} {
+		rec := httptest.NewRecorder()
+		Handler(db).ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", target, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	Handler(db).ServeHTTP(rec, httptest.NewRequest("POST", "/history", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST: status %d, want 405", rec.Code)
+	}
+}
+
+// TestHandlerNilDB: the disabled plane serves the empty index.
+func TestHandlerNilDB(t *testing.T) {
+	rec, body := get(t, nil, "/history")
+	if rec.Code != 200 {
+		t.Fatalf("nil DB index status %d", rec.Code)
+	}
+	if body["samples"].(float64) != 0 || len(body["series"].([]any)) != 0 {
+		t.Fatalf("nil DB index not empty: %v", body)
+	}
+	rec, _ = get(t, nil, "/history?metric=x")
+	if rec.Code != 200 {
+		t.Fatalf("nil DB range status %d", rec.Code)
+	}
+}
+
+// TestConcurrentSamplerScrapeReaders races the sampler loop against
+// Prometheus scrapes and /history readers — the exact concurrent
+// geometry the daemons run — under -race.
+func TestConcurrentSamplerScrapeReaders(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("race_total", "")
+	reg.GaugeFunc("race_gauge", "", func() float64 { return float64(ctr.Value()) })
+	var ts atomic.Int64
+	db := New(reg, Config{Capacity: 64, Now: func() int64 { return ts.Add(1e6) }})
+	h := Handler(db)
+
+	stop := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() { // sampler
+		defer samplerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ctr.Add(1)
+				db.Sample()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { // /history readers + scrapes + JSONL snapshots
+			defer wg.Done()
+			var sb strings.Builder
+			for j := 0; j < 200; j++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/history", nil))
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/history?metric=race_total&since=1s", nil))
+				sb.Reset()
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := db.WriteJSONL(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Let the readers finish their fixed workload, then stop the sampler.
+	wg.Wait()
+	close(stop)
+	samplerDone.Wait()
+	if db.Samples() == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+}

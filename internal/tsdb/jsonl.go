@@ -1,0 +1,123 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlSample is one persisted sample line: instant, series, value.
+type jsonlSample struct {
+	T int64   `json:"t"`
+	M string  `json:"m"`
+	V float64 `json:"v"`
+}
+
+// WriteJSONL persists the retained history, one sample per line,
+// time-major (all of one instant's samples before the next instant's,
+// series sorted by name within an instant). Time-major order is what
+// lets a reader replay the history sample-batch by sample-batch — the
+// magellan-report -health alert replay depends on it. Output is
+// deterministic for a given store state. Nil-receiver safe (writes
+// nothing).
+func (db *DB) WriteJSONL(w io.Writer) error {
+	if db == nil {
+		return nil
+	}
+	// Flatten under the lock, encode outside it: the writer may be a
+	// file, and the sampler must never block on disk.
+	db.mu.Lock()
+	flat := make([]jsonlSample, 0, db.instants.n*len(db.names))
+	// Per-series cursors advance monotonically as the instant loop
+	// walks forward; a series younger than an instant (or whose ring
+	// evicted it) simply contributes nothing there.
+	cursor := make(map[string]int, len(db.names))
+	for i := 0; i < db.instants.n; i++ {
+		ts := db.instants.at(i).T
+		for _, name := range db.names {
+			s := db.series[name]
+			j := cursor[name]
+			for j < s.n {
+				p := s.at(j)
+				if p.T > ts {
+					break
+				}
+				j++
+				if p.T == ts {
+					flat = append(flat, jsonlSample{T: p.T, M: name, V: p.V})
+				}
+			}
+			cursor[name] = j
+		}
+	}
+	db.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range flat {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a history snapshot written by WriteJSONL into a new
+// DB with the given per-series capacity (0: DefaultCapacity; a
+// snapshot larger than the capacity re-evicts oldest-first, exactly as
+// live sampling would). Lines must be time-ordered (non-decreasing t),
+// as WriteJSONL guarantees; a malformed line or a time regression is
+// an error, not a silent skip.
+func ReadJSONL(r io.Reader, capacity int) (*DB, error) {
+	db := New(nil, Config{Capacity: capacity})
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		batch   []jsonlSample
+		batchT  int64
+		haveT   bool
+		lineNum int
+	)
+	flush := func() {
+		if !haveT {
+			return
+		}
+		db.mu.Lock()
+		for _, sm := range batch {
+			db.pushLocked(batchT, sm.M, sm.V)
+		}
+		db.instants.push(batchT, 0, db.capacity)
+		db.samples++
+		db.lastT, db.hasLast = batchT, true
+		db.mu.Unlock()
+		batch = batch[:0]
+	}
+	for sc.Scan() {
+		lineNum++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s jsonlSample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("tsdb: history line %d: %w", lineNum, err)
+		}
+		if s.M == "" {
+			return nil, fmt.Errorf("tsdb: history line %d: empty series name", lineNum)
+		}
+		if haveT && s.T < batchT {
+			return nil, fmt.Errorf("tsdb: history line %d: time regression %d after %d", lineNum, s.T, batchT)
+		}
+		if haveT && s.T > batchT {
+			flush()
+		}
+		batchT, haveT = s.T, true
+		batch = append(batch, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: read history: %w", err)
+	}
+	flush()
+	return db, nil
+}

@@ -1,0 +1,80 @@
+package tsdb_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/magellan-p2p/magellan/internal/alert"
+	"github.com/magellan-p2p/magellan/internal/obs"
+	"github.com/magellan-p2p/magellan/internal/sim"
+	"github.com/magellan-p2p/magellan/internal/trace"
+	"github.com/magellan-p2p/magellan/internal/tsdb"
+)
+
+// TestHistoryMeasurementOnly is the telemetry determinism contract for
+// the history/alerting plane: a seeded simulation produces
+// byte-identical traces whether or not a sampler and alert engine are
+// attached to (and actively sampling) its registry mid-run. The
+// sampler reads the same atomics a scrape reads; nothing flows back.
+func TestHistoryMeasurementOnly(t *testing.T) {
+	digest := func(attach bool) string {
+		reg := obs.NewRegistry()
+		store := trace.NewStore(0)
+		cfg := sim.Config{
+			Seed:            11,
+			Duration:        2 * time.Hour,
+			MeanConcurrency: 150,
+			ExtraChannels:   4,
+			Sink:            store,
+			Obs:             reg,
+		}
+		var db *tsdb.DB
+		var eng *alert.Engine
+		if attach {
+			var ts int64
+			db = tsdb.New(reg, tsdb.Config{Capacity: 64, Now: func() int64 { ts += 1e9; return ts }})
+			var err error
+			eng, err = alert.New(db, alert.DefaultRules(), alert.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sample and evaluate at every tick boundary, mid-run — the
+			// most intrusive cadence the daemons could choose.
+			cfg.Progress = func(sim.Stats) {
+				db.Sample()
+				eng.EvalAt(db.Now())
+			}
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if attach && db.Samples() == 0 {
+			t.Fatal("sampler never ran; the instrumented arm is vacuous")
+		}
+		var sb strings.Builder
+		err = store.Range(func(_ int64, _ time.Time, reports []trace.Report) error {
+			for i := range reports {
+				sb.Write(trace.AppendReport(nil, &reports[i]))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	plain := digest(false)
+	instrumented := digest(true)
+	if plain == "" {
+		t.Fatal("empty trace; test is vacuous")
+	}
+	if plain != instrumented {
+		t.Fatal("attaching the history sampler and alert engine changed the trace bytes")
+	}
+}

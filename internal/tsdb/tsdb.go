@@ -1,0 +1,427 @@
+// Package tsdb is the in-process metrics history: a fixed-capacity
+// ring-buffer time-series store fed by sampling an obs.Registry at a
+// cadence the daemon layer chooses. It turns the point-in-time
+// /metrics scrape into a queryable retained window — range, instant,
+// rate, and delta queries over every counter, gauge, labeled series,
+// and histogram sum/count the registry exposes — and persists/loads
+// JSONL snapshots so a run's history outlives the process.
+//
+// The package is covered by the determinism analyzer: it never reads
+// a wall clock. Sample instants arrive through the injected Config.Now
+// (the daemon layer passes the real clock; tests and the
+// magellan-report -health replay pass recorded instants), so the same
+// sequence of SampleAt calls over the same registry state yields a
+// byte-identical store — the property the alert engine's deterministic
+// transition log rests on.
+//
+// Sampling is off the ingest path by construction: a sample reads the
+// same atomics a Prometheus scrape reads, under a store-local mutex no
+// ingest goroutine ever takes. A nil *DB is a disabled history plane —
+// every method is a zero-allocation no-op — so daemons wire the plumbing
+// unconditionally and let the flag decide.
+package tsdb
+
+import (
+	"slices"
+	"strings"
+	"sync"
+
+	"github.com/magellan-p2p/magellan/internal/obs"
+)
+
+// DefaultCapacity is the per-series ring bound when Config leaves it
+// unset: at the default 5 s cadence it retains ~85 minutes.
+const DefaultCapacity = 1024
+
+// A Point is one retained sample: unix nanoseconds and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Config tunes a DB.
+type Config struct {
+	// Capacity is the per-series ring bound (samples retained per
+	// series); 0 means DefaultCapacity.
+	Capacity int
+	// Now supplies unix nanoseconds for Sample(). The daemon layer
+	// injects the real clock; nil means Sample() panics and only
+	// SampleAt (explicit instants) may be used.
+	Now func() int64
+}
+
+// series is one metric's ring: times/vals hold up to cap(points)
+// samples, start indexes the oldest, n counts the held samples.
+// Timestamps are strictly increasing (SampleAt enforces monotonic
+// instants store-wide).
+type series struct {
+	times   []int64
+	vals    []float64
+	start   int
+	n       int
+	evicted uint64
+}
+
+func (s *series) push(t int64, v float64, capacity int) (evicted bool) {
+	if s.n < capacity {
+		i := (s.start + s.n) % capacity
+		s.times[i] = t
+		s.vals[i] = v
+		s.n++
+		return false
+	}
+	s.times[s.start] = t
+	s.vals[s.start] = v
+	s.start = (s.start + 1) % capacity
+	s.evicted++
+	return true
+}
+
+// at returns the i-th retained sample, oldest first.
+func (s *series) at(i int) Point {
+	j := (s.start + i) % len(s.times)
+	return Point{T: s.times[j], V: s.vals[j]}
+}
+
+// A DB retains sampled registry state. All methods are safe for
+// concurrent use and are no-ops (or empty results) on a nil receiver.
+type DB struct {
+	reg      *obs.Registry
+	capacity int
+	now      func() int64
+
+	mu       sync.Mutex
+	series   map[string]*series
+	names    []string // sorted series names, maintained incrementally
+	instants *series  // ring of distinct sample instants (vals unused)
+	scratch  []obs.SnapshotSample
+	samples  uint64 // SampleAt calls accepted
+	evicted  uint64 // total samples evicted across series
+	lastT    int64
+	hasLast  bool
+}
+
+// New builds a DB over reg. reg may be nil (an empty store that only
+// ReadJSONL or tests populate via sampleValues).
+func New(reg *obs.Registry, cfg Config) *DB {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &DB{
+		reg:      reg,
+		capacity: capacity,
+		now:      cfg.Now,
+		series:   make(map[string]*series),
+		instants: &series{times: make([]int64, capacity), vals: make([]float64, capacity)},
+	}
+}
+
+// Sample snapshots the registry at the injected clock's current
+// instant. Nil-receiver safe (and allocation-free when nil), so the
+// daemon's sampler loop needs no enabled-check.
+func (db *DB) Sample() {
+	if db == nil {
+		return
+	}
+	db.SampleAt(db.now())
+}
+
+// SampleAt snapshots the registry at the given instant. Instants must
+// be strictly increasing; a stale or duplicate instant is dropped
+// (sampling monotonic time, this only happens if a caller replays
+// history out of order). Nil-receiver safe.
+func (db *DB) SampleAt(ts int64) {
+	if db == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.hasLast && ts <= db.lastT {
+		return
+	}
+	db.scratch = db.reg.Snapshot(db.scratch)
+	db.ingestLocked(ts, db.scratch)
+}
+
+// ingestLocked appends one instant's samples. Callers hold db.mu and
+// guarantee ts is newer than every retained instant.
+func (db *DB) ingestLocked(ts int64, samples []obs.SnapshotSample) {
+	for _, sm := range samples {
+		db.pushLocked(ts, sm.Series, sm.Value)
+	}
+	db.instants.push(ts, 0, db.capacity)
+	db.samples++
+	db.lastT, db.hasLast = ts, true
+}
+
+// pushLocked appends one (series, value) sample at ts, creating the
+// series ring on first sight and keeping the sorted name index and
+// eviction accounting exact. Callers hold db.mu.
+func (db *DB) pushLocked(ts int64, name string, v float64) {
+	s := db.series[name]
+	if s == nil {
+		s = &series{
+			times: make([]int64, db.capacity),
+			vals:  make([]float64, db.capacity),
+		}
+		db.series[name] = s
+		i, _ := slices.BinarySearch(db.names, name)
+		db.names = slices.Insert(db.names, i, name)
+	}
+	if s.push(ts, v, db.capacity) {
+		db.evicted++
+	}
+}
+
+// Now returns the injected clock's current instant (0 without a
+// clock): the reference /history resolves lookback windows against.
+func (db *DB) Now() int64 {
+	if db == nil || db.now == nil {
+		return 0
+	}
+	return db.now()
+}
+
+// Samples returns how many instants have been ingested.
+func (db *DB) Samples() uint64 {
+	if db == nil {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.samples
+}
+
+// Evicted returns how many samples the rings have evicted, total.
+func (db *DB) Evicted() uint64 {
+	if db == nil {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.evicted
+}
+
+// Capacity returns the per-series ring bound.
+func (db *DB) Capacity() int {
+	if db == nil {
+		return 0
+	}
+	return db.capacity
+}
+
+// SeriesInfo summarizes one retained series.
+type SeriesInfo struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	Evicted uint64  `json:"evicted"`
+	FirstT  int64   `json:"firstT"`
+	LastT   int64   `json:"lastT"`
+	Last    float64 `json:"last"`
+}
+
+// Series lists every retained series, sorted by name.
+func (db *DB) Series() []SeriesInfo {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]SeriesInfo, 0, len(db.names))
+	for _, name := range db.names {
+		s := db.series[name]
+		if s.n == 0 {
+			continue
+		}
+		out = append(out, SeriesInfo{
+			Name:    name,
+			Count:   s.n,
+			Evicted: s.evicted,
+			FirstT:  s.at(0).T,
+			LastT:   s.at(s.n - 1).T,
+			Last:    s.at(s.n - 1).V,
+		})
+	}
+	return out
+}
+
+// Match returns the retained series names equal to metric or starting
+// with metric+"{" — the exact series, or every member of a labeled
+// family — sorted. This is how callers address one logical metric
+// whether the fleet is sharded (labeled family) or not.
+func (db *DB) Match(metric string) []string {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.matchLocked(metric)
+}
+
+func (db *DB) matchLocked(metric string) []string {
+	if _, ok := db.series[metric]; ok {
+		return []string{metric}
+	}
+	prefix := metric + "{"
+	i, _ := slices.BinarySearch(db.names, prefix)
+	var out []string
+	for ; i < len(db.names) && strings.HasPrefix(db.names[i], prefix); i++ {
+		out = append(out, db.names[i])
+	}
+	return out
+}
+
+// Instants returns the retained distinct sample instants, oldest
+// first — the replay axis magellan-report -health walks.
+func (db *DB) Instants() []int64 {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]int64, db.instants.n)
+	for i := range out {
+		out[i] = db.instants.at(i).T
+	}
+	return out
+}
+
+// Range returns the retained points of one series with since < T ≤
+// until, oldest first. An unknown series returns nil.
+func (db *DB) Range(name string, since, until int64) []Point {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rangeLocked(name, since, until)
+}
+
+func (db *DB) rangeLocked(name string, since, until int64) []Point {
+	s := db.series[name]
+	if s == nil {
+		return nil
+	}
+	var out []Point
+	for i := 0; i < s.n; i++ {
+		p := s.at(i)
+		if p.T <= since {
+			continue
+		}
+		if p.T > until {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RangeStep aligns one series to a step grid: for each instant since+step,
+// since+2·step, …, ≤ until it emits the latest retained sample at or
+// before that instant (carrying values forward, skipping grid points
+// before the first sample). step ≤ 0 degenerates to Range.
+func (db *DB) RangeStep(name string, since, until, step int64) []Point {
+	if db == nil {
+		return nil
+	}
+	if step <= 0 {
+		return db.Range(name, since, until)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.series[name]
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	var out []Point
+	i := 0
+	var last Point
+	var seen bool
+	for g := since + step; g <= until; g += step {
+		for i < s.n {
+			p := s.at(i)
+			if p.T > g {
+				break
+			}
+			last, seen = p, true
+			i++
+		}
+		if seen {
+			out = append(out, Point{T: g, V: last.V})
+		}
+	}
+	return out
+}
+
+// Instant returns the latest sample of one series at or before ts.
+func (db *DB) Instant(name string, ts int64) (Point, bool) {
+	if db == nil {
+		return Point{}, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.instantLocked(name, ts)
+}
+
+func (db *DB) instantLocked(name string, ts int64) (Point, bool) {
+	s := db.series[name]
+	if s == nil {
+		return Point{}, false
+	}
+	for i := s.n - 1; i >= 0; i-- {
+		p := s.at(i)
+		if p.T <= ts {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Rate returns the per-second increase of one series over the window
+// (ts-window, ts]: the counter-reset-aware sum of positive increments
+// between consecutive retained samples, divided by the sampled span.
+// ok is false with fewer than two samples in the window.
+func (db *DB) Rate(name string, ts, window int64) (float64, bool) {
+	if db == nil {
+		return 0, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rateLocked(name, ts, window)
+}
+
+func (db *DB) rateLocked(name string, ts, window int64) (float64, bool) {
+	pts := db.rangeLocked(name, ts-window, ts)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	var inc float64
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].V - pts[i-1].V; d > 0 {
+			inc += d
+		}
+	}
+	span := float64(pts[len(pts)-1].T-pts[0].T) / 1e9
+	if span <= 0 {
+		return 0, false
+	}
+	return inc / span, true
+}
+
+// Delta returns the signed difference between the newest and oldest
+// sample of one series in the window (ts-window, ts] — the
+// rate-of-change primitive for gauges, where resets don't exist and
+// direction matters. ok is false with fewer than two samples.
+func (db *DB) Delta(name string, ts, window int64) (float64, bool) {
+	if db == nil {
+		return 0, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.rangeLocked(name, ts-window, ts)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	return pts[len(pts)-1].V - pts[0].V, true
+}
